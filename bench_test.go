@@ -1,0 +1,234 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/timing"
+	"repro/internal/trips"
+	"repro/internal/workloads"
+)
+
+// Benchmark subset: representative microbenchmarks covering the
+// paper's headline effects (head-duplication wins, tail-duplication
+// penalties, misprediction effects, streaming baselines). The cmd/
+// experiments tool runs the full 24-benchmark suites.
+var benchSubset = []string{"ammp_1", "bzip2_3", "gzip_1", "parser_1", "sieve", "matrix_1"}
+
+func subset(b *testing.B, names []string) []workloads.Workload {
+	b.Helper()
+	var ws []workloads.Workload
+	for _, n := range names {
+		w, err := workloads.ByName(workloads.Micro(), n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, *w)
+	}
+	return ws
+}
+
+// BenchmarkTable1 regenerates Table 1 (phase orderings, cycle counts)
+// on the benchmark subset. One iteration = the full table.
+func BenchmarkTable1(b *testing.B) {
+	ws := subset(b, benchSubset)
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.Table1(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t1.Rows) != len(ws) {
+			b.Fatal("incomplete table")
+		}
+		b.ReportMetric(t1.Averages[string(compiler.OrderIUPO1)], "(IUPO)-avg-%")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (block-selection heuristics) on
+// the benchmark subset.
+func BenchmarkTable2(b *testing.B) {
+	ws := subset(b, benchSubset)
+	for i := 0; i < b.N; i++ {
+		t2, err := experiments.Table2(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t2.Averages["BF"], "BF-avg-%")
+		b.ReportMetric(t2.Averages["DF"], "DF-avg-%")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (SPEC block counts) on six of
+// the SPEC proxies.
+func BenchmarkTable3(b *testing.B) {
+	var ws []workloads.Workload
+	for _, n := range []string{"ammp", "bzip2", "gzip", "mcf", "parser", "twolf"} {
+		w, err := workloads.ByName(workloads.Spec(), n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, *w)
+	}
+	for i := 0; i < b.N; i++ {
+		t3, err := experiments.Table3(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t3.Averages[string(compiler.OrderIUPO1)], "(IUPO)-avg-%")
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (cycles-vs-blocks regression)
+// from a Table 1 run on the benchmark subset.
+func BenchmarkFigure7(b *testing.B) {
+	ws := subset(b, benchSubset)
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.Table1(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f7 := experiments.Figure7(t1)
+		b.ReportMetric(f7.R2, "r2")
+	}
+}
+
+// BenchmarkFormation measures raw convergent-formation throughput on
+// one representative kernel (compile only, no simulation).
+func BenchmarkFormation(b *testing.B) {
+	w, err := workloads.ByName(workloads.Micro(), "gzip_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.Compile(w.Source, compiler.Options{
+			Ordering:    compiler.OrderIUPO1,
+			ProfileFn:   "main",
+			ProfileArgs: w.TrainArgs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCycleSim measures the cycle-level simulator's throughput.
+func BenchmarkCycleSim(b *testing.B) {
+	w, err := workloads.ByName(workloads.Micro(), "matrix_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := compiler.Compile(w.Source, compiler.Options{
+		Ordering:    compiler.OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: w.TrainArgs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		m := timing.New(ir.CloneProgram(res.Prog), timing.DefaultConfig())
+		if _, err := m.Run("main", w.Args...); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Stats.Executed
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkFunctionalSim measures the functional simulator's
+// throughput.
+func BenchmarkFunctionalSim(b *testing.B) {
+	w, err := workloads.ByName(workloads.Spec(), "applu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lang.Compile(w.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		_, _, st, err := RunBlocks(ir.CloneProgram(prog), "main", w.Args...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Executed
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// --- Ablation benchmarks: the design choices DESIGN.md calls out ---
+
+// ablationCycles compiles gzip_1 under (IUPO) with the given core
+// tweaks applied and returns the measured cycles.
+func ablationCycles(b *testing.B, mutate func(*compiler.Options)) int64 {
+	b.Helper()
+	w, err := workloads.ByName(workloads.Micro(), "gzip_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := compiler.Options{
+		Ordering:    compiler.OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: w.TrainArgs,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	res, err := compiler.Compile(w.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := timing.New(res.Prog, timing.DefaultConfig())
+	if _, err := m.Run("main", w.Args...); err != nil {
+		b.Fatal(err)
+	}
+	return m.Stats.Cycles
+}
+
+// BenchmarkAblationChaining measures the benefit of cross-layer
+// speculative rename chaining (Config.NoChain off vs on).
+func BenchmarkAblationChaining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationCycles(b, nil)
+		off := ablationCycles(b, func(o *compiler.Options) { o.CoreTweaks.NoChain = true })
+		b.ReportMetric(float64(on), "cycles-chain")
+		b.ReportMetric(float64(off), "cycles-nochain")
+		b.ReportMetric(100*float64(off-on)/float64(off), "chain-gain-%")
+	}
+}
+
+// BenchmarkAblationHeadDup measures head duplication's contribution:
+// fully convergent formation vs the same loop with unroll/peel
+// disabled (classical incremental if-conversion).
+func BenchmarkAblationHeadDup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationCycles(b, nil)
+		off := ablationCycles(b, func(o *compiler.Options) { o.CoreTweaks.NoHeadDup = true })
+		b.ReportMetric(float64(on), "cycles-headdup")
+		b.ReportMetric(float64(off), "cycles-noheaddup")
+		b.ReportMetric(100*float64(off-on)/float64(off), "headdup-gain-%")
+	}
+}
+
+// BenchmarkAblationSplitOversize measures the §9 block-splitting
+// extension under tight constraints.
+func BenchmarkAblationSplitOversize(b *testing.B) {
+	small := trips.Constraints{MaxInstrs: 32, MaxMemOps: 8, RegBanks: 4,
+		MaxReadsPerBank: 8, MaxWritesPerBank: 8}
+	for i := 0; i < b.N; i++ {
+		off := ablationCycles(b, func(o *compiler.Options) { o.Cons = small })
+		on := ablationCycles(b, func(o *compiler.Options) {
+			o.Cons = small
+			o.CoreTweaks.SplitOversize = true
+		})
+		b.ReportMetric(float64(on), "cycles-split")
+		b.ReportMetric(float64(off), "cycles-nosplit")
+	}
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figure:
+//
+//	experiments -table 1      # phase orderings, cycle counts (Table 1)
+//	experiments -table 2      # block-selection heuristics (Table 2)
+//	experiments -table 3      # SPEC proxy block counts (Table 3)
+//	experiments -figure 7     # cycles-vs-blocks correlation (Figure 7)
+//	experiments -all          # everything
+//
+// Use -quick to run a 6-benchmark subset of the microbenchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (1, 2, or 3)")
+	figure := flag.Int("figure", 0, "figure to regenerate (7)")
+	all := flag.Bool("all", false, "run every table and figure")
+	quick := flag.Bool("quick", false, "use a small benchmark subset")
+	flag.Parse()
+
+	micro := workloads.Micro()
+	if *quick {
+		micro = subset(micro, "ammp_1", "bzip2_3", "gzip_1", "parser_1", "sieve", "matrix_1")
+	}
+	spec := workloads.Spec()
+
+	ran := false
+	var t1 *experiments.Table1Result
+	runT1 := func() {
+		var err error
+		t1, err = experiments.Table1(micro)
+		fail(err)
+		fmt.Println("Table 1: % cycle improvement over basic blocks, by phase ordering")
+		fmt.Println("(m/t/u/p = blocks merged / tail duplicated / unrolled / peeled)")
+		fmt.Print(t1.Format())
+		fmt.Println()
+	}
+
+	if *all || *table == 1 {
+		runT1()
+		ran = true
+	}
+	if *all || *table == 2 {
+		t2, err := experiments.Table2(micro)
+		fail(err)
+		fmt.Println("Table 2: % cycle improvement over basic blocks, by heuristic")
+		fmt.Print(t2.Format())
+		fmt.Println()
+		ran = true
+	}
+	if *all || *table == 3 {
+		t3, err := experiments.Table3(spec)
+		fail(err)
+		fmt.Println("Table 3: % block-count improvement over basic blocks (SPEC proxies)")
+		fmt.Print(t3.Format())
+		fmt.Println()
+		ran = true
+	}
+	if *all || *figure == 7 {
+		if t1 == nil {
+			runT1()
+		}
+		f7 := experiments.Figure7(t1)
+		fmt.Println("Figure 7: cycle-count reduction vs block-count reduction")
+		fmt.Print(f7.Format())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func subset(ws []workloads.Workload, names ...string) []workloads.Workload {
+	var out []workloads.Workload
+	for _, n := range names {
+		w, err := workloads.ByName(ws, n)
+		fail(err)
+		out = append(out, *w)
+	}
+	return out
+}

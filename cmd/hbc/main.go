@@ -1,0 +1,149 @@
+// Command hbc is the hyperblock compiler driver: it compiles a tl
+// source file under a chosen phase ordering and block-selection
+// policy, prints the resulting TRIPS-like block assembly, and reports
+// formation and block statistics.
+//
+//	hbc [-ordering '(IUPO)'] [-policy bf|df|vliw] [-unroll 4]
+//	    [-train 'args'] [-regalloc] [-stats] file.tl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/sched"
+	"repro/internal/trips"
+)
+
+func main() {
+	ordering := flag.String("ordering", "(IUPO)", "phase ordering: BB, UPIO, IUPO, (IUP)O, (IUPO)")
+	polName := flag.String("policy", "bf", "block-selection policy: bf, df, vliw")
+	unroll := flag.Int("unroll", 4, "front-end for-loop unroll factor (1 disables)")
+	train := flag.String("train", "", "comma-separated args for the profiling run of main")
+	profileSave := flag.String("profile-save", "", "write the training profile to this file (JSON)")
+	profileLoad := flag.String("profile-load", "", "read a previously saved profile instead of training")
+	regalloc := flag.Bool("regalloc", false, "run register allocation and reverse if-conversion")
+	stats := flag.Bool("stats", false, "print per-block resource statistics")
+	asm := flag.Bool("asm", false, "emit placed TRIPS-like assembly (fanout insertion + grid placement)")
+	quiet := flag.Bool("quiet", false, "suppress the IR listing")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hbc [flags] file.tl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	var pol core.Policy
+	switch *polName {
+	case "bf":
+		pol = policy.BreadthFirst{}
+	case "df":
+		pol = policy.DepthFirst{}
+	case "vliw":
+		pol = &policy.VLIW{}
+	default:
+		fail(fmt.Errorf("unknown policy %q", *polName))
+	}
+
+	opts := compiler.Options{
+		Ordering:    compiler.Ordering(*ordering),
+		Policy:      pol,
+		FrontUnroll: *unroll,
+		RegAlloc:    *regalloc,
+	}
+	if *train != "" {
+		opts.ProfileFn = "main"
+		for _, f := range strings.Split(*train, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			fail(err)
+			opts.ProfileArgs = append(opts.ProfileArgs, v)
+		}
+	}
+
+	if *profileLoad != "" {
+		pf, err := os.Open(*profileLoad)
+		fail(err)
+		prof, err := profile.Load(pf)
+		pf.Close()
+		fail(err)
+		opts.Profile = prof
+	}
+
+	res, err := compiler.Compile(string(src), opts)
+	fail(err)
+
+	if *profileSave != "" && res.Profile != nil {
+		pf, err := os.Create(*profileSave)
+		fail(err)
+		fail(res.Profile.Save(pf))
+		fail(pf.Close())
+	}
+
+	if *asm {
+		sc := sched.New(sched.DefaultGrid())
+		for _, f := range res.Prog.OrderedFuncs() {
+			scheds, err := sc.ScheduleFunction(f)
+			fail(err)
+			var phys map[ir.Reg]int
+			if a, ok := res.Alloc[f.Name]; ok {
+				phys = a.Phys
+			}
+			fmt.Print(sched.EmitAssembly(f, scheds, phys))
+			var route, fan int
+			for _, bs := range scheds {
+				route += bs.Placement.RouteCost
+				fan += bs.Placement.Fanouts
+			}
+			fmt.Printf("; sched %s: %d fanout movs, total route cost %d\n", f.Name, fan, route)
+		}
+	} else if !*quiet {
+		fmt.Print(ir.FormatProgram(res.Prog))
+	}
+	st := res.FormStats
+	fmt.Printf("; formation: merged=%d tail-dup=%d unrolled=%d peeled=%d (attempts=%d rejects=%d)\n",
+		st.Merges, st.TailDups, st.Unrolls, st.Peels, st.Attempts, st.Rejects)
+	if res.UPStats.Unrolled+res.UPStats.Peeled > 0 {
+		fmt.Printf("; discrete unroll/peel: unrolled=%d peeled=%d\n",
+			res.UPStats.Unrolled, res.UPStats.Peeled)
+	}
+	if *regalloc {
+		for _, f := range res.Prog.OrderedFuncs() {
+			if a, ok := res.Alloc[f.Name]; ok {
+				fmt.Printf("; regalloc %s: %d regs, %d spills, %d splits, %d rounds\n",
+					f.Name, len(a.Phys), len(a.Spilled), a.Splits, a.Rounds)
+			} else if err := res.AllocErrs[f.Name]; err != nil {
+				fmt.Printf("; regalloc %s: %v\n", f.Name, err)
+			}
+		}
+	}
+	if *stats {
+		cons := trips.Default()
+		for _, f := range res.Prog.OrderedFuncs() {
+			lv := analysis.ComputeLiveness(f)
+			for _, b := range f.Blocks {
+				s := trips.MeasureWithFanout(b, lv, cons)
+				fmt.Printf("; block %s.%s: instrs=%d mem=%d reads=%d writes=%d exits=%d\n",
+					f.Name, b.Name, s.Instrs, s.MemOps, s.RegReads, s.RegWrites, s.Exits)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbc:", err)
+		os.Exit(1)
+	}
+}

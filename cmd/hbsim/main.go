@@ -1,0 +1,107 @@
+// Command hbsim compiles a tl source file and simulates it:
+//
+//	hbsim [-ordering '(IUPO)'] [-mode cycle|functional] [-args '10,20']
+//	      [-train '5'] file.tl
+//
+// The cycle mode reports the timing model's statistics; the
+// functional mode reports dynamic block counts (the paper's SPEC
+// metric).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/sim/functional"
+	"repro/internal/sim/timing"
+)
+
+func main() {
+	ordering := flag.String("ordering", "(IUPO)", "phase ordering: BB, UPIO, IUPO, (IUP)O, (IUPO)")
+	mode := flag.String("mode", "cycle", "simulator: cycle or functional")
+	argsFlag := flag.String("args", "", "comma-separated int arguments for main")
+	train := flag.String("train", "", "comma-separated profiling args for main")
+	unroll := flag.Int("unroll", 4, "front-end for-loop unroll factor")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hbsim [flags] file.tl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	opts := compiler.Options{
+		Ordering:    compiler.Ordering(*ordering),
+		FrontUnroll: *unroll,
+	}
+	if *train != "" {
+		opts.ProfileFn = "main"
+		opts.ProfileArgs = parseArgs(*train)
+	}
+	res, err := compiler.Compile(string(src), opts)
+	fail(err)
+
+	args := parseArgs(*argsFlag)
+	switch *mode {
+	case "cycle":
+		m := timing.New(res.Prog, timing.DefaultConfig())
+		v, err := m.Run("main", args...)
+		fail(err)
+		s := m.Stats
+		fmt.Printf("result: %d\n", v)
+		printOutput(m.Output)
+		fmt.Printf("cycles: %d\nblocks: %d\nexecuted: %d\nfetched: %d\n",
+			s.Cycles, s.Blocks, s.Executed, s.Fetched)
+		fmt.Printf("exit lookups: %d, mispredicts: %d (%.2f%%), flushes: %d\n",
+			s.ExitLookups, s.Mispredicts, 100*s.MispredictRate(), s.Flushes)
+		fmt.Printf("cache: %d accesses, %d misses\n", s.CacheAccesses, s.CacheMisses)
+	case "functional":
+		m := functional.New(res.Prog)
+		v, err := m.Run("main", args...)
+		fail(err)
+		s := m.Stats
+		fmt.Printf("result: %d\n", v)
+		printOutput(m.Output)
+		fmt.Printf("blocks: %d\nexecuted: %d\nfetched: %d\nbranches: %d\nloads: %d\nstores: %d\n",
+			s.Blocks, s.Executed, s.Fetched, s.Branches, s.Loads, s.Stores)
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func parseArgs(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		fail(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func printOutput(out []int64) {
+	if len(out) == 0 {
+		return
+	}
+	parts := make([]string, len(out))
+	for i, v := range out {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	fmt.Printf("output: %s\n", strings.Join(parts, " "))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Phaseorder runs the paper's Table 1 comparison on a user-selected
+// microbenchmark, showing how each phase ordering trades off, and
+// prints the per-ordering m/t/u/p static statistics.
+//
+//	go run ./examples/phaseorder [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := "gzip_1"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := workloads.ByName(repro.Micro(), name)
+	if err != nil {
+		names := workloads.Names(repro.Micro())
+		log.Fatalf("%v\navailable: %v", err, names)
+	}
+	fmt.Printf("%s: %s\n\n", w.Name, w.Description)
+
+	var base int64
+	for _, ord := range repro.Orderings {
+		res, err := repro.Compile(w.Source, repro.Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: w.TrainArgs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, st, err := repro.RunCycles(res.Prog, "main", w.Args...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ord == repro.BB {
+			base = st.Cycles
+			fmt.Printf("%-8s result=%-10d cycles=%8d blocks=%7d (baseline)\n",
+				ord, v, st.Cycles, st.Blocks)
+			continue
+		}
+		imp := 100 * float64(base-st.Cycles) / float64(base)
+		fs := res.FormStats
+		fmt.Printf("%-8s result=%-10d cycles=%8d blocks=%7d %+6.1f%%  m/t/u/p=%d/%d/%d/%d\n",
+			ord, v, st.Cycles, st.Blocks, imp, fs.Merges, fs.TailDups, fs.Unrolls, fs.Peels)
+	}
+}

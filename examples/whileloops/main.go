@@ -1,0 +1,65 @@
+// Whileloops reproduces the paper's Figure 1 scenario end to end: an
+// outer while loop containing two inner while loops, each of which
+// typically iterates three times. Discrete phase orderings either
+// miss the unrolling (if-conversion before unrolling) or cannot
+// re-if-convert the unrolled iterations (unrolling after
+// if-conversion); convergent formation with head duplication peels
+// and unrolls the while loops *inside* the formation loop and packs
+// several iterations per hyperblock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Inner while loops run three times per outer iteration, as in the
+// paper's Figure 1 example ("profiling indicates that each loop
+// typically iterates three times").
+const src = `
+func main(n) {
+  var total = 0;
+  var o = 0;
+  while (o < n) {
+    var i = 0;
+    while (i < 3) { total = total + o + i; i = i + 1; }
+    var j = 0;
+    while (j < 3) { total = total + 2 * j; j = j + 1; }
+    o = o + 1;
+  }
+  print(total);
+  return total;
+}`
+
+func main() {
+	fmt.Println("Figure 1 scenario: nested while loops with trip count 3")
+	fmt.Println()
+	var base int64
+	for _, ord := range repro.Orderings {
+		res, err := repro.Compile(src, repro.Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: []int64{50},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, stats, err := repro.RunCycles(res.Prog, "main", 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ord == repro.BB {
+			base = stats.Cycles
+		}
+		imp := 100 * float64(base-stats.Cycles) / float64(base)
+		fmt.Printf("%-8s result=%d cycles=%7d (%+5.1f%%) blocks=%6d  u=%d p=%d\n",
+			ord, v, stats.Cycles, imp, stats.Blocks,
+			res.FormStats.Unrolls, res.FormStats.Peels)
+	}
+	fmt.Println()
+	fmt.Println("Head duplication (the u/p columns) lets the convergent")
+	fmt.Println("configurations peel and unroll the while loops during")
+	fmt.Println("formation — the paper's Figure 1d shape.")
+}

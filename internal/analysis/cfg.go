@@ -1,0 +1,73 @@
+// Package analysis provides the control-flow and dataflow analyses the
+// hyperblock former and optimizer depend on: reverse postorder,
+// dominators and post-dominators (Cooper–Harvey–Kennedy), a
+// natural-loop forest, liveness, and def-use summaries.
+package analysis
+
+import "repro/internal/ir"
+
+// ReversePostorder returns the blocks reachable from f's entry in
+// reverse postorder of a depth-first traversal. Unreachable blocks are
+// omitted.
+func ReversePostorder(f *ir.Function) []*ir.Block {
+	var order []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Postorder returns reachable blocks in postorder.
+func Postorder(f *ir.Function) []*ir.Block {
+	rpo := ReversePostorder(f)
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	return rpo
+}
+
+// EdgeCount returns the number of distinct CFG edges (p, s) in f.
+func EdgeCount(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Succs())
+	}
+	return n
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func Reachable(f *ir.Function) map[*ir.Block]bool {
+	seen := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	if e := f.Entry(); e != nil {
+		stack = append(stack, e)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import "repro/internal/ir"
+
+// DomTree holds immediate-dominator information for the reachable part
+// of a function's CFG.
+type DomTree struct {
+	// Idom maps each reachable block to its immediate dominator; the
+	// entry maps to nil.
+	Idom map[*ir.Block]*ir.Block
+	// Children is the dominator tree's child lists.
+	Children map[*ir.Block][]*ir.Block
+	// Order is the reverse postorder used to build the tree.
+	Order []*ir.Block
+
+	index map[*ir.Block]int
+}
+
+// Dominators computes the dominator tree of f using the
+// Cooper–Harvey–Kennedy iterative algorithm.
+func Dominators(f *ir.Function) *DomTree {
+	order := ReversePostorder(f)
+	return buildDomTree(order, predsOf(f, order))
+}
+
+// PostDominators computes the post-dominator tree of f over the
+// reversed CFG. Functions may have several exit blocks (returns); a
+// virtual exit is simulated by seeding every return block as a root.
+// Blocks that cannot reach an exit (infinite loops) are absent.
+func PostDominators(f *ir.Function) *DomTree {
+	// Build reverse CFG restricted to reachable blocks.
+	reach := Reachable(f)
+	var exits []*ir.Block
+	rsucc := map[*ir.Block][]*ir.Block{} // reversed successors = preds
+	for b := range reach {
+		if b.HasRet() {
+			exits = append(exits, b)
+		}
+		for _, s := range b.Succs() {
+			if reach[s] {
+				rsucc[s] = append(rsucc[s], b)
+			}
+		}
+	}
+	// Reverse postorder of the reversed graph from all exits.
+	var order []*ir.Block
+	seen := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range rsucc[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	// Deterministic exit order: by block ID.
+	sortBlocksByID(exits)
+	for _, e := range exits {
+		if !seen[e] {
+			dfs(e)
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	// Predecessors in the reversed graph are the original successors.
+	rpred := map[*ir.Block][]*ir.Block{}
+	inOrder := map[*ir.Block]bool{}
+	for _, b := range order {
+		inOrder[b] = true
+	}
+	for _, b := range order {
+		for _, s := range b.Succs() {
+			if inOrder[s] {
+				rpred[b] = append(rpred[b], s)
+			}
+		}
+	}
+	t := buildDomTreeMulti(order, rpred, exits)
+	return t
+}
+
+func predsOf(f *ir.Function, order []*ir.Block) map[*ir.Block][]*ir.Block {
+	inOrder := map[*ir.Block]bool{}
+	for _, b := range order {
+		inOrder[b] = true
+	}
+	preds := map[*ir.Block][]*ir.Block{}
+	for _, b := range order {
+		for _, s := range b.Succs() {
+			if inOrder[s] {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+	return preds
+}
+
+func buildDomTree(order []*ir.Block, preds map[*ir.Block][]*ir.Block) *DomTree {
+	var roots []*ir.Block
+	if len(order) > 0 {
+		roots = order[:1]
+	}
+	return buildDomTreeMulti(order, preds, roots)
+}
+
+// buildDomTreeMulti runs CHK with possibly multiple roots (used for
+// post-dominators with several returns). Roots become dominator-tree
+// roots with Idom nil.
+func buildDomTreeMulti(order []*ir.Block, preds map[*ir.Block][]*ir.Block, roots []*ir.Block) *DomTree {
+	t := &DomTree{
+		Idom:     map[*ir.Block]*ir.Block{},
+		Children: map[*ir.Block][]*ir.Block{},
+		Order:    order,
+		index:    map[*ir.Block]int{},
+	}
+	for i, b := range order {
+		t.index[b] = i
+	}
+	isRoot := map[*ir.Block]bool{}
+	for _, r := range roots {
+		isRoot[r] = true
+		t.Idom[r] = r // self, temporarily, for intersect
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if isRoot[b] {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range preds[b] {
+				if t.Idom[p] == nil {
+					continue // not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.Idom[b] != newIdom {
+				t.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, r := range roots {
+		t.Idom[r] = nil
+	}
+	for b, id := range t.Idom {
+		if id != nil {
+			t.Children[id] = append(t.Children[id], b)
+		}
+	}
+	for _, kids := range t.Children {
+		sortBlocksByID(kids)
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.index[a] > t.index[b] {
+			a = t.Idom[a]
+			if a == nil {
+				return b
+			}
+		}
+		for t.index[b] > t.index[a] {
+			b = t.Idom[b]
+			if b == nil {
+				return a
+			}
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b]
+	}
+	return false
+}
+
+func sortBlocksByID(bs []*ir.Block) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j-1].ID > bs[j].ID; j-- {
+			bs[j-1], bs[j] = bs[j], bs[j-1]
+		}
+	}
+}

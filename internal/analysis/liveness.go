@@ -1,0 +1,199 @@
+package analysis
+
+import "repro/internal/ir"
+
+// RegSet is a set of virtual registers implemented as a bitset.
+type RegSet []uint64
+
+// NewRegSet returns a set able to hold registers [0, n).
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool {
+	if !r.Valid() || int(r)/64 >= len(s) {
+		return false
+	}
+	return s[r/64]&(1<<(uint(r)%64)) != 0
+}
+
+// Add inserts r and reports whether the set changed.
+func (s RegSet) Add(r ir.Reg) bool {
+	if !r.Valid() {
+		return false
+	}
+	w, m := int(r)/64, uint64(1)<<(uint(r)%64)
+	if s[w]&m != 0 {
+		return false
+	}
+	s[w] |= m
+	return true
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) {
+	if r.Valid() && int(r)/64 < len(s) {
+		s[r/64] &^= 1 << (uint(r) % 64)
+	}
+}
+
+// UnionWith adds every member of o, reporting whether s changed.
+func (s RegSet) UnionWith(o RegSet) bool {
+	changed := false
+	for i := range o {
+		if i >= len(s) {
+			break
+		}
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy returns an independent copy.
+func (s RegSet) Copy() RegSet {
+	c := make(RegSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Count returns the number of members.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Members returns the registers in ascending order.
+func (s RegSet) Members() []ir.Reg {
+	var out []ir.Reg
+	for i, w := range s {
+		for w != 0 {
+			bit := w & -w
+			r := ir.Reg(i*64 + trailingZeros(bit))
+			out = append(out, r)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  map[*ir.Block]RegSet
+	Out map[*ir.Block]RegSet
+	// UEVar (upward-exposed uses) and VarKill per block, useful for
+	// callers needing block summaries.
+	UEVar map[*ir.Block]RegSet
+	Kill  map[*ir.Block]RegSet
+}
+
+// ComputeLiveness runs backward iterative liveness over f.
+//
+// Predicated definitions are treated as transparent: a predicated
+// write may not execute, so it does not kill the register for
+// liveness purposes. This errs conservative (keeps values alive) and
+// is exactly what the register allocator and block-output computation
+// need.
+func ComputeLiveness(f *ir.Function) *Liveness {
+	n := f.NumRegs()
+	lv := &Liveness{
+		In:    map[*ir.Block]RegSet{},
+		Out:   map[*ir.Block]RegSet{},
+		UEVar: map[*ir.Block]RegSet{},
+		Kill:  map[*ir.Block]RegSet{},
+	}
+	order := Postorder(f)
+	for _, b := range order {
+		ue, kill := NewRegSet(n), NewRegSet(n)
+		var buf []ir.Reg
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf)
+			for _, r := range buf {
+				if !kill.Has(r) {
+					ue.Add(r)
+				}
+			}
+			if d := in.Def(); d.Valid() && !in.Predicated() {
+				kill.Add(d)
+			}
+		}
+		lv.UEVar[b] = ue
+		lv.Kill[b] = kill
+		lv.In[b] = NewRegSet(n)
+		lv.Out[b] = NewRegSet(n)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			out := lv.Out[b]
+			for _, s := range b.Succs() {
+				if in, ok := lv.In[s]; ok {
+					if out.UnionWith(in) {
+						changed = true
+					}
+				}
+			}
+			// in = UEVar ∪ (out − kill)
+			in := lv.In[b]
+			tmp := out.Copy()
+			for i := range tmp {
+				tmp[i] &^= lv.Kill[b][i]
+				tmp[i] |= lv.UEVar[b][i]
+			}
+			if unionInto(in, tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+func unionInto(dst, src RegSet) bool {
+	changed := false
+	for i := range src {
+		n := dst[i] | src[i]
+		if n != dst[i] {
+			dst[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// LiveOutWrites returns the registers written in b that are live out
+// of b — the block's register outputs in the TRIPS sense.
+func LiveOutWrites(b *ir.Block, lv *Liveness) []ir.Reg {
+	out := lv.Out[b]
+	written := map[ir.Reg]bool{}
+	var res []ir.Reg
+	for _, in := range b.Instrs {
+		if d := in.Def(); d.Valid() && out.Has(d) && !written[d] {
+			written[d] = true
+			res = append(res, d)
+		}
+	}
+	return res
+}
+
+// BlockReads returns the distinct registers read in b that are defined
+// outside b (upward exposed) — the block's register inputs.
+func BlockReads(b *ir.Block, lv *Liveness) []ir.Reg {
+	return lv.UEVar[b].Members()
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// Property: RegSet behaves exactly like a map-based set under random
+// operation sequences.
+func TestQuickRegSetMatchesMapModel(t *testing.T) {
+	const n = 200
+	f := func(ops []uint16) bool {
+		s := NewRegSet(n)
+		model := map[ir.Reg]bool{}
+		for _, code := range ops {
+			r := ir.Reg(code % n)
+			switch (code / n) % 3 {
+			case 0:
+				s.Add(r)
+				model[r] = true
+			case 1:
+				s.Remove(r)
+				delete(model, r)
+			case 2:
+				if s.Has(r) != model[r] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for _, r := range s.Members() {
+			if !model[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is idempotent, monotone, and matches the model.
+func TestQuickRegSetUnion(t *testing.T) {
+	const n = 128
+	f := func(a, b []uint8) bool {
+		sa, sb := NewRegSet(n), NewRegSet(n)
+		model := map[ir.Reg]bool{}
+		for _, x := range a {
+			sa.Add(ir.Reg(x % n))
+			model[ir.Reg(x%n)] = true
+		}
+		for _, x := range b {
+			sb.Add(ir.Reg(x % n))
+			model[ir.Reg(x%n)] = true
+		}
+		sa.UnionWith(sb)
+		if sa.Count() != len(model) {
+			return false
+		}
+		// Idempotent: union again changes nothing.
+		if sa.UnionWith(sb) {
+			return false
+		}
+		// Superset of both.
+		for _, r := range sb.Members() {
+			if !sa.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

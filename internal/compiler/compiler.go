@@ -1,0 +1,210 @@
+// Package compiler is the phase-ordering driver reproducing the
+// paper's compiler flow (Figure 6) and its evaluated configurations
+// (Tables 1–3):
+//
+//	BB      — basic blocks as TRIPS blocks (baseline)
+//	UPIO    — discrete Unroll/Peel, then incremental If-conversion,
+//	          then scalar Optimization
+//	IUPO    — incremental If-conversion, then discrete Unroll/Peel,
+//	          then scalar Optimization
+//	(IUP)O  — integrated structural phases (convergent formation with
+//	          head duplication), discrete final Optimization
+//	(IUPO)  — fully convergent: optimization inside the merge loop
+//
+// Every configuration shares the same front end (for-loop unrolling
+// followed by classical scalar optimizations, as in Scale), profiles
+// with the functional simulator, splits blocks at calls, and can
+// finish with register allocation plus reverse if-conversion.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/opt"
+	"repro/internal/profile"
+	"repro/internal/regalloc"
+	"repro/internal/trips"
+)
+
+// Ordering names a phase ordering from Table 1.
+type Ordering string
+
+// The five evaluated configurations.
+const (
+	OrderBB       Ordering = "BB"
+	OrderUPIO     Ordering = "UPIO"
+	OrderIUPO     Ordering = "IUPO"
+	OrderIUPthenO Ordering = "(IUP)O"
+	OrderIUPO1    Ordering = "(IUPO)"
+)
+
+// Orderings lists the configurations in the paper's column order.
+var Orderings = []Ordering{OrderBB, OrderUPIO, OrderIUPO, OrderIUPthenO, OrderIUPO1}
+
+// Options configure a compilation.
+type Options struct {
+	// Ordering selects the phase ordering (default (IUPO)).
+	Ordering Ordering
+	// Policy is the block-selection heuristic (nil = greedy
+	// breadth-first).
+	Policy core.Policy
+	// Cons are the structural constraints (default TRIPS).
+	Cons trips.Constraints
+	// ProfileFn and ProfileArgs drive the training run used to
+	// gather profiles (default: no profile).
+	ProfileFn   string
+	ProfileArgs []int64
+	// Profile, when non-nil, is used instead of running a training
+	// pass (e.g. loaded from a previous compilation's saved profile,
+	// the Scale "convergent compilation" flow).
+	Profile *profile.Profile
+	// FrontUnroll is the front-end for-loop unroll factor (default
+	// 4; 1 disables).
+	FrontUnroll int
+	// UnrollPeel tunes the discrete UP phase.
+	UnrollPeel UnrollPeelOptions
+	// RegAlloc enables register allocation and reverse
+	// if-conversion.
+	RegAlloc bool
+	// RegAllocOpts configure the allocator.
+	RegAllocOpts regalloc.Options
+	// CoreTweaks forwards extension/ablation knobs to the formation
+	// algorithm.
+	CoreTweaks CoreTweaks
+}
+
+// CoreTweaks are optional formation knobs (extensions and ablation
+// switches; see core.Config).
+type CoreTweaks struct {
+	// NoChain disables cross-layer speculative rename chaining.
+	NoChain bool
+	// NoHeadDup forces head duplication off even in the convergent
+	// orderings (classical incremental if-conversion only).
+	NoHeadDup bool
+	// SplitOversize enables the §9 basic-block-splitting extension.
+	SplitOversize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ordering == "" {
+		o.Ordering = OrderIUPO1
+	}
+	if o.Cons.MaxInstrs == 0 {
+		o.Cons = trips.Default()
+	}
+	if o.FrontUnroll == 0 {
+		o.FrontUnroll = 4
+	}
+	return o
+}
+
+// Result is a finished compilation.
+type Result struct {
+	Prog      *ir.Program
+	Profile   *profile.Profile
+	FormStats core.Stats
+	UPStats   UnrollPeelStats
+	Alloc     map[string]*regalloc.Assignment
+	AllocErrs map[string]error
+}
+
+// Compile runs the full pipeline on tl source.
+func Compile(src string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	// Front end: parse, check, for-loop unroll, lower.
+	prog, err := lang.CompileUnrolled(src, opts.FrontUnroll)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog, opts)
+}
+
+// CompileProgram runs the mid- and back-end phases on lowered IR. The
+// program is consumed (transformed in place).
+func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Prog: prog}
+
+	// Classical scalar optimizations (front-end level).
+	opt.OptimizeProgram(prog)
+
+	// Calls terminate TRIPS blocks.
+	SplitCallsProgram(prog)
+
+	// Profile on the functional simulator (or reuse a preloaded
+	// profile).
+	if opts.Profile != nil {
+		res.Profile = opts.Profile
+	} else if opts.ProfileFn != "" {
+		prof, _, err := profile.Collect(ir.CloneProgram(prog), opts.ProfileFn, opts.ProfileArgs...)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: profiling failed: %w", err)
+		}
+		res.Profile = prof
+	}
+
+	// Mid end per ordering.
+	form := func(headDup, iterOpt bool) {
+		cfg := core.Config{
+			Cons:          opts.Cons,
+			Policy:        opts.Policy,
+			IterOpt:       iterOpt,
+			HeadDup:       headDup && !opts.CoreTweaks.NoHeadDup,
+			NoChain:       opts.CoreTweaks.NoChain,
+			SplitOversize: opts.CoreTweaks.SplitOversize,
+		}
+		res.FormStats = core.FormProgram(prog, cfg, res.Profile)
+	}
+	switch opts.Ordering {
+	case OrderBB:
+		// Baseline: basic blocks are the TRIPS blocks.
+	case OrderUPIO:
+		res.UPStats = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
+		form(false, false)
+		opt.OptimizeProgram(prog)
+	case OrderIUPO:
+		form(false, false)
+		res.UPStats = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
+		opt.OptimizeProgram(prog)
+	case OrderIUPthenO:
+		form(true, false)
+		opt.OptimizeProgram(prog)
+	case OrderIUPO1:
+		form(true, true)
+		opt.OptimizeProgram(prog)
+	default:
+		return nil, fmt.Errorf("compiler: unknown ordering %q", opts.Ordering)
+	}
+
+	// Output normalization for every block (cheap no-op for blocks
+	// already normalized during formation).
+	NormalizeProgram(prog)
+
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, fmt.Errorf("compiler: produced invalid IR: %w", err)
+	}
+
+	// Back end: register allocation + reverse if-conversion.
+	if opts.RegAlloc {
+		res.Alloc, res.AllocErrs = regalloc.AllocateProgram(prog, opts.RegAllocOpts)
+		if err := ir.VerifyProgram(prog); err != nil {
+			return nil, fmt.Errorf("compiler: register allocation broke IR: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// NormalizeProgram inserts output-normalizing null writes in every
+// block of every function (TRIPS constant-output rule).
+func NormalizeProgram(p *ir.Program) {
+	for _, f := range p.OrderedFuncs() {
+		lv := analysisLiveness(f)
+		for _, b := range f.Blocks {
+			trips.NormalizeOutputs(b, lv)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/policy"
+	"repro/internal/profile"
+	"repro/internal/sim/functional"
+	"repro/internal/sim/timing"
+)
+
+const pipelineSrc = `
+array data[128];
+func fill(n) {
+  for (var i = 0; i < n; i = i + 1) { data[i] = (i * 37) % 101; }
+  return 0;
+}
+func main(n) {
+  fill(128);
+  var s = 0;
+  var i = 0;
+  while (i < n) {
+    var v = data[i % 128];
+    if (v > 50) { s = s + v; } else if (v > 10) { s = s + 1; } else { s = s - 1; }
+    i = i + 1;
+  }
+  print(s);
+  return s;
+}`
+
+func TestAllOrderingsPreserveSemantics(t *testing.T) {
+	base, err := lang.Compile(pipelineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range Orderings {
+		res, err := Compile(pipelineSrc, Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: []int64{64},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		gotV, gotOut, _, err := functional.RunProgram(res.Prog, "main", 200)
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		if gotV != wantV {
+			t.Fatalf("%s: result %d, want %d", ord, gotV, wantV)
+		}
+		if len(gotOut) != len(wantOut) || gotOut[0] != wantOut[0] {
+			t.Fatalf("%s: output %v, want %v", ord, gotOut, wantOut)
+		}
+	}
+}
+
+func TestOrderingsReduceBlocks(t *testing.T) {
+	blocks := map[Ordering]int64{}
+	for _, ord := range Orderings {
+		res, err := Compile(pipelineSrc, Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: []int64{64},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		_, _, st, err := functional.RunProgram(res.Prog, "main", 200)
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		blocks[ord] = st.Blocks
+	}
+	// Every hyperblock configuration must beat the BB baseline.
+	for _, ord := range Orderings[1:] {
+		if blocks[ord] >= blocks[OrderBB] {
+			t.Errorf("%s should execute fewer blocks than BB: %d vs %d",
+				ord, blocks[ord], blocks[OrderBB])
+		}
+	}
+	// Convergent formation should be at least as good as discrete
+	// orderings (the paper's Table 3 trend).
+	if blocks[OrderIUPO1] > blocks[OrderUPIO] {
+		t.Errorf("(IUPO) should not trail UPIO: %d vs %d",
+			blocks[OrderIUPO1], blocks[OrderUPIO])
+	}
+}
+
+func TestCompileWithPolicies(t *testing.T) {
+	base, err := lang.Compile(pipelineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, _, _, err := functional.RunProgram(ir.CloneProgram(base), "main", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []core.Policy{policy.BreadthFirst{}, policy.DepthFirst{}, &policy.VLIW{}} {
+		res, err := Compile(pipelineSrc, Options{
+			Ordering:    OrderIUPO1,
+			Policy:      pol,
+			ProfileFn:   "main",
+			ProfileArgs: []int64{64},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		gotV, _, _, err := functional.RunProgram(res.Prog, "main", 150)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if gotV != wantV {
+			t.Fatalf("%s: result %d, want %d", pol.Name(), gotV, wantV)
+		}
+	}
+}
+
+func TestSplitCalls(t *testing.T) {
+	src := `
+func g(x) { return x + 1; }
+func main(n) {
+  var a = g(n);
+  var b = g(a);
+  return a + b;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := SplitCallsProgram(prog)
+	if n == 0 {
+		t.Fatal("expected call splits")
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Every call must now be the last non-branch instruction.
+	for _, f := range prog.OrderedFuncs() {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op == ir.OpCall && i+1 < len(b.Instrs) && b.Instrs[i+1].Op != ir.OpBr {
+					t.Fatalf("call not block-terminating in %s.%s", f.Name, b.Name)
+				}
+			}
+		}
+	}
+	v, _, _, err := functional.RunProgram(prog, "main", 5)
+	if err != nil || v != 13 {
+		t.Fatalf("main(5) = %d, %v", v, err)
+	}
+}
+
+func TestDiscreteUnrollPeel(t *testing.T) {
+	src := `
+func main(n) {
+  var s = 0;
+  var o = 0;
+  while (o < n) {
+    var j = 0;
+    while (j < 3) { s = s + o; j = j + 1; }
+    o = o + 1;
+  }
+  print(s);
+  return s;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := profile.Collect(ir.CloneProgram(prog), "main", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantOut, _, err := functional.RunProgram(ir.CloneProgram(prog), "main", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := UnrollPeelProgram(prog, prof, UnrollPeelOptions{})
+	if st.Unrolled == 0 && st.Peeled == 0 {
+		t.Fatal("unroll/peel did nothing")
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, gotOut, _, err := functional.RunProgram(prog, "main", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || gotOut[0] != wantOut[0] {
+		t.Fatalf("semantics broken: %d vs %d", got, want)
+	}
+	t.Logf("unrolled=%d peeled=%d", st.Unrolled, st.Peeled)
+}
+
+func TestUnrollPeelVariousTripCounts(t *testing.T) {
+	// The transformed code must be right for trip counts other than
+	// the profiled one.
+	src := `
+func main(n, m) {
+  var s = 0;
+  for (var o = 0; o < n; o = o + 1) {
+    var j = 0;
+    while (j < m) { s = s + j + o; j = j + 1; }
+  }
+  return s;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := profile.Collect(ir.CloneProgram(prog), "main", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transformed := ir.CloneProgram(prog)
+	UnrollPeelProgram(transformed, prof, UnrollPeelOptions{})
+	if err := ir.VerifyProgram(transformed); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{0, 1, 5} {
+		for _, m := range []int64{0, 1, 2, 3, 4, 9} {
+			want, _, _, err := functional.RunProgram(ir.CloneProgram(prog), "main", n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, _, err := functional.RunProgram(ir.CloneProgram(transformed), "main", n, m)
+			if err != nil {
+				t.Fatalf("n=%d m=%d: %v", n, m, err)
+			}
+			if got != want {
+				t.Fatalf("n=%d m=%d: %d != %d", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestRegAllocIntegration(t *testing.T) {
+	res, err := Compile(pipelineSrc, Options{
+		Ordering:    OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: []int64{64},
+		RegAlloc:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AllocErrs) != 0 {
+		t.Fatalf("allocation errors: %v", res.AllocErrs)
+	}
+	if len(res.Alloc) == 0 {
+		t.Fatal("no assignments produced")
+	}
+	v, _, _, err := functional.RunProgram(res.Prog, "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("suspicious zero result")
+	}
+}
+
+func TestTimingAcrossOrderings(t *testing.T) {
+	cycles := map[Ordering]int64{}
+	for _, ord := range Orderings {
+		res, err := Compile(pipelineSrc, Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: []int64{64},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		m := timing.New(res.Prog, timing.DefaultConfig())
+		if _, err := m.Run("main", 300); err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		cycles[ord] = m.Stats.Cycles
+	}
+	t.Logf("cycles: %v", cycles)
+	// Hyperblock configurations should beat the BB baseline on this
+	// loopy workload.
+	if cycles[OrderIUPO1] >= cycles[OrderBB] {
+		t.Errorf("(IUPO) should beat BB: %d vs %d", cycles[OrderIUPO1], cycles[OrderBB])
+	}
+}
+
+func TestUnknownOrdering(t *testing.T) {
+	if _, err := Compile(pipelineSrc, Options{Ordering: "bogus"}); err == nil {
+		t.Fatal("unknown ordering must fail")
+	}
+}
+
+func TestCoreTweaksWiring(t *testing.T) {
+	// NoHeadDup forces pure if-conversion even under (IUPO).
+	res, err := Compile(pipelineSrc, Options{
+		Ordering:    OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: []int64{64},
+		CoreTweaks:  CoreTweaks{NoHeadDup: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FormStats.Unrolls != 0 || res.FormStats.Peels != 0 {
+		t.Fatalf("NoHeadDup must suppress unroll/peel: %+v", res.FormStats)
+	}
+	// NoChain suppresses chaining.
+	res2, err := Compile(pipelineSrc, Options{
+		Ordering:    OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: []int64{64},
+		CoreTweaks:  CoreTweaks{NoChain: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.FormStats.ChainHits != 0 {
+		t.Fatalf("NoChain must suppress chaining: %+v", res2.FormStats)
+	}
+	// Both tweaked compilations still compute the right answer.
+	for _, r := range []*Result{res, res2} {
+		v, _, _, err := functional.RunProgram(r.Prog, "main", 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			t.Fatal("suspicious zero result")
+		}
+	}
+}
+
+func TestPreloadedProfile(t *testing.T) {
+	// Compile once collecting a profile, then reuse it explicitly.
+	res1, err := Compile(pipelineSrc, Options{
+		Ordering:    OrderIUPO1,
+		ProfileFn:   "main",
+		ProfileArgs: []int64{64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Profile == nil {
+		t.Fatal("no profile collected")
+	}
+	res2, err := Compile(pipelineSrc, Options{
+		Ordering: OrderIUPO1,
+		Profile:  res1.Profile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Profile != res1.Profile {
+		t.Fatal("preloaded profile not used")
+	}
+	v1, _, _, err := functional.RunProgram(res1.Prog, "main", 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, _, err := functional.RunProgram(res2.Prog, "main", 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("results differ: %d vs %d", v1, v2)
+	}
+}

@@ -1,0 +1,70 @@
+package compiler
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// analysisLiveness is a tiny indirection so compiler.go reads
+// cleanly.
+func analysisLiveness(f *ir.Function) *analysis.Liveness {
+	return analysis.ComputeLiveness(f)
+}
+
+// SplitCallsFunction splits blocks after call instructions so that a
+// call terminates its block, matching the TRIPS model where calls are
+// block-ending branches. Returns the number of splits.
+func SplitCallsFunction(f *ir.Function) int {
+	splits := 0
+	// Iterate until no block has a call followed by more
+	// instructions; splitting appends new blocks, which the range
+	// revisits via the outer loop.
+	for {
+		again := false
+		for _, b := range f.Blocks {
+			idx := -1
+			for i, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				// Already block-terminating: the call is last or is
+				// followed only by the single unpredicated branch to
+				// the continuation.
+				if i == len(b.Instrs)-1 {
+					continue
+				}
+				if i == len(b.Instrs)-2 {
+					next := b.Instrs[i+1]
+					if (next.Op == ir.OpBr || next.Op == ir.OpRet) && !next.Predicated() {
+						continue
+					}
+				}
+				idx = i
+				break
+			}
+			if idx < 0 {
+				continue
+			}
+			rest := b.Instrs[idx+1:]
+			nb := &ir.Block{ID: -1, Name: b.Name + ".ret", Fn: f}
+			nb.Instrs = append(nb.Instrs, rest...)
+			f.AdoptBlock(nb)
+			b.Instrs = append(b.Instrs[:idx+1:idx+1], &ir.Instr{Op: ir.OpBr,
+				Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Target: nb})
+			splits++
+			again = true
+		}
+		if !again {
+			return splits
+		}
+	}
+}
+
+// SplitCallsProgram applies SplitCallsFunction to every function.
+func SplitCallsProgram(p *ir.Program) int {
+	n := 0
+	for _, f := range p.OrderedFuncs() {
+		n += SplitCallsFunction(f)
+	}
+	return n
+}

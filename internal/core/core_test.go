@@ -1,0 +1,514 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+func relaxed() Config {
+	return Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}
+}
+
+// figure2CFG builds the paper's Figure 2 shape:
+//
+//	A: c = a0 < a1; br c? B : C
+//	B: x = a0 + a1; br D
+//	C: x = a0 - a1; br D        (side entrance to D)
+//	D: ret x
+func figure2CFG(t *testing.T) (*ir.Function, map[string]int) {
+	t.Helper()
+	f := ir.NewFunction("fig2", 2)
+	A := f.NewBlock("A")
+	B := f.NewBlock("B")
+	C := f.NewBlock("C")
+	D := f.NewBlock("D")
+	x := f.NewReg()
+	bd := ir.NewBuilder(f, A)
+	c := bd.Bin(ir.OpCmpLT, f.Params[0], f.Params[1])
+	bd.CondBr(c, B, C)
+	bd.SetBlock(B)
+	bd.BinInto(ir.OpAdd, x, f.Params[0], f.Params[1])
+	bd.Br(D)
+	bd.SetBlock(C)
+	bd.BinInto(ir.OpSub, x, f.Params[0], f.Params[1])
+	bd.Br(D)
+	bd.SetBlock(D)
+	bd.Ret(x)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]int{"A": A.ID, "B": B.ID, "C": C.ID, "D": D.ID}
+	return f, ids
+}
+
+func runFn(t *testing.T, f *ir.Function, args ...int64) int64 {
+	t.Helper()
+	p := ir.NewProgram()
+	p.AddFunc(ir.CloneFunction(f))
+	v, _, _, err := functional.RunProgram(p, f.Name, args...)
+	if err != nil {
+		t.Fatalf("run %s: %v", f.Name, err)
+	}
+	return v
+}
+
+func TestTailDuplicationFigure2(t *testing.T) {
+	f, ids := figure2CFG(t)
+	fo := NewFormer(f, relaxed())
+	hb := fo.ExpandBlock(ids["A"])
+	nf := fo.Result()
+
+	// Everything should fold into a single hyperblock: B merged
+	// plainly or by duplication, C merged, D tail-duplicated twice
+	// then the original D removed as unreachable.
+	if len(nf.Blocks) != 1 {
+		t.Fatalf("expected full convergence to 1 block, got %d:\n%s",
+			len(nf.Blocks), ir.FormatFunction(nf))
+	}
+	if !hb.Hyper {
+		t.Error("result not marked hyper")
+	}
+	st := fo.Stats()
+	if st.Merges < 3 {
+		t.Errorf("expected >=3 merges, got %+v", st)
+	}
+	if st.TailDups < 1 {
+		t.Errorf("expected tail duplication, got %+v", st)
+	}
+	// Semantics: |a-b| style behaviour preserved.
+	for _, args := range [][2]int64{{3, 9}, {9, 3}, {4, 4}} {
+		want := args[0] - args[1]
+		if args[0] < args[1] {
+			want = args[0] + args[1]
+		}
+		if got := runFn(t, nf, args[0], args[1]); got != want {
+			t.Errorf("fig2(%v) = %d, want %d", args, got, want)
+		}
+	}
+}
+
+// figure3CFG: A -> B; B is a self-loop header (B -> B | C); C: ret.
+// Expanding from A requires head duplication (peeling).
+func figure3CFG(t *testing.T) (*ir.Function, map[string]int) {
+	t.Helper()
+	f := ir.NewFunction("fig3", 1)
+	A := f.NewBlock("A")
+	B := f.NewBlock("B")
+	C := f.NewBlock("C")
+	i := f.NewReg()
+	bd := ir.NewBuilder(f, A)
+	bd.ConstInto(i, 0)
+	bd.Br(B)
+	bd.SetBlock(B)
+	one := bd.Const(1)
+	bd.BinInto(ir.OpAdd, i, i, one)
+	c := bd.Bin(ir.OpCmpLT, i, f.Params[0])
+	bd.CondBr(c, B, C)
+	bd.SetBlock(C)
+	bd.Ret(i)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f, map[string]int{"A": A.ID, "B": B.ID, "C": C.ID}
+}
+
+func TestHeadDuplicationPeeling(t *testing.T) {
+	f, ids := figure3CFG(t)
+	cfg := relaxed()
+	cfg.IterOpt = false // keep the loop structure visible
+	cfg.MaxRepeatPerCandidate = 1
+	fo := NewFormer(f, cfg)
+	fo.ExpandBlock(ids["A"])
+	nf := fo.Result()
+	st := fo.Stats()
+	if st.Peels < 1 {
+		t.Fatalf("expected peeling, got %+v\n%s", st, ir.FormatFunction(nf))
+	}
+	// The peeled hyperblock must now have an edge back into the loop
+	// header B (Figure 3c: B' -> B).
+	A := nf.BlockByID(ids["A"])
+	foundB := false
+	for _, s := range A.Succs() {
+		if s.ID == ids["B"] {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Errorf("peeled block should branch to the original header:\n%s", ir.FormatFunction(nf))
+	}
+	// Semantics for trip counts 1..4.
+	for n := int64(1); n <= 4; n++ {
+		if got := runFn(t, nf, n); got != n {
+			t.Errorf("fig3(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestHeadDuplicationPeelingDisabled(t *testing.T) {
+	f, ids := figure3CFG(t)
+	cfg := relaxed()
+	cfg.HeadDup = false
+	fo := NewFormer(f, cfg)
+	fo.ExpandBlock(ids["A"])
+	if st := fo.Stats(); st.Peels != 0 || st.Unrolls != 0 {
+		t.Fatalf("head duplication must be disabled, got %+v", st)
+	}
+}
+
+// TestHeadDuplicationUnrolling expands from the loop header itself
+// (Figure 4): the self back edge must be unrolled.
+func TestHeadDuplicationUnrolling(t *testing.T) {
+	f, ids := figure3CFG(t)
+	cfg := relaxed()
+	cfg.IterOpt = false
+	cfg.MaxUnrollPerLoop = 3
+	fo := NewFormer(f, cfg)
+	fo.ExpandBlock(ids["B"])
+	nf := fo.Result()
+	st := fo.Stats()
+	if st.Unrolls != 3 {
+		t.Fatalf("expected 3 unrolls, got %+v\n%s", st, ir.FormatFunction(nf))
+	}
+	B := nf.BlockByID(ids["B"])
+	// B must still have a self back edge (the appended iteration's
+	// branch) and be much bigger than before.
+	self := false
+	for _, s := range B.Succs() {
+		if s == B {
+			self = true
+		}
+	}
+	if !self {
+		t.Errorf("unrolled block lost its back edge:\n%s", ir.FormatBlock(B))
+	}
+	for n := int64(1); n <= 9; n++ {
+		if got := runFn(t, nf, n); got != n {
+			t.Errorf("unrolled fig3(%d) = %d", n, got)
+		}
+	}
+}
+
+// TestUnrollAppendsOneIterationAtATime verifies the saved-body
+// mechanism: three unrolls of a loop body of size k grow the block by
+// about 3k, not exponentially (the powers-of-two limitation).
+func TestUnrollAppendsOneIterationAtATime(t *testing.T) {
+	f, ids := figure3CFG(t)
+	baseSize := len(f.BlockByID(ids["B"]).Instrs)
+	cfg := relaxed()
+	cfg.IterOpt = false
+	cfg.MaxUnrollPerLoop = 3
+	fo := NewFormer(f, cfg)
+	fo.ExpandBlock(ids["B"])
+	B := fo.Result().BlockByID(ids["B"])
+	// Linear growth: base + 3 × (body + predicate glue + null
+	// writes) ≈ base + 3×16. Doubling the current body each time
+	// (the powers-of-two behaviour) would exceed 60 instructions by
+	// the third unroll.
+	if got := len(B.Instrs); got >= 60 {
+		t.Fatalf("unrolling grew exponentially: %d -> %d", baseSize, got)
+	} else if got < baseSize*3 {
+		t.Fatalf("unrolling too small: %d -> %d", baseSize, got)
+	}
+}
+
+func TestConstraintsStopConvergence(t *testing.T) {
+	f, ids := figure2CFG(t)
+	cfg := relaxed()
+	cfg.Cons = trips.Constraints{MaxInstrs: 5, MaxMemOps: 2, RegBanks: 4,
+		MaxReadsPerBank: 8, MaxWritesPerBank: 8}
+	fo := NewFormer(f, cfg)
+	fo.ExpandBlock(ids["A"])
+	nf := fo.Result()
+	st := fo.Stats()
+	if st.Rejects == 0 {
+		t.Errorf("tight constraints should reject merges: %+v", st)
+	}
+	lv := analysis.ComputeLiveness(nf)
+	for _, b := range nf.Blocks {
+		if err := cfg.Cons.LegalBlock(b, lv); err != nil {
+			t.Errorf("block %s violates constraints after formation: %v", b, err)
+		}
+	}
+}
+
+func TestCallsBlockMerging(t *testing.T) {
+	prog, err := lang.Compile(`
+func g(x) { return x + 1; }
+func main(n) {
+  var s = g(n);
+  if (s > 3) { s = s * 2; }
+  return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	nf, _ := FormFunction(f, relaxed())
+	// Any block containing a call must not have been merged with
+	// anything else that would place instructions after the call's
+	// continuation... specifically, every call-containing block must
+	// still verify and execution must be correct.
+	if err := ir.Verify(nf); err != nil {
+		t.Fatal(err)
+	}
+	nf.Prog = prog
+	prog.Funcs["main"] = nf
+	v, _, _, err := functional.RunProgram(prog, "main", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Fatalf("main(5) = %d", v)
+	}
+}
+
+// The master property: formation must preserve program semantics
+// (results and print output) across a range of programs, inputs, and
+// configurations.
+func TestFormationPreservesSemantics(t *testing.T) {
+	srcs := map[string]string{
+		"branchy": `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { s = s + i; }
+    else if (i % 3 == 1) { s = s + 2 * i; }
+    else { s = s - i; }
+    if (s > 50) { s = s - 17; print(s); }
+  }
+  print(s);
+  return s;
+}`,
+		"whileloops": `
+func main(n) {
+  var total = 0;
+  var o = 0;
+  while (o < n) {
+    var i = 0;
+    while (i < 3) { total = total + o; i = i + 1; }
+    var j = 0;
+    while (j < o % 4) { total = total + 1; j = j + 1; }
+    o = o + 1;
+  }
+  print(total);
+  return total;
+}`,
+		"arrays": `
+array data[32];
+array out[32];
+func main(n) {
+  for (var i = 0; i < 32; i = i + 1) { data[i] = i * 7 % 13; }
+  var acc = 0;
+  for (var j = 0; j < n; j = j + 1) {
+    var v = data[j % 32];
+    if (v > 6) { out[j % 32] = v - 6; } else { out[j % 32] = v; }
+    acc = acc + out[j % 32];
+  }
+  print(acc);
+  return acc;
+}`,
+		"earlyret": `
+func find(x) {
+  var i = 0;
+  while (i < 10) {
+    if (i * i >= x) { return i; }
+    i = i + 1;
+  }
+  return -1;
+}
+func main(n) {
+  var s = 0;
+  for (var k = 0; k < n; k = k + 1) { s = s + find(k); }
+  return s;
+}`,
+	}
+	configs := map[string]Config{
+		"ifconv-only":   {Cons: trips.Default(), IterOpt: false, HeadDup: false},
+		"headdup":       {Cons: trips.Default(), IterOpt: false, HeadDup: true},
+		"convergent":    {Cons: trips.Default(), IterOpt: true, HeadDup: true},
+		"tiny-blocks":   {Cons: trips.Constraints{MaxInstrs: 12, MaxMemOps: 4, RegBanks: 4, MaxReadsPerBank: 8, MaxWritesPerBank: 8}, IterOpt: true, HeadDup: true},
+		"medium-blocks": {Cons: trips.Constraints{MaxInstrs: 48, MaxMemOps: 16, RegBanks: 4, MaxReadsPerBank: 8, MaxWritesPerBank: 8}, IterOpt: true, HeadDup: true},
+	}
+	for sname, src := range srcs {
+		base, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", sname, err)
+		}
+		for _, n := range []int64{0, 1, 2, 5, 17} {
+			wantV, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", n)
+			if err != nil {
+				t.Fatalf("%s base: %v", sname, err)
+			}
+			for cname, cfg := range configs {
+				p := ir.CloneProgram(base)
+				FormProgram(p, cfg, nil)
+				if err := ir.VerifyProgram(p); err != nil {
+					t.Fatalf("%s/%s: invalid after formation: %v", sname, cname, err)
+				}
+				gotV, gotOut, _, err := functional.RunProgram(p, "main", n)
+				if err != nil {
+					t.Fatalf("%s/%s n=%d: %v", sname, cname, n, err)
+				}
+				if gotV != wantV {
+					t.Fatalf("%s/%s n=%d: result %d, want %d", sname, cname, n, gotV, wantV)
+				}
+				if len(gotOut) != len(wantOut) {
+					t.Fatalf("%s/%s n=%d: output %v, want %v", sname, cname, n, gotOut, wantOut)
+				}
+				for i := range wantOut {
+					if gotOut[i] != wantOut[i] {
+						t.Fatalf("%s/%s n=%d: output %v, want %v", sname, cname, n, gotOut, wantOut)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFormationReducesDynamicBlocks checks the headline effect: for a
+// loopy program, convergent formation reduces blocks executed.
+func TestFormationReducesDynamicBlocks(t *testing.T) {
+	src := `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { s = s + i; } else { s = s + 2; }
+  }
+  return s;
+}`
+	base, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, st0, err := functional.RunProgram(ir.CloneProgram(base), "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ir.CloneProgram(base)
+	FormProgram(p, relaxed(), nil)
+	_, _, st1, err := functional.RunProgram(p, "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Blocks >= st0.Blocks {
+		t.Fatalf("formation did not reduce blocks executed: %d -> %d", st0.Blocks, st1.Blocks)
+	}
+	if st1.Blocks*2 > st0.Blocks {
+		t.Logf("note: modest reduction %d -> %d", st0.Blocks, st1.Blocks)
+	}
+}
+
+func TestSnapshotMaterializeMissingTarget(t *testing.T) {
+	f, ids := figure3CFG(t)
+	B := f.BlockByID(ids["B"])
+	snap := snapshotBody(B)
+	// Materializing into a function lacking block C must fail.
+	g := ir.NewFunction("g", 0)
+	gb := g.NewBlock("entry")
+	ir.NewBuilder(g, gb).Ret(ir.NoReg)
+	if _, ok := snap.materialize(g); ok {
+		t.Fatal("materialize must fail when a target is missing")
+	}
+	if body, ok := snap.materialize(f); !ok || len(body) != len(B.Instrs) {
+		t.Fatal("materialize into the original function must succeed")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Merges: 1, TailDups: 2, Unrolls: 3, Peels: 4, Attempts: 5, Rejects: 6}
+	b := Stats{Merges: 10, TailDups: 20, Unrolls: 30, Peels: 40, Attempts: 50, Rejects: 60}
+	a.Add(b)
+	if a.Merges != 11 || a.TailDups != 22 || a.Unrolls != 33 || a.Peels != 44 ||
+		a.Attempts != 55 || a.Rejects != 66 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestConjoiner(t *testing.T) {
+	f := ir.NewFunction("f", 4)
+	hb := f.NewBlock("hb")
+	p, q := f.Params[0], f.Params[1]
+	cj := newConjoiner(f, hb, p, true, 0)
+	np := cj.np
+	if !np.Valid() || len(hb.Instrs) != 2 {
+		t.Fatal("outer predicate must be captured eagerly")
+	}
+
+	in1 := &ir.Instr{Op: ir.OpAdd, Dst: f.NewReg(), A: f.Params[2], B: f.Params[3], Pred: ir.NoReg}
+	cj.apply(in1)
+	if in1.Pred != np || !in1.PredSense {
+		t.Fatal("unpredicated instruction should adopt the captured outer predicate")
+	}
+
+	in2 := &ir.Instr{Op: ir.OpSub, Dst: f.NewReg(), A: f.Params[2], B: f.Params[3], Pred: q, PredSense: false}
+	cj.apply(in2)
+	if !in2.Pred.Valid() || in2.Pred == q || !in2.PredSense {
+		t.Fatalf("conjunction not applied: %+v", in2)
+	}
+	glue1 := len(hb.Instrs)
+
+	// Same inner predicate again: cached, no new glue.
+	in3 := &ir.Instr{Op: ir.OpMul, Dst: f.NewReg(), A: f.Params[2], B: f.Params[3], Pred: q, PredSense: false}
+	cj.apply(in3)
+	if len(hb.Instrs) != glue1 {
+		t.Fatal("conjunction glue not cached")
+	}
+	if in3.Pred != in2.Pred {
+		t.Fatal("cached conjunction differs")
+	}
+
+	// Redefining the inner predicate register must invalidate the
+	// cached conjunction.
+	cj.invalidate(q)
+	glueBefore := len(hb.Instrs)
+	in3b := &ir.Instr{Op: ir.OpMul, Dst: f.NewReg(), A: f.Params[2], B: f.Params[3], Pred: q, PredSense: false}
+	cj.apply(in3b)
+	if len(hb.Instrs) == glueBefore {
+		t.Fatal("invalidated conjunction must be recomputed")
+	}
+
+	// Unconditional conjoiner leaves predicates alone.
+	cj2 := newConjoiner(f, hb, ir.NoReg, true, 0)
+	in4 := &ir.Instr{Op: ir.OpMul, Dst: f.NewReg(), A: f.Params[2], B: f.Params[3], Pred: q, PredSense: true}
+	cj2.apply(in4)
+	if in4.Pred != q || !in4.PredSense {
+		t.Fatal("unconditional merge must preserve predicates")
+	}
+}
+
+func TestConjunctionSemantics(t *testing.T) {
+	// Build by hand: hb with cond c1 branching to S which has cond c2.
+	// After two merges the innermost assignment is predicated on
+	// c1 && c2; run all four truth combinations.
+	src := `
+func main(a, b) {
+  var s = 0;
+  if (a > 0) {
+    s = s + 1;
+    if (b > 0) { s = s + 10; }
+  }
+  return s;
+}`
+	base, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ir.CloneProgram(base)
+	FormProgram(p, relaxed(), nil)
+	for _, tc := range []struct{ a, b, want int64 }{
+		{1, 1, 11}, {1, 0, 1}, {0, 1, 0}, {0, 0, 0},
+	} {
+		got, _, _, err := functional.RunProgram(p, "main", tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("main(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// greedyPolicy is the default first-candidate (breadth-first worklist
+// order) policy used when Config.Policy is nil.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string     { return "greedy" }
+func (greedyPolicy) Prepare(*Context) {}
+func (greedyPolicy) Select(_ *Context, cands []*ir.Block) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// ExpandBlock grows the hyperblock with the given seed block ID until
+// no candidate successor can be merged (the paper's ExpandBlock,
+// Figure 5). It returns the final block.
+func (fo *Former) ExpandBlock(seedID int) *ir.Block {
+	pol := fo.cfg.Policy
+	if pol == nil {
+		pol = greedyPolicy{}
+	}
+	hb := fo.f.BlockByID(seedID)
+	if hb == nil {
+		return nil
+	}
+
+	loops := analysis.Loops(fo.f)
+	ctx := &Context{F: fo.f, HB: hb, Prof: fo.cfg.Prof, Loops: loops, Cons: fo.cfg.Cons}
+	pol.Prepare(ctx)
+
+	// tried marks candidates that failed for this hyperblock (the
+	// paper removes failed candidates permanently); attemptCount
+	// bounds repeated successful merges of the same block (repeated
+	// peeling/unrolling) as a convergence backstop.
+	tried := map[int]bool{}
+	attemptCount := map[int]int{}
+	merges := 0
+
+	var candidates []*ir.Block
+	addCandidates := func() {
+		present := map[int]bool{}
+		for _, c := range candidates {
+			present[c.ID] = true
+		}
+		for _, s := range hb.Succs() {
+			if tried[s.ID] || present[s.ID] {
+				continue
+			}
+			if attemptCount[s.ID] >= fo.cfg.MaxRepeatPerCandidate {
+				continue
+			}
+			candidates = append(candidates, s)
+			present[s.ID] = true
+		}
+	}
+	addCandidates()
+
+	for len(candidates) > 0 && merges < fo.cfg.MaxMergesPerBlock {
+		i := pol.Select(ctx, candidates)
+		if i < 0 {
+			break
+		}
+		s := candidates[i]
+		candidates = append(candidates[:i], candidates[i+1:]...)
+		attemptCount[s.ID]++
+
+		if !fo.LegalMerge(hb, s, loops) {
+			tried[s.ID] = true
+			continue
+		}
+		if !fo.MergeBlocks(hb, s, loops) {
+			// §9 extension: a rejected oversize candidate may be
+			// split; its first half becomes a fresh candidate.
+			if fo.cfg.SplitOversize && s != hb && !s.HasCall() &&
+				len(s.Instrs) > fo.cfg.Cons.MaxInstrs/4 {
+				if nb := fo.SplitOversizeCandidate(s); nb != nil {
+					loops = analysis.Loops(fo.f)
+					ctx.Loops = loops
+					candidates = append(candidates, s)
+					_ = nb
+					continue
+				}
+			}
+			tried[s.ID] = true
+			continue
+		}
+
+		// Success: the working function was replaced; re-resolve
+		// everything by stable ID and refresh analyses.
+		merges++
+		hb = fo.f.BlockByID(seedID)
+		loops = analysis.Loops(fo.f)
+		ctx.F, ctx.HB, ctx.Loops = fo.f, hb, loops
+		// Stale candidate pointers refer to the previous clone:
+		// re-resolve, dropping blocks that no longer exist.
+		fresh := candidates[:0]
+		for _, c := range candidates {
+			if nb := fo.f.BlockByID(c.ID); nb != nil {
+				fresh = append(fresh, nb)
+			}
+		}
+		candidates = fresh
+		// The merged block's successors become candidates (the
+		// paper's line 8).
+		addCandidates()
+	}
+	if merges > 0 {
+		hb.Hyper = true
+	}
+	return hb
+}
+
+// FormFunction runs convergent hyperblock formation over every region
+// of f: blocks are visited in reverse postorder and each not-yet-
+// consumed block seeds one ExpandBlock pass. It returns the resulting
+// function (the input function must be considered consumed) and the
+// accumulated statistics.
+func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
+	fo := NewFormer(f, cfg)
+	done := map[int]bool{}
+	for {
+		seed := -1
+		for _, b := range analysis.ReversePostorder(fo.f) {
+			if !done[b.ID] {
+				seed = b.ID
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		done[seed] = true
+		fo.ExpandBlock(seed)
+	}
+	return fo.f, fo.stats
+}
+
+// FormProgram applies FormFunction to every function of p, replacing
+// them in place, and returns aggregate statistics. When prof is
+// non-nil, each function's formation sees its own profile.
+func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) Stats {
+	var total Stats
+	for _, name := range p.FuncOrder {
+		c := cfg
+		if prof != nil {
+			c.Prof = prof.Get(name)
+		}
+		nf, st := FormFunction(p.Funcs[name], c)
+		nf.Prog = p
+		p.Funcs[name] = nf
+		total.Add(st)
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+// bigStraightSrc produces a large basic block (long expression chains)
+// followed by small ones, so tight constraints reject the big
+// candidate unless splitting is enabled.
+const bigStraightSrc = `
+func chain(n) {
+  var a = n + 1;
+  if (a > 0) { a = a + 2; } else { a = a - 2; }
+  // The join block below is one large basic block: too big to merge
+  // whole under tight constraints, splittable in halves.
+  var b = a * 3 + n; var c = b * 5 - a; var d = c * 7 + b;
+  var e = d * 11 - c; var f = e * 13 + d; var g = f * 17 - e;
+  var h = g * 19 + f; var i2 = h * 23 - g; var j = i2 * 29 + h;
+  var k = j * 31 - i2; var l = k * 37 + j; var m = l * 41 - k;
+  var o = m * 43 + l; var p = o * 47 - m; var q = p * 53 + o;
+  return q;
+}
+func main(n) {
+  var q = chain(n);
+  print(q);
+  return q;
+}`
+
+func TestSplitOversizeExtension(t *testing.T) {
+	cons := trips.Constraints{MaxInstrs: 16, MaxMemOps: 8, RegBanks: 4,
+		MaxReadsPerBank: 8, MaxWritesPerBank: 8}
+
+	base, err := lang.Compile(bigStraightSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without splitting: merges of the big block are rejected.
+	p1 := ir.CloneProgram(base)
+	st1 := FormProgram(p1, Config{Cons: cons, IterOpt: false, HeadDup: true}, nil)
+	// With splitting: the rejected candidate is split and halves
+	// merged.
+	p2 := ir.CloneProgram(base)
+	st2 := FormProgram(p2, Config{Cons: cons, IterOpt: false, HeadDup: true,
+		SplitOversize: true}, nil)
+	if st2.Splits == 0 {
+		t.Fatalf("expected splits with SplitOversize; stats %+v vs %+v", st2, st1)
+	}
+	if err := ir.VerifyProgram(p2); err != nil {
+		t.Fatal(err)
+	}
+	got, gotOut, _, err := functional.RunProgram(p2, "main", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || len(gotOut) != len(wantOut) || gotOut[0] != wantOut[0] {
+		t.Fatalf("splitting broke semantics: %d vs %d", got, want)
+	}
+}
+
+func TestSplitOversizeCandidateDirect(t *testing.T) {
+	prog, err := lang.Compile(bigStraightSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("chain")
+	fo := NewFormer(f, Config{Cons: trips.Default()})
+	var big *ir.Block
+	for _, b := range f.Blocks {
+		if big == nil || len(b.Instrs) > len(big.Instrs) {
+			big = b
+		}
+	}
+	before := len(big.Instrs)
+	nb := fo.SplitOversizeCandidate(big)
+	if nb == nil {
+		t.Fatal("big block should split")
+	}
+	if len(big.Instrs)+len(nb.Instrs) != before+1 { // +1 for the new branch
+		t.Fatalf("instructions lost: %d + %d vs %d", len(big.Instrs), len(nb.Instrs), before)
+	}
+	if err := ir.Verify(fo.Result()); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny blocks refuse to split.
+	small := &ir.Block{ID: -1, Name: "tiny", Fn: f}
+	small.Instrs = append(small.Instrs, &ir.Instr{Op: ir.OpRet, Dst: ir.NoReg,
+		A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg})
+	if fo.SplitOversizeCandidate(small) != nil {
+		t.Fatal("tiny block must not split")
+	}
+}
+
+// TestNoChainAblation: disabling cross-layer chaining must keep
+// semantics identical while chain hits drop to zero.
+func TestNoChainAblation(t *testing.T) {
+	src := `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var d = (i & 3) - 1;
+    if (d < 0) { d = -d; }
+    s = s + d;
+  }
+  print(s);
+  return s;
+}`
+	base, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _, err := functional.RunProgram(ir.CloneProgram(base), "main", 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pOn := ir.CloneProgram(base)
+	stOn := FormProgram(pOn, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
+	pOff := ir.CloneProgram(base)
+	stOff := FormProgram(pOff, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true,
+		NoChain: true}, nil)
+
+	if stOn.ChainHits == 0 {
+		t.Fatalf("chaining should engage by default: %+v", stOn)
+	}
+	if stOff.ChainHits != 0 {
+		t.Fatalf("NoChain must suppress chaining: %+v", stOff)
+	}
+	for name, p := range map[string]*ir.Program{"chain": pOn, "nochain": pOff} {
+		got, _, _, err := functional.RunProgram(p, "main", 37)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: %d != %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import "repro/internal/ir"
+
+// conjoiner materializes predicate conjunctions during if-conversion.
+// When a successor's instructions are merged under an outer branch
+// predicate (p, ps), unpredicated instructions become predicated on a
+// normalized capture of p, and already-predicated instructions (q, qs)
+// become predicated on the conjunction:
+//
+//	np = (p != 0) or (p == 0)  per ps   — captured at the branch site
+//	nq = (q != 0) or (q == 0)  per qs   — computed at the use site
+//	c  = np & nq
+//
+// The outer predicate is captured *at the position of the removed
+// branch*, before any merged instruction runs: merged loop bodies
+// routinely redefine the very register that held the loop condition
+// (i = i+1; c = i<n), so reading p later would observe the next
+// iteration's value. Normalizing to 0/1 also keeps conjunctions
+// correct for arbitrary truthy values. Conjunctions are cached per
+// inner predicate leg so repeated instructions share the computation.
+type conjoiner struct {
+	f     *ir.Function
+	hb    *ir.Block
+	np    ir.Reg // normalized outer predicate (NoReg = unconditional)
+	zero  ir.Reg // cached constant 0 (NoReg until materialized)
+	cache map[predLeg]ir.Reg
+}
+
+type predLeg struct {
+	pred  ir.Reg
+	sense bool
+}
+
+// newConjoiner captures the outer predicate (p, ps) by inserting its
+// normalization at position at in hb (the slot of the removed
+// branch). With p == NoReg the merge is unconditional and no glue is
+// emitted.
+func newConjoiner(f *ir.Function, hb *ir.Block, p ir.Reg, ps bool, at int) *conjoiner {
+	c := &conjoiner{f: f, hb: hb, np: ir.NoReg, zero: ir.NoReg,
+		cache: map[predLeg]ir.Reg{}}
+	if !p.Valid() {
+		return c
+	}
+	c.zero = f.NewReg()
+	hb.InsertBefore(at, &ir.Instr{Op: ir.OpConst, Dst: c.zero, A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Imm: 0})
+	op := ir.OpCmpNE
+	if !ps {
+		op = ir.OpCmpEQ
+	}
+	c.np = f.NewReg()
+	hb.InsertBefore(at+1, &ir.Instr{Op: op, Dst: c.np, A: p, B: c.zero, Pred: ir.NoReg})
+	return c
+}
+
+// normalize appends r' = (r != 0) or (r == 0) per sense at the end of
+// the block (the current merge position).
+func (c *conjoiner) normalize(r ir.Reg, sense bool) ir.Reg {
+	op := ir.OpCmpNE
+	if !sense {
+		op = ir.OpCmpEQ
+	}
+	dst := c.f.NewReg()
+	c.hb.Append(&ir.Instr{Op: op, Dst: dst, A: r, B: c.zero, Pred: ir.NoReg})
+	return dst
+}
+
+// apply rewrites in's predicate to include the outer predicate,
+// emitting any needed conjunction instructions into the hyperblock
+// (which must happen before in is appended).
+func (c *conjoiner) apply(in *ir.Instr) {
+	if !c.np.Valid() {
+		return // unconditional merge: predicates unchanged
+	}
+	if !in.Predicated() {
+		in.Pred = c.np
+		in.PredSense = true
+		return
+	}
+	leg := predLeg{in.Pred, in.PredSense}
+	conj, ok := c.cache[leg]
+	if !ok {
+		nq := c.normalize(in.Pred, in.PredSense)
+		conj = c.f.NewReg()
+		c.hb.Append(&ir.Instr{Op: ir.OpAnd, Dst: conj, A: c.np, B: nq, Pred: ir.NoReg})
+		c.cache[leg] = conj
+	}
+	in.Pred = conj
+	in.PredSense = true
+}
+
+// invalidate drops cached conjunctions whose inner predicate register
+// was just redefined; later uses must recompute against the new
+// value.
+func (c *conjoiner) invalidate(def ir.Reg) {
+	for leg := range c.cache {
+		if leg.pred == def {
+			delete(c.cache, leg)
+		}
+	}
+}
+
+// combine merges the instruction sequence body (typically a clone of
+// a successor block's instructions) into hb, replacing the branch at
+// brIdx: the branch is removed and the body becomes control-dependent
+// on the branch's predicate, expressed as data dependences
+// (if-conversion). Returns the number of auxiliary instructions
+// emitted (predicate glue plus commit copies).
+//
+// Merged code is *speculated* the way EDGE compilers speculate
+// hyperblock contents: an unpredicated pure body instruction executes
+// unconditionally into a fresh (renamed) register, and a predicated
+// commit copy moves the result into the original register only when
+// the merge predicate holds. This keeps the computation itself off
+// the predicate's dependence chain — only commits, memory operations,
+// and exits wait for the predicate. Instructions that were already
+// predicated inside the body, and loads (which must not fire
+// speculatively with a wrong-path address), remain predicated on the
+// conjunction of their own predicate and the merge predicate.
+func combine(f *ir.Function, hb *ir.Block, brIdx int, body []*ir.Instr, initRename map[ir.Reg]ir.Reg) (int, map[ir.Reg]ir.Reg) {
+	br := hb.Instrs[brIdx]
+	if br.Op != ir.OpBr {
+		panic("core: combine target is not a branch")
+	}
+	p, ps := br.Pred, br.PredSense
+	hb.RemoveAt(brIdx)
+	before := len(hb.Instrs)
+	cj := newConjoiner(f, hb, p, ps, brIdx)
+
+	if !cj.np.Valid() {
+		// Unconditional merge: append the body verbatim (minus stale
+		// null writes, which normalization re-derives).
+		for _, in := range body {
+			if in.Op == ir.OpNullW {
+				continue
+			}
+			if in.Op == ir.OpBr {
+				in.BrID = f.NewBrID()
+			}
+			hb.Append(in)
+		}
+		return len(hb.Instrs) - before - len(body), nil
+	}
+
+	// rename maps an original register to the fresh register holding
+	// its speculative (merge-predicate-true) value; commitOrder keeps
+	// deterministic commit sequence. initRename seeds the map with the
+	// previous merge layer's speculative values (valid because this
+	// merge's path implies the previous layer's predicate), which
+	// chains loop-carried values across unrolled iterations without
+	// waiting for their predicated commits.
+	rename := map[ir.Reg]ir.Reg{}
+	for k, v := range initRename {
+		rename[k] = v
+	}
+	var commitOrder []ir.Reg
+	// inCommitOrder tracks which originals this layer must commit;
+	// inherited entries were committed by their own layer and only
+	// need a commit here if this layer redefines them.
+	inCommitOrder := map[ir.Reg]bool{}
+	lookup := func(r ir.Reg) ir.Reg {
+		if nr, ok := rename[r]; ok {
+			return nr
+		}
+		return r
+	}
+	// commitReg flushes the pending speculative value of orig into the
+	// original register under the merge predicate.
+	commitReg := func(orig ir.Reg) {
+		fresh, ok := rename[orig]
+		if !ok {
+			return
+		}
+		hb.Append(&ir.Instr{Op: ir.OpMov, Dst: orig, A: fresh, B: ir.NoReg,
+			Pred: cj.np, PredSense: true})
+		cj.invalidate(orig)
+		delete(rename, orig)
+		delete(inCommitOrder, orig)
+		for i, r := range commitOrder {
+			if r == orig {
+				commitOrder = append(commitOrder[:i], commitOrder[i+1:]...)
+				break
+			}
+		}
+	}
+
+	for _, in := range body {
+		if in.Op == ir.OpNullW {
+			continue // re-derived by output normalization
+		}
+		// Appended branches get fresh identities: clones inherit the
+		// source branch's BrID, which must not alias the original.
+		if in.Op == ir.OpBr {
+			in.BrID = f.NewBrID()
+		}
+		// Rewrite uses through the rename map first.
+		if in.A.Valid() {
+			in.A = lookup(in.A)
+		}
+		if in.B.Valid() {
+			in.B = lookup(in.B)
+		}
+		for i, a := range in.Args {
+			in.Args[i] = lookup(a)
+		}
+		if in.Pred.Valid() {
+			in.Pred = lookup(in.Pred)
+		}
+
+		switch {
+		case (in.Op.Pure() || in.Op == ir.OpLoad) && !in.Predicated():
+			// Speculate into a fresh register; commit later.
+			orig := in.Dst
+			fresh := f.NewReg()
+			in.Dst = fresh
+			hb.Append(in)
+			if !inCommitOrder[orig] {
+				commitOrder = append(commitOrder, orig)
+				inCommitOrder[orig] = true
+			}
+			rename[orig] = fresh
+		default:
+			// Conditional (or effectful) instruction: it writes the
+			// original register directly, so any pending speculative
+			// value of that register must be committed first.
+			if d := in.Def(); d.Valid() {
+				commitReg(d)
+			}
+			cj.apply(in)
+			hb.Append(in)
+			if d := in.Def(); d.Valid() {
+				cj.invalidate(d)
+			}
+		}
+	}
+	// Snapshot the speculative map before the final commits: a later
+	// merge along this layer's branches may chain through it.
+	outRename := make(map[ir.Reg]ir.Reg, len(rename))
+	for k, v := range rename {
+		outRename[k] = v
+	}
+	// Final commits for everything pending from this layer.
+	for _, orig := range append([]ir.Reg(nil), commitOrder...) {
+		commitReg(orig)
+	}
+	return len(hb.Instrs) - before - len(body), outRename
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+// buildIrreducible constructs a classic irreducible region — two
+// blocks that jump into each other with two distinct entries, so
+// neither dominates the other and the cycle is not a natural loop:
+//
+//	entry: br c?  A : B
+//	A: x = x+1; br (x<n) ? B : exit
+//	B: x = x+3; br (x<2n) ? A : exit
+//	exit: ret x
+func buildIrreducible(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", 2) // params: c, n
+	entry := f.NewBlock("entry")
+	A := f.NewBlock("A")
+	B := f.NewBlock("B")
+	exitB := f.NewBlock("exit")
+	x := f.NewReg()
+
+	bd := ir.NewBuilder(f, entry)
+	bd.ConstInto(x, 0)
+	z := bd.Const(0)
+	c := bd.Bin(ir.OpCmpNE, f.Params[0], z)
+	bd.CondBr(c, A, B)
+
+	bd.SetBlock(A)
+	one := bd.Const(1)
+	bd.BinInto(ir.OpAdd, x, x, one)
+	ca := bd.Bin(ir.OpCmpLT, x, f.Params[1])
+	bd.CondBr(ca, B, exitB)
+
+	bd.SetBlock(B)
+	three := bd.Const(3)
+	bd.BinInto(ir.OpAdd, x, x, three)
+	n2 := bd.Bin(ir.OpAdd, f.Params[1], f.Params[1])
+	cb := bd.Bin(ir.OpCmpLT, x, n2)
+	bd.CondBr(cb, A, exitB)
+
+	bd.SetBlock(exitB)
+	bd.Ret(x)
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	p.AddFunc(f)
+	return p
+}
+
+// TestIrreducibleCFGAnalyses: the analyses must terminate and give
+// sane answers on irreducible control flow (no natural loops, since
+// neither cycle header dominates the other).
+func TestIrreducibleCFGAnalyses(t *testing.T) {
+	p := buildIrreducible(t)
+	f := p.Func("f")
+	dom := analysis.Dominators(f)
+	A := f.BlockByName("A")
+	B := f.BlockByName("B")
+	if dom.Dominates(A, B) || dom.Dominates(B, A) {
+		t.Fatal("neither irreducible-region block dominates the other")
+	}
+	lf := analysis.Loops(f)
+	if lf.IsHeader(A) || lf.IsHeader(B) {
+		t.Fatal("irreducible cycle must not register as a natural loop")
+	}
+	if len(lf.Top) != 0 {
+		t.Fatalf("no natural loops expected, got %d", len(lf.Top))
+	}
+	lv := analysis.ComputeLiveness(f)
+	if lv.In[A] == nil || lv.In[B] == nil {
+		t.Fatal("liveness incomplete")
+	}
+}
+
+// TestIrreducibleCFGFormation: convergent formation must terminate
+// and preserve semantics on irreducible control flow (tail
+// duplication is exactly the transformation that handles such
+// regions: each entry gets its own copy).
+func TestIrreducibleCFGFormation(t *testing.T) {
+	base := buildIrreducible(t)
+	for _, args := range [][]int64{{0, 1}, {1, 1}, {0, 5}, {1, 5}, {0, 20}, {1, 20}} {
+		want, _, _, err := functional.RunProgram(ir.CloneProgram(base), "f", args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{Cons: trips.Default(), IterOpt: false, HeadDup: false},
+			{Cons: trips.Default(), IterOpt: true, HeadDup: true},
+		} {
+			p := ir.CloneProgram(base)
+			FormProgram(p, cfg, nil)
+			if err := ir.VerifyProgram(p); err != nil {
+				t.Fatalf("args %v: %v", args, err)
+			}
+			got, _, _, err := functional.RunProgram(p, "f", args...)
+			if err != nil {
+				t.Fatalf("args %v: %v", args, err)
+			}
+			if got != want {
+				t.Fatalf("args %v: %d != %d", args, got, want)
+			}
+		}
+	}
+}

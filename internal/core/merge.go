@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/trips"
+)
+
+// SplitOversizeCandidate implements the paper's §9 basic-block
+// splitting extension: split candidate s (in the working function)
+// before its first exit so the halves can be merged separately. The
+// cut point minimizes the number of values crossing the split
+// (cross-block communication costs register resources, §9). Returns
+// the new second-half block, or nil if s cannot be split.
+func (fo *Former) SplitOversizeCandidate(s *ir.Block) *ir.Block {
+	firstExit := len(s.Instrs)
+	for i, in := range s.Instrs {
+		if in.Op == ir.OpBr || in.Op == ir.OpRet {
+			firstExit = i
+			break
+		}
+	}
+	if firstExit < 4 || len(s.Instrs) < 8 {
+		return nil
+	}
+	// Min-crossing cut as in reverse if-conversion.
+	lastDef := map[ir.Reg]int{}
+	for i, in := range s.Instrs {
+		if d := in.Def(); d.Valid() {
+			lastDef[d] = i
+		}
+	}
+	bestCut, bestScore := -1, 1<<30
+	var buf []ir.Reg
+	for cut := 2; cut < firstExit; cut++ {
+		crossing := map[ir.Reg]bool{}
+		for i := cut; i < len(s.Instrs); i++ {
+			buf = s.Instrs[i].Uses(buf)
+			for _, r := range buf {
+				if d, ok := lastDef[r]; ok && d < cut {
+					crossing[r] = true
+				}
+			}
+		}
+		score := len(crossing)*4 + abs(cut-len(s.Instrs)/2)
+		if score < bestScore {
+			bestCut, bestScore = cut, score
+		}
+	}
+	if bestCut < 2 {
+		return nil
+	}
+	rest := s.Instrs[bestCut:]
+	nb := &ir.Block{ID: -1, Name: s.Name + ".split", Fn: fo.f, Hyper: s.Hyper}
+	nb.Instrs = append(nb.Instrs, rest...)
+	fo.f.AdoptBlock(nb)
+	s.Instrs = append(s.Instrs[:bestCut:bestCut], &ir.Instr{Op: ir.OpBr,
+		Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Target: nb})
+	fo.stats.Splits++
+	return nb
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mergeKind classifies a successful merge per Figure 5.
+type mergeKind int
+
+const (
+	mergePlain  mergeKind = iota // single predecessor: no duplication
+	mergeTail                    // tail duplication
+	mergePeel                    // head duplication implementing peeling
+	mergeUnroll                  // head duplication implementing unrolling
+)
+
+// Former runs convergent hyperblock formation over one function.
+type Former struct {
+	cfg   Config
+	f     *ir.Function
+	stats Stats
+	// saved holds per-loop-header snapshots for incremental
+	// unrolling, keyed by block ID.
+	saved map[int]*savedBody
+	// unrolls counts unroll iterations per header ID.
+	unrolls map[int]int
+	// pending chains speculative renames across merge layers of the
+	// same hyperblock (see combine), keyed by block ID and then by
+	// the identity (BrID) of the branch the renames are valid along:
+	// a branch appended by merge layer k fires only when layer k's
+	// merge predicate held, and the block's exits are mutually
+	// exclusive, so converting that branch later may read layer k's
+	// speculative values directly.
+	pending map[int]map[int32]map[ir.Reg]ir.Reg
+}
+
+// NewFormer creates a Former for f with the given configuration. The
+// function is taken over by the former; retrieve the (possibly
+// replaced) result with Result.
+func NewFormer(f *ir.Function, cfg Config) *Former {
+	return &Former{
+		cfg:     cfg.withDefaults(),
+		f:       f,
+		saved:   map[int]*savedBody{},
+		unrolls: map[int]int{},
+		pending: map[int]map[int32]map[ir.Reg]ir.Reg{},
+	}
+}
+
+// Result returns the current working function.
+func (fo *Former) Result() *ir.Function { return fo.f }
+
+// Stats returns the accumulated formation statistics.
+func (fo *Former) Stats() Stats { return fo.stats }
+
+// LegalMerge reports whether merging successor s into hb may be
+// attempted (the paper's LegalMerge, Figure 5 line 5). It rejects:
+// blocks containing calls (calls terminate TRIPS blocks), candidates
+// that are not (unique-branch) successors, self-merges without head
+// duplication or beyond the unroll budget, and loop-header merges
+// (peeling) when head duplication is disabled.
+func (fo *Former) LegalMerge(hb, s *ir.Block, loops *analysis.LoopForest) bool {
+	if hb.HasCall() || s.HasCall() {
+		return false
+	}
+	// s must actually be a successor. Parallel branches to s are
+	// fine: each merge if-converts one of them (one side entrance at
+	// a time), and s stays a candidate for the rest.
+	n := 0
+	for _, in := range hb.Instrs {
+		if in.Op == ir.OpBr && in.Target == s {
+			n++
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	if s == hb {
+		return fo.cfg.HeadDup && fo.unrolls[hb.ID] < fo.cfg.MaxUnrollPerLoop
+	}
+	if loops.IsHeader(s) && !loops.IsBackEdge(hb, s) && !fo.cfg.HeadDup {
+		return false // peeling requires head duplication
+	}
+	return true
+}
+
+// MergeBlocks attempts to merge s into hb (the paper's MergeBlocks,
+// Figure 5). The merge is carried out on a scratch clone of the whole
+// function; if the optimized, normalized result satisfies the
+// structural constraints, the clone replaces the working function and
+// MergeBlocks returns true. On failure the working function is
+// untouched.
+func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool {
+	fo.stats.Attempts++
+
+	// Classify the merge up front (on the real function).
+	var kind mergeKind
+	switch {
+	case s == hb:
+		kind = mergeUnroll
+	case fo.f.NumPredEdges(s) == 1:
+		kind = mergePlain
+	case loops.IsHeader(s) && !loops.IsBackEdge(hb, s):
+		kind = mergePeel
+	default:
+		kind = mergeTail
+	}
+
+	// Unrolling works from the loop's saved original body so that
+	// iterations append one at a time (Figure 4 discussion). The
+	// snapshot is taken the first time the header is unrolled.
+	if kind == mergeUnroll {
+		if _, ok := fo.saved[hb.ID]; !ok {
+			fo.saved[hb.ID] = snapshotBody(hb)
+		}
+	}
+
+	// 1. Copy to scratch space.
+	fc, m := ir.CloneFunctionMap(fo.f)
+	hbC := m[hb]
+	sC := m[s]
+
+	// 2. Locate the branch being if-converted.
+	brIdx := -1
+	for i, in := range hbC.Instrs {
+		if in.Op == ir.OpBr && in.Target == sC {
+			brIdx = i
+			break
+		}
+	}
+	if brIdx < 0 {
+		return false
+	}
+
+	// 3. Build the body to merge.
+	var body []*ir.Instr
+	switch kind {
+	case mergeUnroll:
+		var ok bool
+		body, ok = fo.saved[hb.ID].materialize(fc)
+		if !ok {
+			fo.stats.Rejects++
+			return false
+		}
+	default:
+		cl := sC.Clone(sC.Name + ".dup")
+		body = cl.Instrs
+	}
+
+	// 4. Combine (if-conversion with predicate conjunction and
+	// speculation). When the branch being converted is predicated on
+	// a register created by an earlier merge layer, that layer's
+	// speculative renames are still valid on this path and seed the
+	// rename map, chaining loop-carried values across layers without
+	// waiting for their predicated commits. Renamed registers whose
+	// definitions were optimized away are dropped.
+	var initRename map[ir.Reg]ir.Reg
+	br := hbC.Instrs[brIdx]
+	if br.BrID != 0 && !fo.cfg.NoChain {
+		if pr := fo.pending[hb.ID][br.BrID]; pr != nil {
+			defined := map[ir.Reg]bool{}
+			for _, in := range hbC.Instrs {
+				if d := in.Def(); d.Valid() {
+					defined[d] = true
+				}
+			}
+			initRename = map[ir.Reg]ir.Reg{}
+			for orig, fresh := range pr {
+				if defined[fresh] {
+					initRename[orig] = fresh
+				}
+			}
+			fo.stats.ChainHits++
+		} else {
+			fo.stats.ChainMisses++
+		}
+	}
+	brIDFloor := fc.NewBrID() // all IDs assigned by this combine exceed this
+	_, outRename := combine(fc, hbC, brIdx, body, initRename)
+
+	// 5. Optimize the merged block (when iterative optimization is
+	// enabled) and normalize its outputs.
+	lv := analysis.ComputeLiveness(fc)
+	if fo.cfg.IterOpt {
+		opt.OptimizeBlock(fc, hbC, lv.Out[hbC])
+		lv = analysis.ComputeLiveness(fc)
+	}
+	trips.NormalizeOutputs(hbC, lv)
+	lv = analysis.ComputeLiveness(fc)
+
+	// 6. Constraint check: reject the merge if the block no longer
+	// fits.
+	if err := fo.cfg.Cons.LegalBlock(hbC, lv); err != nil {
+		fo.stats.Rejects++
+		return false
+	}
+
+	// 7. Transform the CFG (scratch side, then commit).
+	if kind == mergePlain {
+		fc.RemoveBlock(sC)
+	}
+	fc.RemoveUnreachable()
+	if err := ir.Verify(fc); err != nil {
+		// A malformed scratch function indicates a bug; reject the
+		// merge rather than corrupting the working function.
+		panic(fmt.Sprintf("core: scratch merge produced invalid IR: %v", err))
+	}
+
+	// Commit.
+	fo.f = fc
+	fo.stats.Merges++
+	switch kind {
+	case mergeTail:
+		fo.stats.TailDups++
+	case mergePeel:
+		fo.stats.Peels++
+	case mergeUnroll:
+		fo.stats.Unrolls++
+		fo.unrolls[hb.ID]++
+	}
+
+	// Record this layer's speculative renames under every surviving
+	// branch this merge appended (identified by fresh BrIDs): such a
+	// branch fires only when this layer's merge predicate held.
+	if len(outRename) > 0 {
+		byBr := fo.pending[hb.ID]
+		if byBr == nil {
+			byBr = map[int32]map[ir.Reg]ir.Reg{}
+			fo.pending[hb.ID] = byBr
+		}
+		for _, in := range hbC.Instrs {
+			if in.Op == ir.OpBr && in.BrID > brIDFloor {
+				byBr[in.BrID] = outRename
+			}
+		}
+	}
+	// The converted branch is gone; drop its entry.
+	if br.BrID != 0 {
+		delete(fo.pending[hb.ID], br.BrID)
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+// genProgram builds a random (but always terminating) tl program from
+// a byte string: a loop whose body is a chain of if/else arms doing
+// random arithmetic on a handful of variables.
+func genProgram(code []byte) string {
+	var sb strings.Builder
+	sb.WriteString("func main(n) {\n var a = 1; var b = 2; var c = 3;\n")
+	sb.WriteString(" for (var i = 0; i < n; i = i + 1) {\n")
+	vars := []string{"a", "b", "c"}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	conds := []string{"(i & 1) == 0", "a > b", "b < c", "(i % 3) == 1", "c >= 0"}
+	for i := 0; i+3 < len(code) && i < 40; i += 4 {
+		v := vars[int(code[i])%len(vars)]
+		w := vars[int(code[i+1])%len(vars)]
+		op := ops[int(code[i+2])%len(ops)]
+		if code[i+3]%3 == 0 {
+			cond := conds[int(code[i+3]/3)%len(conds)]
+			fmt.Fprintf(&sb, "  if (%s) { %s = %s %s %s; } else { %s = %s + 1; }\n",
+				cond, v, v, op, w, w, w)
+		} else {
+			fmt.Fprintf(&sb, "  %s = %s %s %s;\n", v, v, op, w)
+		}
+	}
+	sb.WriteString(" }\n print(a); print(b);\n return a + b * 3 + c * 7;\n}\n")
+	return sb.String()
+}
+
+// Property: convergent hyperblock formation preserves the semantics
+// of randomly generated programs under every configuration.
+func TestQuickFormationPreservesRandomPrograms(t *testing.T) {
+	configs := []Config{
+		{Cons: trips.Default(), IterOpt: false, HeadDup: false},
+		{Cons: trips.Default(), IterOpt: true, HeadDup: true},
+		{Cons: trips.Constraints{MaxInstrs: 24, MaxMemOps: 8, RegBanks: 4,
+			MaxReadsPerBank: 8, MaxWritesPerBank: 8}, IterOpt: true, HeadDup: true},
+	}
+	f := func(code []byte, seed uint8) bool {
+		src := genProgram(code)
+		base, err := lang.Compile(src)
+		if err != nil {
+			t.Logf("gen compile: %v\n%s", err, src)
+			return false
+		}
+		n := int64(seed % 23)
+		want, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", n)
+		if err != nil {
+			return false
+		}
+		for ci, cfg := range configs {
+			p := ir.CloneProgram(base)
+			FormProgram(p, cfg, nil)
+			if err := ir.VerifyProgram(p); err != nil {
+				t.Logf("config %d: %v", ci, err)
+				return false
+			}
+			got, gotOut, _, err := functional.RunProgram(p, "main", n)
+			if err != nil {
+				t.Logf("config %d run: %v", ci, err)
+				return false
+			}
+			if got != want || len(gotOut) != len(wantOut) {
+				t.Logf("config %d: got %d want %d (n=%d)\n%s", ci, got, want, n, src)
+				return false
+			}
+			for i := range wantOut {
+				if gotOut[i] != wantOut[i] {
+					t.Logf("config %d: output differs", ci)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: formation output always satisfies the structural
+// constraints it was given.
+func TestQuickFormationRespectsConstraints(t *testing.T) {
+	cons := trips.Constraints{MaxInstrs: 32, MaxMemOps: 8, RegBanks: 4,
+		MaxReadsPerBank: 8, MaxWritesPerBank: 8}
+	f := func(code []byte) bool {
+		src := genProgram(code)
+		base, err := lang.Compile(src)
+		if err != nil {
+			return false
+		}
+		FormProgram(base, Config{Cons: cons, IterOpt: true, HeadDup: true}, nil)
+		for _, fn := range base.OrderedFuncs() {
+			lv := analysisLiveness(fn)
+			for _, b := range fn.Blocks {
+				if err := cons.LegalBlock(b, lv); err != nil {
+					// Only *formed* (merged) blocks must obey the
+					// constraints; source basic blocks may exceed
+					// them (the paper notes block splitting as future
+					// work).
+					if b.Hyper {
+						t.Logf("%s: %v", b, err)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// analysisLiveness is a local shorthand.
+func analysisLiveness(f *ir.Function) *analysis.Liveness {
+	return analysis.ComputeLiveness(f)
+}

@@ -1,0 +1,94 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (phase orderings, cycle counts), Table 2 (VLIW vs EDGE block
+// selection heuristics), Table 3 (SPEC block counts), and Figure 7
+// (cycle-count reduction vs block-count reduction with a linear fit).
+//
+// Absolute numbers come from this repository's simulators, not the
+// authors' RTL-validated TRIPS simulator, so only the relative shapes
+// are comparable with the paper (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/sim/functional"
+	"repro/internal/sim/timing"
+	"repro/internal/workloads"
+)
+
+// Measurement is one (workload, configuration) data point.
+type Measurement struct {
+	Workload string
+	Config   string
+	// Cycles is the timing simulator's cycle count (0 when only the
+	// functional simulator ran).
+	Cycles int64
+	// Blocks is the dynamic block count from the same run.
+	Blocks int64
+	// Form are the static formation statistics (m/t/u/p).
+	Form core.Stats
+	// Mispredicts and ExitLookups describe branch behaviour.
+	Mispredicts int64
+	ExitLookups int64
+}
+
+// Improvement returns the percent improvement of m over the baseline
+// metric value (positive = better/smaller).
+func Improvement(base, v int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-v) / float64(base)
+}
+
+// runTiming compiles w under the given options and measures it on the
+// cycle-level simulator.
+func runTiming(w *workloads.Workload, opts compiler.Options) (Measurement, error) {
+	opts.ProfileFn = "main"
+	opts.ProfileArgs = w.TrainArgs
+	res, err := compiler.Compile(w.Source, opts)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
+	}
+	m := timing.New(res.Prog, timing.DefaultConfig())
+	if _, err := m.Run("main", w.Args...); err != nil {
+		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
+	}
+	return Measurement{
+		Workload:    w.Name,
+		Config:      string(opts.Ordering),
+		Cycles:      m.Stats.Cycles,
+		Blocks:      m.Stats.Blocks,
+		Form:        res.FormStats,
+		Mispredicts: m.Stats.Mispredicts,
+		ExitLookups: m.Stats.ExitLookups,
+	}, nil
+}
+
+// runFunctional compiles w under the given options and measures
+// dynamic block counts on the functional simulator.
+func runFunctional(w *workloads.Workload, opts compiler.Options) (Measurement, error) {
+	opts.ProfileFn = "main"
+	opts.ProfileArgs = w.TrainArgs
+	res, err := compiler.Compile(w.Source, opts)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
+	}
+	m := functional.New(res.Prog)
+	if _, err := m.Run("main", w.Args...); err != nil {
+		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
+	}
+	return Measurement{
+		Workload: w.Name,
+		Config:   string(opts.Ordering),
+		Blocks:   m.Stats.Blocks,
+		Form:     res.FormStats,
+	}, nil
+}
+
+// FormatMTUP renders the paper's m/t/u/p static statistics column.
+func FormatMTUP(s core.Stats) string {
+	return fmt.Sprintf("%d/%d/%d/%d", s.Merges, s.TailDups, s.Unrolls, s.Peels)
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func pick(t *testing.T, set []workloads.Workload, names ...string) []workloads.Workload {
+	t.Helper()
+	var out []workloads.Workload
+	for _, n := range names {
+		w, err := workloads.ByName(set, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shrink run sizes for test speed.
+		c := *w
+		c.Args = c.TrainArgs
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestTable1SmallSubset(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd", "sieve")
+	t1, err := Table1(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 2 || len(t1.Configs) != 4 {
+		t.Fatalf("shape wrong: %d rows, %d configs", len(t1.Rows), len(t1.Configs))
+	}
+	for _, row := range t1.Rows {
+		if row.BBCycles <= 0 || row.BBBlocks <= 0 {
+			t.Fatalf("%s: bad baseline", row.Name)
+		}
+		for _, c := range t1.Configs {
+			m := row.PerConfig[c]
+			if m.Cycles <= 0 {
+				t.Fatalf("%s/%s: no cycles", row.Name, c)
+			}
+			if m.Blocks > row.BBBlocks {
+				t.Errorf("%s/%s: formation increased blocks %d -> %d",
+					row.Name, c, row.BBBlocks, m.Blocks)
+			}
+		}
+	}
+	s := t1.Format()
+	for _, want := range []string{"vadd", "sieve", "Average", "(IUPO)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+func TestTable2SmallSubset(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd")
+	t2, err := Table2(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Heuristics) != 4 {
+		t.Fatalf("want 4 heuristics, got %v", t2.Heuristics)
+	}
+	for _, h := range t2.Heuristics {
+		if t2.Rows[0].PerHeuristic[h].Cycles <= 0 {
+			t.Fatalf("%s: no measurement", h)
+		}
+	}
+	if !strings.Contains(t2.Format(), "BF") {
+		t.Error("Format missing BF column")
+	}
+}
+
+func TestTable3SmallSubset(t *testing.T) {
+	ws := pick(t, workloads.Spec(), "gap", "mesa")
+	t3, err := Table3(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t3.Rows {
+		for _, c := range t3.Configs {
+			if row.PerConfig[c].Blocks <= 0 {
+				t.Fatalf("%s/%s: no blocks", row.Name, c)
+			}
+			if imp := Improvement(row.BBBlocks, row.PerConfig[c].Blocks); imp < 0 {
+				t.Errorf("%s/%s: negative block improvement %.1f", row.Name, c, imp)
+			}
+		}
+	}
+}
+
+func TestFigure7FromTable1(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd", "sieve", "matrix_1")
+	t1, err := Table1(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7 := Figure7(t1)
+	if len(f7.Points) != 3*4 {
+		t.Fatalf("want 12 points, got %d", len(f7.Points))
+	}
+	if f7.R2 < 0 || f7.R2 > 1 {
+		t.Fatalf("r² out of range: %f", f7.R2)
+	}
+	if !strings.Contains(f7.Format(), "linear fit") {
+		t.Error("Format missing fit line")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if Improvement(100, 80) != 20 {
+		t.Fatal("20% improvement expected")
+	}
+	if Improvement(100, 120) != -20 {
+		t.Fatal("-20% expected")
+	}
+	if Improvement(0, 50) != 0 {
+		t.Fatal("zero baseline guarded")
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearRegression(xs, ys)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit = %f, %f, %f", slope, intercept, r2)
+	}
+}
+
+// Property: a perfect linear relation always yields r² == 1 (within
+// epsilon) regardless of slope/intercept, and r² is always in [0,1].
+func TestQuickRegressionProperties(t *testing.T) {
+	f := func(pts []int16, a, b int8) bool {
+		if len(pts) < 3 || a == 0 {
+			return true
+		}
+		seen := map[int16]bool{}
+		var xs, ys []float64
+		for _, p := range pts {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			xs = append(xs, float64(p))
+			ys = append(ys, float64(a)*float64(p)+float64(b))
+		}
+		if len(xs) < 3 {
+			return true
+		}
+		slope, intercept, r2 := LinearRegression(xs, ys)
+		if math.Abs(slope-float64(a)) > 1e-6 || math.Abs(intercept-float64(b)) > 1e-6 {
+			return false
+		}
+		return math.Abs(r2-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatMTUP(t *testing.T) {
+	s := FormatMTUP(core.Stats{Merges: 3, TailDups: 2, Unrolls: 1, Peels: 0})
+	if s != "3/2/1/0" {
+		t.Fatalf("FormatMTUP = %q", s)
+	}
+}

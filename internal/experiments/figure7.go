@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Figure7Point is one scatter point: the reduction in cycles and in
+// blocks of one (benchmark, configuration) pair versus basic blocks.
+type Figure7Point struct {
+	Workload       string
+	Config         string
+	BlockReduction int64
+	CycleReduction int64
+}
+
+// Figure7Result is the scatter plus the linear fit.
+type Figure7Result struct {
+	Points []Figure7Point
+	// Slope and Intercept are the least-squares fit cycleReduction ≈
+	// Slope*blockReduction + Intercept; R2 is the coefficient of
+	// determination (the paper reports r² = 0.78).
+	Slope     float64
+	Intercept float64
+	R2        float64
+	// R2Trimmed refits after removing the 10% of points with the
+	// largest absolute residuals (the paper likewise notes "a few
+	// outliers"); TrimmedOut lists the removed points.
+	R2Trimmed  float64
+	TrimmedOut []Figure7Point
+}
+
+// Figure7 derives the paper's Figure 7 from Table 1's data: cycle
+// count reduction plotted against block count reduction for every
+// (benchmark, configuration) pair, with a linear regression.
+func Figure7(t1 *Table1Result) *Figure7Result {
+	res := &Figure7Result{}
+	for _, row := range t1.Rows {
+		for _, c := range t1.Configs {
+			m := row.PerConfig[c]
+			res.Points = append(res.Points, Figure7Point{
+				Workload:       row.Name,
+				Config:         c,
+				BlockReduction: row.BBBlocks - m.Blocks,
+				CycleReduction: row.BBCycles - m.Cycles,
+			})
+		}
+	}
+	xs := make([]float64, len(res.Points))
+	ys := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		xs[i] = float64(p.BlockReduction)
+		ys[i] = float64(p.CycleReduction)
+	}
+	res.Slope, res.Intercept, res.R2 = LinearRegression(xs, ys)
+
+	// Trimmed fit: drop the 10% largest-residual points and refit.
+	type resid struct {
+		i int
+		r float64
+	}
+	rs := make([]resid, len(xs))
+	for i := range xs {
+		rs[i] = resid{i, math.Abs(ys[i] - (res.Slope*xs[i] + res.Intercept))}
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].r > rs[b].r })
+	drop := len(rs) / 10
+	dropped := map[int]bool{}
+	for _, e := range rs[:drop] {
+		dropped[e.i] = true
+		res.TrimmedOut = append(res.TrimmedOut, res.Points[e.i])
+	}
+	var txs, tys []float64
+	for i := range xs {
+		if !dropped[i] {
+			txs = append(txs, xs[i])
+			tys = append(tys, ys[i])
+		}
+	}
+	_, _, res.R2Trimmed = LinearRegression(txs, tys)
+	return res
+}
+
+// LinearRegression fits y = a*x + b by least squares and returns
+// (a, b, r²).
+func LinearRegression(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	r := sxy / math.Sqrt(sxx*syy)
+	return slope, intercept, r * r
+}
+
+// Format renders the scatter as text plus the fit summary.
+func (f *Figure7Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-8s %14s %14s\n", "benchmark", "config", "block reduction", "cycle reduction")
+	for _, p := range f.Points {
+		fmt.Fprintf(&sb, "%-16s %-8s %14d %14d\n", p.Workload, p.Config, p.BlockReduction, p.CycleReduction)
+	}
+	fmt.Fprintf(&sb, "linear fit: cycles ~= %.2f*blocks + %.1f, r^2 = %.3f (paper: 0.78)\n",
+		f.Slope, f.Intercept, f.R2)
+	if len(f.TrimmedOut) > 0 {
+		var names []string
+		for _, p := range f.TrimmedOut {
+			names = append(names, p.Workload+"/"+p.Config)
+		}
+		fmt.Fprintf(&sb, "trimmed fit (10%% largest residuals removed: %s): r^2 = %.3f\n",
+			strings.Join(names, ", "), f.R2Trimmed)
+	}
+	return sb.String()
+}

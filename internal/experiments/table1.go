@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/workloads"
+)
+
+// Table1Row holds one benchmark's results across the phase orderings.
+type Table1Row struct {
+	Name     string
+	BBCycles int64
+	BBBlocks int64
+	// PerConfig is keyed by ordering name, excluding BB.
+	PerConfig map[string]Measurement
+}
+
+// Table1Result is the full table plus averages.
+type Table1Result struct {
+	Rows     []Table1Row
+	Configs  []string
+	Averages map[string]float64 // mean percent improvement per config
+}
+
+// Table1Configs are the non-baseline orderings in column order.
+var Table1Configs = []compiler.Ordering{
+	compiler.OrderUPIO, compiler.OrderIUPO, compiler.OrderIUPthenO, compiler.OrderIUPO1,
+}
+
+// Table1 reproduces the paper's Table 1: percent improvement in cycle
+// counts of hyperblocks over basic blocks under four phase orderings,
+// with m/t/u/p static formation statistics, using the greedy
+// breadth-first policy throughout (as in the paper).
+func Table1(ws []workloads.Workload) (*Table1Result, error) {
+	res := &Table1Result{Averages: map[string]float64{}}
+	for _, ord := range Table1Configs {
+		res.Configs = append(res.Configs, string(ord))
+	}
+	sums := map[string]float64{}
+	for i := range ws {
+		w := &ws[i]
+		base, err := runTiming(w, compiler.Options{Ordering: compiler.OrderBB})
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name:      w.Name,
+			BBCycles:  base.Cycles,
+			BBBlocks:  base.Blocks,
+			PerConfig: map[string]Measurement{},
+		}
+		for _, ord := range Table1Configs {
+			m, err := runTiming(w, compiler.Options{Ordering: ord})
+			if err != nil {
+				return nil, err
+			}
+			row.PerConfig[string(ord)] = m
+			sums[string(ord)] += Improvement(base.Cycles, m.Cycles)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, c := range res.Configs {
+		res.Averages[c] = sums[c] / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table1Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %10s", "benchmark", "BB cycles")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " | %-13s %6s", c+" m/t/u/p", "%")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-16s %10d", row.Name, row.BBCycles)
+		for _, c := range t.Configs {
+			m := row.PerConfig[c]
+			fmt.Fprintf(&sb, " | %-13s %6.1f", FormatMTUP(m.Form),
+				Improvement(row.BBCycles, m.Cycles))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-16s %10s", "Average", "")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " | %-13s %6.1f", "", t.Averages[c])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/workloads"
+)
+
+// Table2Heuristic is one column of Table 2.
+type Table2Heuristic struct {
+	// Name as in the paper: VLIW, Convergent VLIW, DF, BF.
+	Name string
+	// Ordering and Policy define the configuration.
+	Ordering compiler.Ordering
+	Policy   func() core.Policy
+}
+
+// Table2Heuristics are the paper's four heuristic columns: the
+// Mahlke-style VLIW path heuristic without and with iterative
+// optimization, depth-first, and breadth-first.
+func Table2Heuristics() []Table2Heuristic {
+	return []Table2Heuristic{
+		{Name: "VLIW", Ordering: compiler.OrderIUPthenO,
+			Policy: func() core.Policy { return &policy.VLIW{} }},
+		{Name: "ConvVLIW", Ordering: compiler.OrderIUPO1,
+			Policy: func() core.Policy { return &policy.VLIW{} }},
+		{Name: "DF", Ordering: compiler.OrderIUPO1,
+			Policy: func() core.Policy { return policy.DepthFirst{} }},
+		{Name: "BF", Ordering: compiler.OrderIUPO1,
+			Policy: func() core.Policy { return policy.BreadthFirst{} }},
+	}
+}
+
+// Table2Row is one benchmark's heuristic comparison.
+type Table2Row struct {
+	Name     string
+	BBCycles int64
+	// PerHeuristic maps heuristic name to its measurement.
+	PerHeuristic map[string]Measurement
+}
+
+// Table2Result is the full table plus averages.
+type Table2Result struct {
+	Rows       []Table2Row
+	Heuristics []string
+	Averages   map[string]float64
+}
+
+// Table2 reproduces the paper's Table 2: percent improvement in cycle
+// count over basic blocks for the VLIW heuristic (without and with
+// iterative optimization) and the depth-first and breadth-first EDGE
+// heuristics.
+func Table2(ws []workloads.Workload) (*Table2Result, error) {
+	hs := Table2Heuristics()
+	res := &Table2Result{Averages: map[string]float64{}}
+	for _, h := range hs {
+		res.Heuristics = append(res.Heuristics, h.Name)
+	}
+	sums := map[string]float64{}
+	for i := range ws {
+		w := &ws[i]
+		base, err := runTiming(w, compiler.Options{Ordering: compiler.OrderBB})
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Name: w.Name, BBCycles: base.Cycles,
+			PerHeuristic: map[string]Measurement{}}
+		for _, h := range hs {
+			m, err := runTiming(w, compiler.Options{Ordering: h.Ordering, Policy: h.Policy()})
+			if err != nil {
+				return nil, err
+			}
+			m.Config = h.Name
+			row.PerHeuristic[h.Name] = m
+			sums[h.Name] += Improvement(base.Cycles, m.Cycles)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, h := range res.Heuristics {
+		res.Averages[h] = sums[h] / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table2Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %10s", "benchmark", "BB cycles")
+	for _, h := range t.Heuristics {
+		fmt.Fprintf(&sb, " %9s", h)
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-16s %10d", row.Name, row.BBCycles)
+		for _, h := range t.Heuristics {
+			fmt.Fprintf(&sb, " %9.1f", Improvement(row.BBCycles, row.PerHeuristic[h].Cycles))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-16s %10s", "Average", "")
+	for _, h := range t.Heuristics {
+		fmt.Fprintf(&sb, " %9.1f", t.Averages[h])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

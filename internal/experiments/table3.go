@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/workloads"
+)
+
+// Table3Row is one SPEC proxy's block-count comparison.
+type Table3Row struct {
+	Name string
+	// BBBlocks is the baseline dynamic block count (the paper
+	// reports it in millions; ours are smaller programs).
+	BBBlocks int64
+	// PerConfig maps ordering to measurement.
+	PerConfig map[string]Measurement
+}
+
+// Table3Result is the full table plus averages.
+type Table3Result struct {
+	Rows     []Table3Row
+	Configs  []string
+	Averages map[string]float64
+}
+
+// Table3 reproduces the paper's Table 3: percent improvement in
+// dynamic block counts of the SPEC proxies over basic blocks under
+// the four phase orderings, measured with the fast functional
+// simulator (the cycle simulator being too slow for whole programs —
+// same rationale as the paper's §7.3).
+func Table3(ws []workloads.Workload) (*Table3Result, error) {
+	res := &Table3Result{Averages: map[string]float64{}}
+	for _, ord := range Table1Configs {
+		res.Configs = append(res.Configs, string(ord))
+	}
+	sums := map[string]float64{}
+	for i := range ws {
+		w := &ws[i]
+		base, err := runFunctional(w, compiler.Options{Ordering: compiler.OrderBB})
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Name: w.Name, BBBlocks: base.Blocks,
+			PerConfig: map[string]Measurement{}}
+		for _, ord := range Table1Configs {
+			m, err := runFunctional(w, compiler.Options{Ordering: ord})
+			if err != nil {
+				return nil, err
+			}
+			row.PerConfig[string(ord)] = m
+			sums[string(ord)] += Improvement(base.Blocks, m.Blocks)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, c := range res.Configs {
+		res.Averages[c] = sums[c] / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's layout ("Phased" UPIO/IUPO
+// then "Convergent" (IUP)O/(IUPO)).
+func (t *Table3Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s", "benchmark", "BB blocks")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " %9s", c)
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s %12d", row.Name, row.BBBlocks)
+		for _, c := range t.Configs {
+			fmt.Fprintf(&sb, " %9.1f", Improvement(row.BBBlocks, row.PerConfig[c].Blocks))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-10s %12s", "Average", "")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " %9.1f", t.Averages[c])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package ir
+
+// CloneFunction deep-copies a function: all blocks and instructions
+// are fresh, branch targets are remapped onto the copied blocks, and
+// register numbering is preserved. The clone is not added to any
+// program.
+func CloneFunction(f *Function) *Function {
+	nf, _ := CloneFunctionMap(f)
+	return nf
+}
+
+// CloneFunctionMap is CloneFunction, additionally returning the
+// old-block -> new-block mapping.
+func CloneFunctionMap(f *Function) (*Function, map[*Block]*Block) {
+	nf := &Function{
+		Name:      f.Name,
+		Params:    append([]Reg(nil), f.Params...),
+		nextReg:   f.nextReg,
+		nextBlock: f.nextBlock,
+		nextBrID:  f.nextBrID,
+		Prog:      f.Prog,
+	}
+	m := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := b.Clone(b.Name)
+		nb.ID = b.ID
+		nb.Fn = nf
+		nf.Blocks = append(nf.Blocks, nb)
+		m[b] = nb
+	}
+	for _, nb := range nf.Blocks {
+		RemapTargets(nb, m)
+	}
+	return nf, m
+}
+
+// RemapTargets rewrites every branch in b whose target appears in m to
+// the mapped block. Targets absent from m are left alone.
+func RemapTargets(b *Block, m map[*Block]*Block) {
+	for _, in := range b.Instrs {
+		if in.Op == OpBr {
+			if nt, ok := m[in.Target]; ok {
+				in.Target = nt
+			}
+		}
+	}
+}
+
+// CloneProgram deep-copies a program, including the global memory
+// layout and all functions.
+func CloneProgram(p *Program) *Program {
+	np := NewProgram()
+	np.MemSize = p.MemSize
+	for name, g := range p.Globals {
+		np.Globals[name] = g
+	}
+	for addr, v := range p.InitData {
+		np.InitData[addr] = v
+	}
+	for name := range p.Externs {
+		np.Externs[name] = true
+	}
+	for _, name := range p.FuncOrder {
+		nf := CloneFunction(p.Funcs[name])
+		np.AddFunc(nf)
+	}
+	return np
+}

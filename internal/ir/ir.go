@@ -1,0 +1,306 @@
+// Package ir defines a RISC-like, predication-aware intermediate
+// representation used by the convergent hyperblock formation algorithm
+// and by both simulators.
+//
+// Programs are made of functions; functions are control-flow graphs of
+// blocks; blocks are ordered lists of instructions over an unlimited
+// supply of virtual registers. Any instruction may carry a predicate
+// (a register plus a sense); a block's exits are predicated BR
+// instructions, so a hyperblock — a single-entry, multiple-exit region
+// of predicated instructions — is representable as an ordinary block.
+//
+// Instructions within a block are kept topologically sorted by data
+// dependence (builders append in dependence order and all
+// transformations preserve order), which lets the functional simulator
+// execute a block sequentially while the timing simulator schedules it
+// as a dataflow graph.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register. Virtual registers are function-scoped
+// and unlimited; register allocation later maps them onto the 128
+// architectural registers.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Valid reports whether r names a real register.
+func (r Reg) Valid() bool { return r >= 0 }
+
+// String returns the printed form of the register ("v12", or "-" for
+// NoReg).
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("v%d", int32(r))
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. Arithmetic is 64-bit two's complement; comparison results
+// are 0 or 1 and are used both as data and as predicates.
+const (
+	OpInvalid Op = iota
+
+	// OpConst materializes the immediate: dst = Imm.
+	OpConst
+	// OpMov copies a register: dst = a.
+	OpMov
+
+	// Binary arithmetic: dst = a <op> b.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // quotient; division by zero yields 0 (architectural choice)
+	OpRem // remainder; by zero yields 0
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift amounts are taken mod 64
+	OpShr // arithmetic shift right
+
+	// Unary: dst = <op> a.
+	OpNeg
+	OpNot // bitwise complement
+
+	// Comparisons: dst = (a <rel> b) ? 1 : 0.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Memory: a flat, word-addressed memory of int64.
+	// OpLoad: dst = mem[a + Imm].
+	OpLoad
+	// OpStore: mem[a + Imm] = b. Stores are block outputs: they are
+	// buffered and released at block commit.
+	OpStore
+
+	// OpBr is a (possibly predicated) block exit to Target. Exactly
+	// one branch fires per block execution.
+	OpBr
+
+	// OpCall invokes Callee with Args, writing the result to dst.
+	// Calls terminate formation regions: a block containing a call is
+	// never merged into a hyperblock.
+	OpCall
+
+	// OpRet leaves the current function returning a (or nothing when
+	// a is NoReg).
+	OpRet
+
+	// OpNullW is a null register write used to normalize block
+	// outputs: every predicate path through a block must produce the
+	// same number of register writes, so paths that miss a write get
+	// a predicated NullW. It re-asserts the current value of dst
+	// (semantically a no-op) but occupies an instruction slot and, on
+	// the timing model, delays the output until its predicate
+	// resolves.
+	OpNullW
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpConst:   "const",
+	OpMov:     "mov",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpRem:     "rem",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpNeg:     "neg",
+	OpNot:     "not",
+	OpCmpEQ:   "cmpeq",
+	OpCmpNE:   "cmpne",
+	OpCmpLT:   "cmplt",
+	OpCmpLE:   "cmple",
+	OpCmpGT:   "cmpgt",
+	OpCmpGE:   "cmpge",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpBr:      "br",
+	OpCall:    "call",
+	OpRet:     "ret",
+	OpNullW:   "nullw",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBinary reports whether op takes two register operands A and B.
+func (op Op) IsBinary() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// IsUnary reports whether op takes a single register operand A.
+func (op Op) IsUnary() bool {
+	switch op {
+	case OpMov, OpNeg, OpNot:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether op is a comparison producing 0/1.
+func (op Op) IsCompare() bool {
+	switch op {
+	case OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// HasDst reports whether op writes a destination register.
+func (op Op) HasDst() bool {
+	switch op {
+	case OpStore, OpBr, OpRet:
+		return false
+	case OpCall:
+		return true // dst may still be NoReg for void calls
+	}
+	return op != OpInvalid
+}
+
+// Pure reports whether the instruction's only effect is writing its
+// destination register (safe to remove when dead, safe to value
+// number).
+func (op Op) Pure() bool {
+	switch op {
+	case OpConst, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr,
+		OpXor, OpShl, OpShr, OpNeg, OpNot,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// NegateCompare returns the comparison with the opposite outcome
+// (e.g. cmplt -> cmpge) and true, or op and false when op is not a
+// comparison.
+func NegateCompare(op Op) (Op, bool) {
+	switch op {
+	case OpCmpEQ:
+		return OpCmpNE, true
+	case OpCmpNE:
+		return OpCmpEQ, true
+	case OpCmpLT:
+		return OpCmpGE, true
+	case OpCmpLE:
+		return OpCmpGT, true
+	case OpCmpGT:
+		return OpCmpLE, true
+	case OpCmpGE:
+		return OpCmpLT, true
+	}
+	return op, false
+}
+
+// Instr is a single IR instruction. The zero value is invalid; create
+// instructions through the Builder or the New* helpers.
+type Instr struct {
+	Op  Op
+	Dst Reg // destination, NoReg if none
+	A   Reg // first operand, NoReg if unused
+	B   Reg // second operand, NoReg if unused
+	Imm int64
+
+	// Pred, when valid, predicates the instruction: it executes only
+	// when the predicate register's truth value (non-zero) equals
+	// PredSense.
+	Pred      Reg
+	PredSense bool
+
+	// Target is the destination block for OpBr.
+	Target *Block
+
+	// Callee and Args describe OpCall.
+	Callee string
+	Args   []Reg
+
+	// BrID, when non-zero, uniquely identifies a branch instruction
+	// within its function across function clones and block edits.
+	// Hyperblock formation assigns IDs to the branches it appends so
+	// later merges can recognize which merge layer produced a branch
+	// (predicate registers alone can alias after optimization).
+	BrID int32
+}
+
+// Predicated reports whether the instruction carries a predicate.
+func (in *Instr) Predicated() bool { return in.Pred.Valid() }
+
+// Uses returns the registers read by the instruction, including the
+// predicate and call arguments. The result aliases an internal buffer
+// only if buf is nil; pass a reusable slice to avoid allocation.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	buf = buf[:0]
+	if in.A.Valid() {
+		buf = append(buf, in.A)
+	}
+	if in.B.Valid() {
+		buf = append(buf, in.B)
+	}
+	for _, a := range in.Args {
+		buf = append(buf, a)
+	}
+	// OpNullW re-asserts dst's current value: it reads dst.
+	if in.Op == OpNullW && in.Dst.Valid() {
+		buf = append(buf, in.Dst)
+	}
+	if in.Pred.Valid() {
+		buf = append(buf, in.Pred)
+	}
+	return buf
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// Clone returns a deep copy of the instruction. Target still points
+// at the original block; callers remapping a CFG must fix it up.
+func (in *Instr) Clone() *Instr {
+	cp := *in
+	if in.Args != nil {
+		cp.Args = append([]Reg(nil), in.Args...)
+	}
+	return &cp
+}
+
+// SamePredicate reports whether two instructions execute under exactly
+// the same predicate condition.
+func SamePredicate(a, b *Instr) bool {
+	return a.Pred == b.Pred && (!a.Pred.Valid() || a.PredSense == b.PredSense)
+}
+
+// ComplementaryPredicates reports whether a and b are predicated on the
+// same register with opposite senses.
+func ComplementaryPredicates(a, b *Instr) bool {
+	return a.Pred.Valid() && a.Pred == b.Pred && a.PredSense != b.PredSense
+}

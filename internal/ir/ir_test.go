@@ -1,0 +1,396 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	if NoReg.Valid() {
+		t.Fatal("NoReg must be invalid")
+	}
+	if got := NoReg.String(); got != "-" {
+		t.Fatalf("NoReg.String() = %q", got)
+	}
+	if got := Reg(7).String(); got != "v7" {
+		t.Fatalf("Reg(7).String() = %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	binaries := []Op{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE}
+	for _, op := range binaries {
+		if !op.IsBinary() {
+			t.Errorf("%s should be binary", op)
+		}
+		if op.IsUnary() {
+			t.Errorf("%s should not be unary", op)
+		}
+		if !op.Pure() {
+			t.Errorf("%s should be pure", op)
+		}
+	}
+	for _, op := range []Op{OpMov, OpNeg, OpNot} {
+		if !op.IsUnary() || op.IsBinary() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	for _, op := range []Op{OpLoad, OpStore, OpBr, OpCall, OpRet, OpNullW} {
+		if op.Pure() {
+			t.Errorf("%s should not be pure", op)
+		}
+	}
+	if !OpCmpLT.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare misclassified")
+	}
+	if OpStore.HasDst() || OpBr.HasDst() || OpRet.HasDst() {
+		t.Error("HasDst misclassified")
+	}
+	if !OpLoad.HasDst() || !OpCall.HasDst() {
+		t.Error("HasDst misclassified for load/call")
+	}
+}
+
+func TestNegateCompare(t *testing.T) {
+	pairs := [][2]Op{
+		{OpCmpEQ, OpCmpNE}, {OpCmpLT, OpCmpGE}, {OpCmpLE, OpCmpGT},
+	}
+	for _, p := range pairs {
+		got, ok := NegateCompare(p[0])
+		if !ok || got != p[1] {
+			t.Errorf("NegateCompare(%s) = %s, %v", p[0], got, ok)
+		}
+		got, ok = NegateCompare(p[1])
+		if !ok || got != p[0] {
+			t.Errorf("NegateCompare(%s) = %s, %v", p[1], got, ok)
+		}
+	}
+	if _, ok := NegateCompare(OpAdd); ok {
+		t.Error("NegateCompare(add) should fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpCmpGE.String() != "cmpge" {
+		t.Error("bad mnemonics")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op should include numeric code")
+	}
+}
+
+// buildDiamond creates:
+//
+//	entry: c = a<b; br c? left : right
+//	left:  x = a+b; br join
+//	right: x = a-b; br join
+//	join:  ret x
+func buildDiamond(t *testing.T) (*Function, *Block, *Block, *Block, *Block) {
+	t.Helper()
+	f := NewFunction("diamond", 2)
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	join := f.NewBlock("join")
+
+	x := f.NewReg()
+	bd := NewBuilder(f, entry)
+	c := bd.Bin(OpCmpLT, f.Params[0], f.Params[1])
+	bd.CondBr(c, left, right)
+
+	bd.SetBlock(left)
+	bd.BinInto(OpAdd, x, f.Params[0], f.Params[1])
+	bd.Br(join)
+
+	bd.SetBlock(right)
+	bd.BinInto(OpSub, x, f.Params[0], f.Params[1])
+	bd.Br(join)
+
+	bd.SetBlock(join)
+	bd.Ret(x)
+	return f, entry, left, right, join
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	f, entry, left, right, join := buildDiamond(t)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	succs := entry.Succs()
+	if len(succs) != 2 || succs[0] != left || succs[1] != right {
+		t.Fatalf("entry.Succs() = %v", succs)
+	}
+	preds := f.Preds()
+	if len(preds[join]) != 2 {
+		t.Fatalf("join should have 2 preds, got %v", preds[join])
+	}
+	if n := f.NumPredEdges(join); n != 2 {
+		t.Fatalf("NumPredEdges(join) = %d", n)
+	}
+	if n := f.NumPredEdges(entry); n != 1 {
+		t.Fatalf("NumPredEdges(entry) = %d (entry has the implicit edge)", n)
+	}
+	if !entry.Terminated() || !join.Terminated() {
+		t.Fatal("all blocks should be terminated")
+	}
+}
+
+func TestVerifyCatchesUnterminated(t *testing.T) {
+	f := NewFunction("bad", 0)
+	b := f.NewBlock("entry")
+	bd := NewBuilder(f, b)
+	bd.Const(1)
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify should reject unterminated block")
+	}
+}
+
+func TestVerifyCatchesDeadTail(t *testing.T) {
+	f := NewFunction("bad", 0)
+	b := f.NewBlock("entry")
+	bd := NewBuilder(f, b)
+	bd.Ret(NoReg)
+	bd.Const(1)
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify should reject instruction after unconditional ret")
+	}
+}
+
+func TestVerifyCatchesForeignTarget(t *testing.T) {
+	f := NewFunction("f", 0)
+	g := NewFunction("g", 0)
+	fb := f.NewBlock("entry")
+	gb := g.NewBlock("entry")
+	NewBuilder(g, gb).Ret(NoReg)
+	fb.Append(&Instr{Op: OpBr, Dst: NoReg, A: NoReg, B: NoReg, Pred: NoReg, Target: gb})
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify should reject branch to foreign block")
+	}
+}
+
+func TestVerifyCatchesUnknownCallee(t *testing.T) {
+	p := NewProgram()
+	f := NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	bd := NewBuilder(f, b)
+	bd.CallVoid("nosuch")
+	bd.Ret(NoReg)
+	p.AddFunc(f)
+	if err := Verify(f); err == nil {
+		t.Fatal("Verify should reject unknown callee")
+	}
+}
+
+func TestInstrUsesAndDef(t *testing.T) {
+	in := &Instr{Op: OpAdd, Dst: 2, A: 0, B: 1, Pred: 3, PredSense: true}
+	uses := in.Uses(nil)
+	if len(uses) != 3 || uses[0] != 0 || uses[1] != 1 || uses[2] != 3 {
+		t.Fatalf("Uses = %v", uses)
+	}
+	if in.Def() != 2 {
+		t.Fatalf("Def = %v", in.Def())
+	}
+	st := &Instr{Op: OpStore, Dst: NoReg, A: 4, B: 5, Pred: NoReg}
+	if st.Def() != NoReg {
+		t.Fatal("store must not define")
+	}
+	nw := &Instr{Op: OpNullW, Dst: 7, A: NoReg, B: NoReg, Pred: 1, PredSense: false}
+	u := nw.Uses(nil)
+	if len(u) != 2 || u[0] != 7 || u[1] != 1 {
+		t.Fatalf("nullw Uses = %v (must read dst and pred)", u)
+	}
+}
+
+func TestInstrClone(t *testing.T) {
+	in := &Instr{Op: OpCall, Dst: 1, A: NoReg, B: NoReg, Pred: NoReg,
+		Callee: "f", Args: []Reg{2, 3}}
+	cp := in.Clone()
+	cp.Args[0] = 9
+	if in.Args[0] != 2 {
+		t.Fatal("Clone must not share Args")
+	}
+}
+
+func TestBlockCloneAndAdopt(t *testing.T) {
+	f, _, left, _, join := buildDiamond(t)
+	cl := left.Clone("left.dup")
+	if len(cl.Instrs) != len(left.Instrs) {
+		t.Fatal("clone lost instructions")
+	}
+	cl.Instrs[0].Dst = 99 // must not affect original
+	if left.Instrs[0].Dst == 99 {
+		t.Fatal("clone shares instruction storage")
+	}
+	// The clone's branch still targets join.
+	if cl.Branches()[0].Target != join {
+		t.Fatal("clone branch should target original join")
+	}
+	before := len(f.Blocks)
+	f.AdoptBlock(cl)
+	if len(f.Blocks) != before+1 || cl.ID < 0 {
+		t.Fatal("AdoptBlock failed")
+	}
+}
+
+func TestRetargetBranches(t *testing.T) {
+	f, entry, left, right, _ := buildDiamond(t)
+	n := entry.RetargetBranches(left, right)
+	if n != 1 {
+		t.Fatalf("RetargetBranches = %d", n)
+	}
+	succs := entry.Succs()
+	if len(succs) != 1 || succs[0] != right {
+		t.Fatalf("after retarget Succs = %v", succs)
+	}
+	f.RemoveUnreachable()
+	if f.BlockByName("left") != nil {
+		t.Fatal("left should be removed as unreachable")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f := NewFunction("f", 0)
+	e := f.NewBlock("entry")
+	dead := f.NewBlock("dead")
+	NewBuilder(f, e).Ret(NoReg)
+	NewBuilder(f, dead).Ret(NoReg)
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatal("dead block not removed")
+	}
+}
+
+func TestCloneFunctionIndependence(t *testing.T) {
+	f, entry, _, _, _ := buildDiamond(t)
+	cl := CloneFunction(f)
+	if err := Verify(cl); err != nil {
+		t.Fatalf("clone fails verify: %v", err)
+	}
+	if cl.NumRegs() != f.NumRegs() {
+		t.Fatal("register numbering not preserved")
+	}
+	// Branch targets must point into the clone, not the original.
+	for _, b := range cl.Blocks {
+		for _, br := range b.Branches() {
+			if br.Target.Fn != cl {
+				t.Fatal("clone branch targets original function")
+			}
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cl.Blocks[0].Instrs[0].Imm = 12345
+	if entry.Instrs[0].Imm == 12345 {
+		t.Fatal("clone shares instruction storage")
+	}
+}
+
+func TestProgramGlobalsAndClone(t *testing.T) {
+	p := NewProgram()
+	a := p.AddGlobal("a", 10)
+	b := p.AddGlobal("b", 5)
+	if a != 0 || b != 10 || p.MemSize != 15 {
+		t.Fatalf("layout: a=%d b=%d size=%d", a, b, p.MemSize)
+	}
+	p.InitData[3] = 42
+	f, _, _, _, _ := buildDiamond(t)
+	p.AddFunc(f)
+	cp := CloneProgram(p)
+	if cp.MemSize != 15 || cp.InitData[3] != 42 || cp.Func("diamond") == nil {
+		t.Fatal("CloneProgram lost state")
+	}
+	cp.InitData[3] = 0
+	if p.InitData[3] != 42 {
+		t.Fatal("CloneProgram shares InitData")
+	}
+	if err := VerifyProgram(cp); err != nil {
+		t.Fatalf("VerifyProgram: %v", err)
+	}
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate function")
+		}
+	}()
+	p := NewProgram()
+	p.AddFunc(NewFunction("f", 0))
+	p.AddFunc(NewFunction("f", 0))
+}
+
+func TestFormatters(t *testing.T) {
+	f, _, _, _, _ := buildDiamond(t)
+	p := NewProgram()
+	p.AddGlobal("g", 4)
+	p.AddFunc(f)
+	s := FormatProgram(p)
+	for _, want := range []string{"func diamond", "cmplt", "br ", "ret", "global g @0 size 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatProgram missing %q in:\n%s", want, s)
+		}
+	}
+	in := &Instr{Op: OpAdd, Dst: 2, A: 0, B: 1, Pred: 5, PredSense: false}
+	if got := FormatInstr(in); !strings.Contains(got, "[v5:f]") {
+		t.Errorf("predicate not printed: %q", got)
+	}
+}
+
+func TestInsertRemove(t *testing.T) {
+	f := NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	bd := NewBuilder(f, b)
+	bd.Const(1)
+	bd.Const(2)
+	bd.Ret(NoReg)
+	in := &Instr{Op: OpConst, Dst: f.NewReg(), A: NoReg, B: NoReg, Pred: NoReg, Imm: 9}
+	b.InsertBefore(1, in)
+	if b.Instrs[1] != in || len(b.Instrs) != 4 {
+		t.Fatal("InsertBefore misplaced")
+	}
+	b.RemoveAt(1)
+	if len(b.Instrs) != 3 || b.Instrs[1].Imm != 2 {
+		t.Fatal("RemoveAt broke order")
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	a := &Instr{Op: OpAdd, Dst: 0, A: 1, B: 2, Pred: 5, PredSense: true}
+	b := &Instr{Op: OpSub, Dst: 0, A: 1, B: 2, Pred: 5, PredSense: false}
+	c := &Instr{Op: OpSub, Dst: 0, A: 1, B: 2, Pred: 5, PredSense: true}
+	u := &Instr{Op: OpSub, Dst: 0, A: 1, B: 2, Pred: NoReg}
+	if !ComplementaryPredicates(a, b) || ComplementaryPredicates(a, c) {
+		t.Error("ComplementaryPredicates wrong")
+	}
+	if !SamePredicate(a, c) || SamePredicate(a, b) {
+		t.Error("SamePredicate wrong")
+	}
+	if SamePredicate(a, u) {
+		t.Error("predicated vs unpredicated must differ")
+	}
+	u2 := &Instr{Op: OpAdd, Dst: 0, A: 1, B: 2, Pred: NoReg}
+	if !SamePredicate(u, u2) {
+		t.Error("two unpredicated instructions share the trivial predicate")
+	}
+}
+
+func TestCountHelpers(t *testing.T) {
+	f := NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	bd := NewBuilder(f, b)
+	addr := bd.Const(0)
+	v := bd.Load(addr, 0)
+	bd.Store(addr, 1, v)
+	bd.Ret(v)
+	if b.MemOps() != 2 {
+		t.Fatalf("MemOps = %d", b.MemOps())
+	}
+	if b.CountOp(OpConst) != 1 {
+		t.Fatal("CountOp wrong")
+	}
+	if f.Size() != 4 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}

@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatInstr renders one instruction in TRIPS-assembly-like form,
+// e.g. "  [v7:t] add v3, v1, v2".
+func FormatInstr(in *Instr) string {
+	var sb strings.Builder
+	sb.WriteString("  ")
+	if in.Predicated() {
+		sense := "t"
+		if !in.PredSense {
+			sense = "f"
+		}
+		fmt.Fprintf(&sb, "[%s:%s] ", in.Pred, sense)
+	}
+	switch {
+	case in.Op == OpConst:
+		fmt.Fprintf(&sb, "const %s, %d", in.Dst, in.Imm)
+	case in.Op == OpMov:
+		fmt.Fprintf(&sb, "mov %s, %s", in.Dst, in.A)
+	case in.Op.IsBinary():
+		fmt.Fprintf(&sb, "%s %s, %s, %s", in.Op, in.Dst, in.A, in.B)
+	case in.Op == OpNeg || in.Op == OpNot:
+		fmt.Fprintf(&sb, "%s %s, %s", in.Op, in.Dst, in.A)
+	case in.Op == OpLoad:
+		fmt.Fprintf(&sb, "load %s, [%s+%d]", in.Dst, in.A, in.Imm)
+	case in.Op == OpStore:
+		fmt.Fprintf(&sb, "store [%s+%d], %s", in.A, in.Imm, in.B)
+	case in.Op == OpBr:
+		fmt.Fprintf(&sb, "br %s", in.Target)
+	case in.Op == OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&sb, "call %s, %s(%s)", in.Dst, in.Callee, strings.Join(args, ", "))
+	case in.Op == OpRet:
+		fmt.Fprintf(&sb, "ret %s", in.A)
+	case in.Op == OpNullW:
+		fmt.Fprintf(&sb, "nullw %s", in.Dst)
+	default:
+		fmt.Fprintf(&sb, "%s ?", in.Op)
+	}
+	return sb.String()
+}
+
+// FormatBlock renders a block with a header line and one line per
+// instruction.
+func FormatBlock(b *Block) string {
+	var sb strings.Builder
+	kind := ""
+	if b.Hyper {
+		kind = " [hyper]"
+	}
+	fmt.Fprintf(&sb, "%s:%s  ; %d instrs\n", b, kind, len(b.Instrs))
+	for _, in := range b.Instrs {
+		sb.WriteString(FormatInstr(in))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatFunction renders all blocks of a function.
+func FormatFunction(f *Function) string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.String()
+	}
+	fmt.Fprintf(&sb, "func %s(%s):\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		sb.WriteString(FormatBlock(b))
+	}
+	return sb.String()
+}
+
+// FormatProgram renders all functions in definition order.
+func FormatProgram(p *Program) string {
+	var sb strings.Builder
+	type ent struct {
+		name string
+		def  GlobalDef
+	}
+	ents := make([]ent, 0, len(p.Globals))
+	for n, g := range p.Globals {
+		ents = append(ents, ent{n, g})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].def.Addr < ents[j].def.Addr })
+	for _, e := range ents {
+		fmt.Fprintf(&sb, "global %s @%d size %d\n", e.name, e.def.Addr, e.def.Size)
+	}
+	for _, f := range p.OrderedFuncs() {
+		sb.WriteString(FormatFunction(f))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,224 @@
+package lang
+
+// File is a parsed tl source file.
+type File struct {
+	Arrays []*ArrayDecl
+	Funcs  []*FuncDecl
+}
+
+// ArrayDecl declares a global array with optional initial values
+// (remaining elements are zero).
+type ArrayDecl struct {
+	Name string
+	Size int64
+	Init []int64
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct{ Stmts []Stmt }
+
+// VarStmt declares a local variable with an optional initializer
+// (default 0).
+type VarStmt struct {
+	Name string
+	Init Expr // may be nil
+	Line int
+}
+
+// AssignStmt assigns to a variable (Index == nil) or array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Line  int
+}
+
+// IfStmt is a conditional with optional else (which may be another
+// IfStmt for else-if chains).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is C-style: for (Init; Cond; Post) Body. Init and Post are
+// assignment or var statements and may be nil; Cond may be nil
+// (infinite). For-loops are the unit of front-end unrolling.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration (the post
+// statement of a for).
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from the function; Value may be nil.
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr invokes a function (or the print builtin).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator; && and || short-circuit.
+type BinaryExpr struct {
+	Op   Kind
+	X, Y Expr
+	Line int
+}
+
+func (*IntLit) expr()     {}
+func (*Ident) expr()      {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+
+// CloneStmt deep-copies a statement tree (used by the unroller).
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *BlockStmt:
+		return CloneBlock(s)
+	case *VarStmt:
+		return &VarStmt{Name: s.Name, Init: CloneExpr(s.Init), Line: s.Line}
+	case *AssignStmt:
+		return &AssignStmt{Name: s.Name, Index: CloneExpr(s.Index), Value: CloneExpr(s.Value), Line: s.Line}
+	case *IfStmt:
+		cp := &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Line: s.Line}
+		if s.Else != nil {
+			cp.Else = CloneStmt(s.Else)
+		}
+		return cp
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body), Line: s.Line}
+	case *ForStmt:
+		return &ForStmt{Init: CloneStmt(s.Init), Cond: CloneExpr(s.Cond),
+			Post: CloneStmt(s.Post), Body: CloneBlock(s.Body), Line: s.Line}
+	case *BreakStmt:
+		return &BreakStmt{Line: s.Line}
+	case *ContinueStmt:
+		return &ContinueStmt{Line: s.Line}
+	case *ReturnStmt:
+		return &ReturnStmt{Value: CloneExpr(s.Value), Line: s.Line}
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(s.X), Line: s.Line}
+	}
+	panic("lang: unknown statement type")
+}
+
+// CloneBlock deep-copies a block.
+func CloneBlock(b *BlockStmt) *BlockStmt {
+	if b == nil {
+		return nil
+	}
+	nb := &BlockStmt{Stmts: make([]Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		nb.Stmts[i] = CloneStmt(s)
+	}
+	return nb
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{Value: e.Value, Line: e.Line}
+	case *Ident:
+		return &Ident{Name: e.Name, Line: e.Line}
+	case *IndexExpr:
+		return &IndexExpr{Name: e.Name, Index: CloneExpr(e.Index), Line: e.Line}
+	case *CallExpr:
+		cp := &CallExpr{Name: e.Name, Line: e.Line}
+		for _, a := range e.Args {
+			cp.Args = append(cp.Args, CloneExpr(a))
+		}
+		return cp
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X), Line: e.Line}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y), Line: e.Line}
+	}
+	panic("lang: unknown expression type")
+}

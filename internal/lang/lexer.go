@@ -1,0 +1,194 @@
+package lang
+
+// Lexer splits tl source into tokens. Comments run from "//" to end
+// of line; whitespace is insignificant.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token, or an error on malformed input.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpace()
+	tok := Token{Line: lx.line, Col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := lx.peek()
+	switch {
+	case isDigit(c):
+		start := lx.pos
+		var v int64
+		for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+			v = v*10 + int64(lx.advance()-'0')
+		}
+		tok.Kind = INT
+		tok.Int = v
+		tok.Text = lx.src[start:lx.pos]
+		return tok, nil
+	case isAlpha(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		tok.Text = lx.src[start:lx.pos]
+		if k, ok := keywords[tok.Text]; ok {
+			tok.Kind = k
+		} else {
+			tok.Kind = IDENT
+		}
+		return tok, nil
+	}
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ',':
+		return one(Comma)
+	case ';':
+		return one(Semicolon)
+	case '+':
+		return one(Plus)
+	case '-':
+		return one(Minus)
+	case '*':
+		return one(Star)
+	case '/':
+		return one(Slash)
+	case '%':
+		return one(Percent)
+	case '^':
+		return one(Caret)
+	case '~':
+		return one(Tilde)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(LtEq)
+		}
+		if lx.peek2() == '<' {
+			return two(Shl)
+		}
+		return one(Lt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(GtEq)
+		}
+		if lx.peek2() == '>' {
+			return two(Shr)
+		}
+		return one(Gt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(AndAnd)
+		}
+		return one(Amp)
+	case '|':
+		if lx.peek2() == '|' {
+			return two(OrOr)
+		}
+		return one(Pipe)
+	}
+	return tok, errf(lx.line, lx.col, "unexpected character %q", string(c))
+}
+
+// LexAll tokenizes the whole input (including the trailing EOF token).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

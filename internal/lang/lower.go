@@ -1,0 +1,412 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses, checks, and lowers tl source to an IR program.
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// CompileUnrolled is Compile with front-end for-loop unrolling by the
+// given factor applied first (factor <= 1 disables unrolling).
+func CompileUnrolled(src string, factor int) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	if factor > 1 {
+		UnrollFile(file, factor)
+		if err := Check(file); err != nil {
+			return nil, fmt.Errorf("after unrolling: %w", err)
+		}
+	}
+	return Lower(file)
+}
+
+// Lower translates a checked file to IR. Functions keep their tl
+// names; global arrays are laid out in declaration order in a flat
+// word-addressed memory; print becomes a call to the "print" extern.
+func Lower(file *File) (*ir.Program, error) {
+	prog := ir.NewProgram()
+	prog.Externs[PrintBuiltin] = true
+	lw := &lowerer{prog: prog, arrays: map[string]int64{}}
+	for _, a := range file.Arrays {
+		addr := prog.AddGlobal(a.Name, a.Size)
+		lw.arrays[a.Name] = addr
+		for i, v := range a.Init {
+			if v != 0 {
+				prog.InitData[addr+int64(i)] = v
+			}
+		}
+	}
+	for _, fn := range file.Funcs {
+		f, err := lw.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		prog.AddFunc(f)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, fmt.Errorf("lang: lowering produced invalid IR: %w", err)
+	}
+	return prog, nil
+}
+
+type lowerer struct {
+	prog   *ir.Program
+	arrays map[string]int64
+
+	f    *ir.Function
+	bd   *ir.Builder
+	vars map[string]ir.Reg
+
+	// Loop context stacks for break/continue.
+	breakTo    []*ir.Block
+	continueTo []*ir.Block
+
+	nameSeq int
+}
+
+func (lw *lowerer) newBlock(kind string) *ir.Block {
+	lw.nameSeq++
+	return lw.f.NewBlock(fmt.Sprintf("%s%d", kind, lw.nameSeq))
+}
+
+func (lw *lowerer) lowerFunc(fn *FuncDecl) (*ir.Function, error) {
+	f := ir.NewFunction(fn.Name, len(fn.Params))
+	lw.f = f
+	lw.vars = map[string]ir.Reg{}
+	lw.breakTo = nil
+	lw.continueTo = nil
+	lw.nameSeq = 0
+	for i, p := range fn.Params {
+		lw.vars[p] = f.Params[i]
+	}
+	entry := f.NewBlock("entry")
+	lw.bd = ir.NewBuilder(f, entry)
+	lw.block(fn.Body)
+	// Implicit "return 0" on fallthrough.
+	if !lw.bd.Cur.Terminated() {
+		z := lw.bd.Const(0)
+		lw.bd.Ret(z)
+	}
+	f.RemoveUnreachable()
+	return f, nil
+}
+
+func (lw *lowerer) block(b *BlockStmt) {
+	for _, s := range b.Stmts {
+		lw.stmt(s)
+	}
+}
+
+func (lw *lowerer) stmt(s Stmt) {
+	// After an unconditional exit (return), subsequent statements in
+	// the source block are unreachable; park them in a fresh block
+	// which RemoveUnreachable will discard.
+	if lw.bd.Cur.Terminated() {
+		lw.bd.SetBlock(lw.newBlock("dead"))
+	}
+	switch s := s.(type) {
+	case *BlockStmt:
+		lw.block(s)
+	case *VarStmt:
+		r := lw.f.NewReg()
+		lw.vars[s.Name] = r
+		if s.Init != nil {
+			lw.exprInto(r, s.Init)
+		} else {
+			lw.bd.ConstInto(r, 0)
+		}
+	case *AssignStmt:
+		if s.Index == nil {
+			lw.exprInto(lw.vars[s.Name], s.Value)
+		} else {
+			base := lw.arrays[s.Name]
+			idx := lw.expr(s.Index)
+			val := lw.expr(s.Value)
+			lw.bd.Store(idx, base, val)
+		}
+	case *IfStmt:
+		lw.ifStmt(s)
+	case *WhileStmt:
+		lw.whileStmt(s)
+	case *ForStmt:
+		lw.forStmt(s)
+	case *BreakStmt:
+		lw.bd.Br(lw.breakTo[len(lw.breakTo)-1])
+	case *ContinueStmt:
+		lw.bd.Br(lw.continueTo[len(lw.continueTo)-1])
+	case *ReturnStmt:
+		if s.Value != nil {
+			v := lw.expr(s.Value)
+			lw.bd.Ret(v)
+		} else {
+			z := lw.bd.Const(0)
+			lw.bd.Ret(z)
+		}
+	case *ExprStmt:
+		lw.exprForEffect(s.X)
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+func (lw *lowerer) ifStmt(s *IfStmt) {
+	then := lw.newBlock("then")
+	var els *ir.Block
+	join := lw.newBlock("join")
+	if s.Else != nil {
+		els = lw.newBlock("else")
+		lw.cond(s.Cond, then, els)
+	} else {
+		lw.cond(s.Cond, then, join)
+	}
+	lw.bd.SetBlock(then)
+	lw.block(s.Then)
+	if !lw.bd.Cur.Terminated() {
+		lw.bd.Br(join)
+	}
+	if s.Else != nil {
+		lw.bd.SetBlock(els)
+		lw.stmt(s.Else)
+		if !lw.bd.Cur.Terminated() {
+			lw.bd.Br(join)
+		}
+	}
+	lw.bd.SetBlock(join)
+}
+
+func (lw *lowerer) whileStmt(s *WhileStmt) {
+	head := lw.newBlock("while.head")
+	body := lw.newBlock("while.body")
+	exit := lw.newBlock("while.exit")
+	lw.bd.Br(head)
+	lw.bd.SetBlock(head)
+	lw.cond(s.Cond, body, exit)
+	lw.breakTo = append(lw.breakTo, exit)
+	lw.continueTo = append(lw.continueTo, head)
+	lw.bd.SetBlock(body)
+	lw.block(s.Body)
+	if !lw.bd.Cur.Terminated() {
+		lw.bd.Br(head)
+	}
+	lw.breakTo = lw.breakTo[:len(lw.breakTo)-1]
+	lw.continueTo = lw.continueTo[:len(lw.continueTo)-1]
+	lw.bd.SetBlock(exit)
+}
+
+func (lw *lowerer) forStmt(s *ForStmt) {
+	if s.Init != nil {
+		lw.stmt(s.Init)
+	}
+	head := lw.newBlock("for.head")
+	body := lw.newBlock("for.body")
+	post := lw.newBlock("for.post")
+	exit := lw.newBlock("for.exit")
+	lw.bd.Br(head)
+	lw.bd.SetBlock(head)
+	if s.Cond != nil {
+		lw.cond(s.Cond, body, exit)
+	} else {
+		lw.bd.Br(body)
+	}
+	lw.breakTo = append(lw.breakTo, exit)
+	lw.continueTo = append(lw.continueTo, post)
+	lw.bd.SetBlock(body)
+	lw.block(s.Body)
+	if !lw.bd.Cur.Terminated() {
+		lw.bd.Br(post)
+	}
+	lw.bd.SetBlock(post)
+	if s.Post != nil {
+		lw.stmt(s.Post)
+	}
+	if !lw.bd.Cur.Terminated() {
+		lw.bd.Br(head)
+	}
+	lw.breakTo = lw.breakTo[:len(lw.breakTo)-1]
+	lw.continueTo = lw.continueTo[:len(lw.continueTo)-1]
+	lw.bd.SetBlock(exit)
+}
+
+// cond lowers e as a branch condition with short-circuit evaluation:
+// control transfers to t when e is truthy and to f otherwise.
+func (lw *lowerer) cond(e Expr, t, f *ir.Block) {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case AndAnd:
+			mid := lw.newBlock("and")
+			lw.cond(e.X, mid, f)
+			lw.bd.SetBlock(mid)
+			lw.cond(e.Y, t, f)
+			return
+		case OrOr:
+			mid := lw.newBlock("or")
+			lw.cond(e.X, t, mid)
+			lw.bd.SetBlock(mid)
+			lw.cond(e.Y, t, f)
+			return
+		case EqEq, NotEq, Lt, LtEq, Gt, GtEq:
+			x := lw.expr(e.X)
+			y := lw.expr(e.Y)
+			c := lw.bd.Bin(cmpOp(e.Op), x, y)
+			lw.bd.CondBr(c, t, f)
+			return
+		}
+	case *UnaryExpr:
+		if e.Op == Not {
+			lw.cond(e.X, f, t)
+			return
+		}
+	}
+	v := lw.expr(e)
+	z := lw.bd.Const(0)
+	c := lw.bd.Bin(ir.OpCmpNE, v, z)
+	lw.bd.CondBr(c, t, f)
+}
+
+func cmpOp(k Kind) ir.Op {
+	switch k {
+	case EqEq:
+		return ir.OpCmpEQ
+	case NotEq:
+		return ir.OpCmpNE
+	case Lt:
+		return ir.OpCmpLT
+	case LtEq:
+		return ir.OpCmpLE
+	case Gt:
+		return ir.OpCmpGT
+	case GtEq:
+		return ir.OpCmpGE
+	}
+	panic("lang: not a comparison " + k.String())
+}
+
+func binOp(k Kind) ir.Op {
+	switch k {
+	case Plus:
+		return ir.OpAdd
+	case Minus:
+		return ir.OpSub
+	case Star:
+		return ir.OpMul
+	case Slash:
+		return ir.OpDiv
+	case Percent:
+		return ir.OpRem
+	case Amp:
+		return ir.OpAnd
+	case Pipe:
+		return ir.OpOr
+	case Caret:
+		return ir.OpXor
+	case Shl:
+		return ir.OpShl
+	case Shr:
+		return ir.OpShr
+	}
+	panic("lang: not an arithmetic operator " + k.String())
+}
+
+// expr lowers e into a fresh register and returns it.
+func (lw *lowerer) expr(e Expr) ir.Reg {
+	if id, ok := e.(*Ident); ok {
+		return lw.vars[id.Name] // no copy needed for reads
+	}
+	r := lw.f.NewReg()
+	lw.exprInto(r, e)
+	return r
+}
+
+// exprInto lowers e, leaving its value in dst.
+func (lw *lowerer) exprInto(dst ir.Reg, e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		lw.bd.ConstInto(dst, e.Value)
+	case *Ident:
+		lw.bd.MovInto(dst, lw.vars[e.Name])
+	case *IndexExpr:
+		base := lw.arrays[e.Name]
+		idx := lw.expr(e.Index)
+		lw.bd.LoadInto(dst, idx, base)
+	case *CallExpr:
+		lw.callInto(dst, e)
+	case *UnaryExpr:
+		switch e.Op {
+		case Minus:
+			x := lw.expr(e.X)
+			lw.bd.Cur.Append(&ir.Instr{Op: ir.OpNeg, Dst: dst, A: x, B: ir.NoReg, Pred: ir.NoReg})
+		case Tilde:
+			x := lw.expr(e.X)
+			lw.bd.Cur.Append(&ir.Instr{Op: ir.OpNot, Dst: dst, A: x, B: ir.NoReg, Pred: ir.NoReg})
+		case Not:
+			x := lw.expr(e.X)
+			z := lw.bd.Const(0)
+			lw.bd.BinInto(ir.OpCmpEQ, dst, x, z)
+		default:
+			panic("lang: unknown unary " + e.Op.String())
+		}
+	case *BinaryExpr:
+		switch e.Op {
+		case AndAnd, OrOr:
+			// Value-context short circuit: materialize via CFG.
+			t := lw.newBlock("sc.t")
+			f := lw.newBlock("sc.f")
+			join := lw.newBlock("sc.join")
+			lw.cond(e, t, f)
+			lw.bd.SetBlock(t)
+			lw.bd.ConstInto(dst, 1)
+			lw.bd.Br(join)
+			lw.bd.SetBlock(f)
+			lw.bd.ConstInto(dst, 0)
+			lw.bd.Br(join)
+			lw.bd.SetBlock(join)
+		case EqEq, NotEq, Lt, LtEq, Gt, GtEq:
+			x := lw.expr(e.X)
+			y := lw.expr(e.Y)
+			lw.bd.BinInto(cmpOp(e.Op), dst, x, y)
+		default:
+			x := lw.expr(e.X)
+			y := lw.expr(e.Y)
+			lw.bd.BinInto(binOp(e.Op), dst, x, y)
+		}
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// exprForEffect lowers an expression statement; only calls have
+// effects, everything else is evaluated and discarded.
+func (lw *lowerer) exprForEffect(e Expr) {
+	if c, ok := e.(*CallExpr); ok {
+		lw.callInto(ir.NoReg, c)
+		return
+	}
+	lw.expr(e)
+}
+
+func (lw *lowerer) callInto(dst ir.Reg, c *CallExpr) {
+	args := make([]ir.Reg, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = lw.expr(a)
+	}
+	lw.bd.Cur.Append(&ir.Instr{Op: ir.OpCall, Dst: dst, A: ir.NoReg, B: ir.NoReg,
+		Pred: ir.NoReg, Callee: c.Name, Args: args})
+}

@@ -1,0 +1,463 @@
+package lang
+
+// Parser is a recursive-descent parser for tl.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete tl source file.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Line, t.Col, "expected %s, found %s %q", k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for {
+		switch p.cur().Kind {
+		case EOF:
+			return f, nil
+		case KwArray:
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Arrays = append(f.Arrays, d)
+		case KwFunc:
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		default:
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "expected declaration, found %s %q", t.Kind, t.Text)
+		}
+	}
+}
+
+func (p *Parser) arrayDecl() (*ArrayDecl, error) {
+	kw := p.next() // array
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBracket); err != nil {
+		return nil, err
+	}
+	size, err := p.expect(INT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RBracket); err != nil {
+		return nil, err
+	}
+	d := &ArrayDecl{Name: name.Text, Size: size.Int, Line: kw.Line}
+	if p.accept(Assign) {
+		if _, err := p.expect(LBrace); err != nil {
+			return nil, err
+		}
+		for !p.accept(RBrace) {
+			neg := p.accept(Minus)
+			v, err := p.expect(INT)
+			if err != nil {
+				return nil, err
+			}
+			val := v.Int
+			if neg {
+				val = -val
+			}
+			d.Init = append(d.Init, val)
+			if !p.accept(Comma) {
+				if _, err := p.expect(RBrace); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) funcDecl() (*FuncDecl, error) {
+	kw := p.next() // func
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	d := &FuncDecl{Name: name.Text, Line: kw.Line}
+	if p.cur().Kind != RParen {
+		for {
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			d.Params = append(d.Params, pn.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept(RBrace) {
+		if p.cur().Kind == EOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.block()
+	case KwVar:
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semicolon)
+		return s, err
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case KwFor:
+		return p.forStmt()
+	case KwBreak:
+		p.next()
+		_, err := p.expect(Semicolon)
+		return &BreakStmt{Line: t.Line}, err
+	case KwContinue:
+		p.next()
+		_, err := p.expect(Semicolon)
+		return &ContinueStmt{Line: t.Line}, err
+	case KwReturn:
+		p.next()
+		s := &ReturnStmt{Line: t.Line}
+		if p.cur().Kind != Semicolon {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		_, err := p.expect(Semicolon)
+		return s, err
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semicolon)
+		return s, err
+	}
+}
+
+func (p *Parser) varStmt() (Stmt, error) {
+	t := p.next() // var
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	s := &VarStmt{Name: name.Text, Line: t.Line}
+	if p.accept(Assign) {
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = v
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement without the
+// trailing semicolon (also used for for-loop init/post clauses).
+func (p *Parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind == KwVar {
+		return p.varStmt()
+	}
+	if t.Kind == IDENT {
+		// Lookahead for "ident =" or "ident [ expr ] =".
+		if p.toks[p.pos+1].Kind == Assign {
+			name := p.next()
+			p.next() // =
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.Text, Value: v, Line: t.Line}, nil
+		}
+		if p.toks[p.pos+1].Kind == LBracket {
+			// Could be an index assignment or an index expression; try
+			// assignment by scanning to the matching bracket.
+			save := p.pos
+			name := p.next()
+			p.next() // [
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if p.accept(Assign) {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: name.Text, Index: idx, Value: v, Line: t.Line}, nil
+			}
+			// Not an assignment: rewind and parse as expression.
+			p.pos = save
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.Line}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			e, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		} else {
+			e, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: t.Line}
+	if p.cur().Kind != Semicolon {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semicolon {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Pipe: 3, Caret: 4, Amp: 5,
+	EqEq: 6, NotEq: 6,
+	Lt: 7, LtEq: 7, Gt: 7, GtEq: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *Parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Kind, X: lhs, Y: rhs, Line: t.Line}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Minus, Not, Tilde:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		return &IntLit{Value: t.Int, Line: t.Line}, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return x, err
+	case IDENT:
+		p.next()
+		switch p.cur().Kind {
+		case LParen:
+			p.next()
+			c := &CallExpr{Name: t.Text, Line: t.Line}
+			if p.cur().Kind != RParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			_, err := p.expect(RParen)
+			return c, err
+		case LBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			_, err = p.expect(RBracket)
+			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, err
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	}
+	return nil, errf(t.Line, t.Col, "expected expression, found %s %q", t.Kind, t.Text)
+}

@@ -1,0 +1,322 @@
+package lang
+
+import "fmt"
+
+// UnrollFile applies front-end for-loop unrolling by the given factor
+// to every eligible innermost counted for-loop in the file, mirroring
+// the Scale compiler's early for-loop unrolling pass (the paper, §6).
+//
+// A loop is eligible when it has the shape
+//
+//	for (init; i < limit; i = i + c) { body }
+//
+// (or <=), with c a positive constant, limit an identifier or integer
+// literal not assigned in the body, i not assigned in the body, no
+// break/continue in the body, and no nested loops (innermost only).
+// The rewrite is the classical guarded unroll:
+//
+//	init;
+//	while (i + (k-1)*c < limit) { body; i=i+c; ... ×k }
+//	while (i < limit)           { body; i=i+c; }
+//
+// which preserves semantics for any trip count. Local variable
+// declarations inside duplicated bodies are renamed per copy.
+func UnrollFile(f *File, factor int) int {
+	if factor <= 1 {
+		return 0
+	}
+	n := 0
+	for _, fn := range f.Funcs {
+		n += unrollBlock(fn.Body, factor)
+	}
+	return n
+}
+
+func unrollBlock(b *BlockStmt, k int) int {
+	n := 0
+	for i, s := range b.Stmts {
+		switch s := s.(type) {
+		case *BlockStmt:
+			n += unrollBlock(s, k)
+		case *IfStmt:
+			n += unrollBlock(s.Then, k)
+			if s.Else != nil {
+				if eb, ok := s.Else.(*BlockStmt); ok {
+					n += unrollBlock(eb, k)
+				} else if ei, ok := s.Else.(*IfStmt); ok {
+					n += unrollBlock(&BlockStmt{Stmts: []Stmt{ei}}, k)
+				}
+			}
+		case *WhileStmt:
+			n += unrollBlock(s.Body, k)
+		case *ForStmt:
+			// Innermost first.
+			n += unrollBlock(s.Body, k)
+			if repl, ok := unrollFor(s, k); ok {
+				b.Stmts[i] = repl
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// unrollFor rewrites one eligible for-loop; ok is false if the loop is
+// not eligible.
+func unrollFor(s *ForStmt, k int) (Stmt, bool) {
+	if containsLoop(s.Body) || containsBreakContinue(s.Body) {
+		return nil, false
+	}
+	// Post must be i = i + c with constant c > 0.
+	post, ok := s.Post.(*AssignStmt)
+	if !ok || post.Index != nil {
+		return nil, false
+	}
+	iv := post.Name
+	step, ok := constStep(post.Value, iv)
+	if !ok || step <= 0 {
+		return nil, false
+	}
+	// Cond must be i < limit or i <= limit.
+	cond, ok := s.Cond.(*BinaryExpr)
+	if !ok || (cond.Op != Lt && cond.Op != LtEq) {
+		return nil, false
+	}
+	lhs, ok := cond.X.(*Ident)
+	if !ok || lhs.Name != iv {
+		return nil, false
+	}
+	var limitName string
+	switch lim := cond.Y.(type) {
+	case *IntLit:
+	case *Ident:
+		limitName = lim.Name
+	default:
+		return nil, false
+	}
+	// i and limit must not be assigned in the body.
+	if assigns(s.Body, iv) || (limitName != "" && assigns(s.Body, limitName)) {
+		return nil, false
+	}
+
+	out := &BlockStmt{}
+	if s.Init != nil {
+		out.Stmts = append(out.Stmts, s.Init)
+	}
+	// Guard: i + (k-1)*c </<= limit.
+	guard := &BinaryExpr{
+		Op: cond.Op,
+		X: &BinaryExpr{Op: Plus,
+			X: &Ident{Name: iv, Line: s.Line},
+			Y: &IntLit{Value: int64(k-1) * step, Line: s.Line}},
+		Y:    CloneExpr(cond.Y),
+		Line: s.Line,
+	}
+	unrolled := &BlockStmt{}
+	for j := 0; j < k; j++ {
+		body := CloneBlock(s.Body)
+		if j > 0 {
+			renameDecls(body, j)
+		}
+		unrolled.Stmts = append(unrolled.Stmts, body.Stmts...)
+		unrolled.Stmts = append(unrolled.Stmts, &AssignStmt{
+			Name: iv,
+			Value: &BinaryExpr{Op: Plus,
+				X:    &Ident{Name: iv, Line: s.Line},
+				Y:    &IntLit{Value: step, Line: s.Line},
+				Line: s.Line},
+			Line: s.Line,
+		})
+	}
+	out.Stmts = append(out.Stmts, &WhileStmt{Cond: guard, Body: unrolled, Line: s.Line})
+	// Remainder loop preserves the original per-iteration test.
+	rem := CloneBlock(s.Body)
+	renameDecls(rem, k)
+	rem.Stmts = append(rem.Stmts, CloneStmt(s.Post))
+	out.Stmts = append(out.Stmts, &WhileStmt{Cond: CloneExpr(s.Cond), Body: rem, Line: s.Line})
+	return out, true
+}
+
+// constStep matches "i + c" or "c + i" and returns c.
+func constStep(e Expr, iv string) (int64, bool) {
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != Plus {
+		return 0, false
+	}
+	if id, ok := b.X.(*Ident); ok && id.Name == iv {
+		if lit, ok := b.Y.(*IntLit); ok {
+			return lit.Value, true
+		}
+	}
+	if id, ok := b.Y.(*Ident); ok && id.Name == iv {
+		if lit, ok := b.X.(*IntLit); ok {
+			return lit.Value, true
+		}
+	}
+	return 0, false
+}
+
+func containsLoop(b *BlockStmt) bool {
+	found := false
+	walkStmts(b, func(s Stmt) {
+		switch s.(type) {
+		case *WhileStmt, *ForStmt:
+			found = true
+		}
+	})
+	return found
+}
+
+func containsBreakContinue(b *BlockStmt) bool {
+	found := false
+	walkStmts(b, func(s Stmt) {
+		switch s.(type) {
+		case *BreakStmt, *ContinueStmt:
+			found = true
+		}
+	})
+	return found
+}
+
+// assigns reports whether any statement in b assigns to the scalar
+// variable name (indexed assignments to an array of the same name do
+// not count) or re-declares it.
+func assigns(b *BlockStmt, name string) bool {
+	found := false
+	walkStmts(b, func(s Stmt) {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if s.Index == nil && s.Name == name {
+				found = true
+			}
+		case *VarStmt:
+			if s.Name == name {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// walkStmts visits every statement in b, including nested ones.
+func walkStmts(b *BlockStmt, visit func(Stmt)) {
+	for _, s := range b.Stmts {
+		visit(s)
+		switch s := s.(type) {
+		case *BlockStmt:
+			walkStmts(s, visit)
+		case *IfStmt:
+			walkStmts(s.Then, visit)
+			if s.Else != nil {
+				visit(s.Else)
+				switch e := s.Else.(type) {
+				case *BlockStmt:
+					walkStmts(e, visit)
+				case *IfStmt:
+					walkStmts(&BlockStmt{Stmts: []Stmt{e}}, visit)
+				}
+			}
+		case *WhileStmt:
+			walkStmts(s.Body, visit)
+		case *ForStmt:
+			if s.Init != nil {
+				visit(s.Init)
+			}
+			if s.Post != nil {
+				visit(s.Post)
+			}
+			walkStmts(s.Body, visit)
+		}
+	}
+}
+
+// renameDecls renames every variable declared inside b (and all its
+// uses within b) by appending a per-copy suffix, so duplicated bodies
+// do not redeclare locals.
+func renameDecls(b *BlockStmt, copyIdx int) {
+	ren := map[string]string{}
+	walkStmts(b, func(s Stmt) {
+		if v, ok := s.(*VarStmt); ok {
+			ren[v.Name] = fmt.Sprintf("%s__u%d", v.Name, copyIdx)
+		}
+	})
+	if len(ren) == 0 {
+		return
+	}
+	substBlock(b, ren)
+}
+
+func substBlock(b *BlockStmt, ren map[string]string) {
+	for _, s := range b.Stmts {
+		substStmt(s, ren)
+	}
+}
+
+func substStmt(s Stmt, ren map[string]string) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		substBlock(s, ren)
+	case *VarStmt:
+		if nn, ok := ren[s.Name]; ok {
+			s.Name = nn
+		}
+		if s.Init != nil {
+			substExpr(s.Init, ren)
+		}
+	case *AssignStmt:
+		if s.Index == nil {
+			if nn, ok := ren[s.Name]; ok {
+				s.Name = nn
+			}
+		} else {
+			substExpr(s.Index, ren)
+		}
+		substExpr(s.Value, ren)
+	case *IfStmt:
+		substExpr(s.Cond, ren)
+		substBlock(s.Then, ren)
+		if s.Else != nil {
+			substStmt(s.Else, ren)
+		}
+	case *WhileStmt:
+		substExpr(s.Cond, ren)
+		substBlock(s.Body, ren)
+	case *ForStmt:
+		if s.Init != nil {
+			substStmt(s.Init, ren)
+		}
+		if s.Cond != nil {
+			substExpr(s.Cond, ren)
+		}
+		if s.Post != nil {
+			substStmt(s.Post, ren)
+		}
+		substBlock(s.Body, ren)
+	case *ReturnStmt:
+		if s.Value != nil {
+			substExpr(s.Value, ren)
+		}
+	case *ExprStmt:
+		substExpr(s.X, ren)
+	}
+}
+
+func substExpr(e Expr, ren map[string]string) {
+	switch e := e.(type) {
+	case *Ident:
+		if nn, ok := ren[e.Name]; ok {
+			e.Name = nn
+		}
+	case *IndexExpr:
+		substExpr(e.Index, ren)
+	case *CallExpr:
+		for _, a := range e.Args {
+			substExpr(a, ren)
+		}
+	case *UnaryExpr:
+		substExpr(e.X, ren)
+	case *BinaryExpr:
+		substExpr(e.X, ren)
+		substExpr(e.Y, ren)
+	}
+}

@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// DeadCodeElim removes pure instructions from b whose destination is
+// neither read later in the block nor live out of it. liveOut may be
+// nil (treated as everything-dead, appropriate only for blocks whose
+// values provably do not escape). It reports whether anything was
+// removed.
+//
+// The pass walks backwards keeping a needed-register set. A
+// predicated definition does not remove its destination from the
+// needed set (the write may not execute, so earlier definitions still
+// matter).
+func DeadCodeElim(b *ir.Block, liveOut analysis.RegSet) bool {
+	needed := map[ir.Reg]bool{}
+	if liveOut != nil {
+		for _, r := range liveOut.Members() {
+			needed[r] = true
+		}
+	}
+	changed := false
+	var buf []ir.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op.Pure() {
+			if !needed[in.Dst] {
+				b.RemoveAt(i)
+				changed = true
+				continue
+			}
+			if !in.Predicated() {
+				needed[in.Dst] = false
+			}
+		} else if d := in.Def(); d.Valid() && !in.Predicated() {
+			// Impure definitions (loads, calls) are kept but still
+			// kill the register for earlier defs.
+			needed[d] = false
+		}
+		buf = in.Uses(buf)
+		for _, r := range buf {
+			needed[r] = true
+		}
+	}
+	return changed
+}
+
+// DeadCodeElimFunction runs DCE over every block using fresh
+// liveness.
+func DeadCodeElimFunction(f *ir.Function) bool {
+	lv := analysis.ComputeLiveness(f)
+	changed := false
+	for _, b := range f.Blocks {
+		if DeadCodeElim(b, lv.Out[b]) {
+			changed = true
+		}
+	}
+	return changed
+}

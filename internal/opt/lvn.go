@@ -1,0 +1,513 @@
+package opt
+
+import "repro/internal/ir"
+
+// valueNumbering is the per-block state of the predicate-aware local
+// value numbering pass.
+type valueNumbering struct {
+	f *ir.Function
+	b *ir.Block
+
+	nextVN  int
+	vn      map[ir.Reg]int // current value number of each register
+	consts  map[int]int64  // value number -> known constant
+	rep     map[int]ir.Reg // value number -> a register currently holding it
+	lastUse map[ir.Reg]int // instruction index of the latest read of a register
+	bools   map[int]bool   // value numbers known to be 0 or 1
+
+	// exprs maps expression keys to the value number they produce and
+	// the site that produced them (for instruction merging).
+	exprs map[exprKey]exprVal
+}
+
+type exprKey struct {
+	op        ir.Op
+	a, b      int // operand value numbers (-1 if unused)
+	imm       int64
+	pred      int // predicate value number (-1 if unpredicated)
+	predSense bool
+}
+
+// exitKey identifies an exit for duplicate elimination.
+type exitKey struct {
+	op     ir.Op
+	target *ir.Block
+	ret    int
+	pred   int
+	sense  bool
+}
+
+type exprVal struct {
+	vn  int
+	idx int    // instruction index that computed it
+	dst ir.Reg // destination it was computed into
+}
+
+func (v *valueNumbering) vnOf(r ir.Reg) int {
+	if n, ok := v.vn[r]; ok {
+		return n
+	}
+	n := v.newVN()
+	v.vn[r] = n
+	v.rep[n] = r
+	return n
+}
+
+func (v *valueNumbering) newVN() int {
+	v.nextVN++
+	return v.nextVN
+}
+
+// define gives r a fresh value number n and makes r its representative.
+func (v *valueNumbering) define(r ir.Reg, n int) {
+	if old, ok := v.vn[r]; ok && v.rep[old] == r {
+		delete(v.rep, old)
+	}
+	v.vn[r] = n
+	if _, ok := v.rep[n]; !ok {
+		v.rep[n] = r
+	}
+}
+
+// ValueNumber performs one forward pass of predicate-aware local value
+// numbering over b: constant folding, algebraic simplification, copy
+// propagation (operand canonicalization), common-subexpression
+// elimination, and complementary-predicate instruction merging. It
+// reports whether the block changed.
+func ValueNumber(f *ir.Function, b *ir.Block) bool {
+	v := &valueNumbering{
+		f: f, b: b,
+		vn:      map[ir.Reg]int{},
+		consts:  map[int]int64{},
+		rep:     map[int]ir.Reg{},
+		lastUse: map[ir.Reg]int{},
+		bools:   map[int]bool{},
+		exprs:   map[exprKey]exprVal{},
+	}
+	changed := false
+	var kill []int // instruction indices to delete afterwards
+	seenExits := map[exitKey]bool{}
+
+	for idx := 0; idx < len(b.Instrs); idx++ {
+		in := b.Instrs[idx]
+
+		// Canonicalize operands to representative registers (copy
+		// propagation). The predicate operand is canonicalized too.
+		canon := func(r ir.Reg) ir.Reg {
+			if !r.Valid() {
+				return r
+			}
+			n := v.vnOf(r)
+			if rep, ok := v.rep[n]; ok && rep != r {
+				return rep
+			}
+			return r
+		}
+		if in.A.Valid() {
+			if c := canon(in.A); c != in.A {
+				in.A = c
+				changed = true
+			}
+		}
+		if in.B.Valid() {
+			if c := canon(in.B); c != in.B {
+				in.B = c
+				changed = true
+			}
+		}
+		if in.Pred.Valid() {
+			if c := canon(in.Pred); c != in.Pred {
+				in.Pred = c
+				changed = true
+			}
+		}
+		for i, a := range in.Args {
+			if c := canon(a); c != a {
+				in.Args[i] = c
+				changed = true
+			}
+		}
+
+		// Predicate known constant? Fold the predicate away. Exits
+		// (branches, returns) are never *unpredicated* — that would
+		// break the block's exactly-one-exit structure — but an exit
+		// whose predicate is provably false can never fire and is
+		// safely deleted.
+		if in.Pred.Valid() {
+			if cv, ok := v.consts[v.vnOf(in.Pred)]; ok {
+				if (cv != 0) != in.PredSense {
+					// Never executes.
+					kill = append(kill, idx)
+					continue
+				}
+				if in.Op != ir.OpBr && in.Op != ir.OpRet {
+					in.Pred = ir.NoReg // always executes
+					changed = true
+				}
+			}
+		}
+
+		// Exact-duplicate exits (same target, same predicate value and
+		// sense) are redundant: dataflow execution fires an exit once.
+		if in.Op == ir.OpBr || in.Op == ir.OpRet {
+			k := exitKey{op: in.Op, target: in.Target, pred: -1}
+			if in.A.Valid() {
+				k.ret = v.vnOf(in.A)
+			}
+			if in.Pred.Valid() {
+				k.pred = v.vnOf(in.Pred)
+				k.sense = in.PredSense
+			}
+			if seenExits[k] {
+				kill = append(kill, idx)
+				continue
+			}
+			seenExits[k] = true
+		}
+
+		// Record uses.
+		for _, r := range in.Uses(nil) {
+			v.lastUse[r] = idx
+		}
+
+		if !in.Op.Pure() {
+			// Impure instructions still define (load/call): fresh vn.
+			if d := in.Def(); d.Valid() {
+				v.define(d, v.newVN())
+			}
+			continue
+		}
+
+		// Try constant folding.
+		if in.Op != ir.OpConst {
+			if folded, ok := v.foldConst(in); ok {
+				in.Op = ir.OpConst
+				in.Imm = folded
+				in.A, in.B = ir.NoReg, ir.NoReg
+				changed = true
+			} else if v.algebraic(in) {
+				changed = true
+			}
+		}
+
+		// Compute the expression key.
+		key := v.keyOf(in)
+
+		// Complementary-predicate instruction merging: same dst, same
+		// expression, opposite senses, dst untouched in between.
+		if in.Predicated() {
+			twinKey := key
+			twinKey.predSense = !key.predSense
+			if tw, ok := v.exprs[twinKey]; ok && tw.dst == in.Dst &&
+				b.Instrs[tw.idx].Dst == in.Dst &&
+				v.vn[in.Dst] == tw.vn &&
+				v.lastUse[in.Dst] < tw.idx+1 {
+				// Unpredicate the twin, delete this instruction.
+				b.Instrs[tw.idx].Pred = ir.NoReg
+				kill = append(kill, idx)
+				// dst's value number stays tw.vn.
+				changed = true
+				continue
+			}
+		}
+
+		if ev, ok := v.exprs[key]; ok {
+			// Available expression. If a register still holds it,
+			// turn this instruction into a copy (or delete it
+			// entirely when the destination already holds it under
+			// the same predicate).
+			if rep, live := v.rep[ev.vn]; live {
+				if rep == in.Dst && v.vn[in.Dst] == ev.vn {
+					kill = append(kill, idx)
+					changed = true
+					continue
+				}
+				if in.Op != ir.OpMov || in.A != rep {
+					in.Op = ir.OpMov
+					in.A = rep
+					in.B = ir.NoReg
+					in.Imm = 0
+					changed = true
+				}
+				if in.Predicated() {
+					v.define(in.Dst, v.newVN())
+				} else {
+					v.define(in.Dst, ev.vn)
+				}
+				continue
+			}
+		}
+
+		// New expression: assign its value number.
+		var n int
+		switch {
+		case in.Op == ir.OpConst && !in.Predicated():
+			n = v.constVN(in.Imm)
+		case in.Op == ir.OpMov && !in.Predicated():
+			n = v.vnOf(in.A)
+		case in.Predicated():
+			n = v.newVN() // predicated def: value is a runtime merge
+		default:
+			n = v.newVN()
+		}
+		if !in.Predicated() {
+			switch {
+			case in.Op.IsCompare():
+				v.bools[n] = true
+			case in.Op == ir.OpConst && (in.Imm == 0 || in.Imm == 1):
+				v.bools[n] = true
+			case (in.Op == ir.OpAnd || in.Op == ir.OpOr) &&
+				v.bools[v.vnOf(in.A)] && v.bools[v.vnOf(in.B)]:
+				v.bools[n] = true
+			}
+		}
+		v.define(in.Dst, n)
+		v.exprs[key] = exprVal{vn: n, idx: idx, dst: in.Dst}
+	}
+
+	if len(kill) > 0 {
+		for i := len(kill) - 1; i >= 0; i-- {
+			b.RemoveAt(kill[i])
+		}
+		changed = true
+	}
+	return changed
+}
+
+// constVN returns a stable value number for a constant, recording it
+// in the consts table.
+func (v *valueNumbering) constVN(imm int64) int {
+	// Search for an existing constant vn (linear in distinct consts;
+	// blocks are small).
+	for n, c := range v.consts {
+		if c == imm {
+			return n
+		}
+	}
+	n := v.newVN()
+	v.consts[n] = imm
+	return n
+}
+
+func (v *valueNumbering) keyOf(in *ir.Instr) exprKey {
+	k := exprKey{op: in.Op, a: -1, b: -1, imm: in.Imm, pred: -1}
+	if in.A.Valid() {
+		k.a = v.vnOf(in.A)
+	}
+	if in.B.Valid() {
+		k.b = v.vnOf(in.B)
+	}
+	if in.Pred.Valid() {
+		k.pred = v.vnOf(in.Pred)
+		k.predSense = in.PredSense
+	}
+	// Commutative normalization.
+	switch in.Op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpCmpEQ, ir.OpCmpNE:
+		if k.a > k.b {
+			k.a, k.b = k.b, k.a
+		}
+	}
+	return k
+}
+
+// foldConst evaluates in if all register operands hold known
+// constants; it returns the folded value.
+func (v *valueNumbering) foldConst(in *ir.Instr) (int64, bool) {
+	get := func(r ir.Reg) (int64, bool) {
+		c, ok := v.consts[v.vnOf(r)]
+		return c, ok
+	}
+	if in.Op.IsUnary() {
+		a, ok := get(in.A)
+		if !ok {
+			return 0, false
+		}
+		switch in.Op {
+		case ir.OpMov:
+			return a, true
+		case ir.OpNeg:
+			return -a, true
+		case ir.OpNot:
+			return ^a, true
+		}
+		return 0, false
+	}
+	if !in.Op.IsBinary() {
+		return 0, false
+	}
+	a, ok := get(in.A)
+	if !ok {
+		return 0, false
+	}
+	b, ok := get(in.B)
+	if !ok {
+		return 0, false
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, true
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, true
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return a >> (uint64(b) & 63), true
+	case ir.OpCmpEQ:
+		return b2i(a == b), true
+	case ir.OpCmpNE:
+		return b2i(a != b), true
+	case ir.OpCmpLT:
+		return b2i(a < b), true
+	case ir.OpCmpLE:
+		return b2i(a <= b), true
+	case ir.OpCmpGT:
+		return b2i(a > b), true
+	case ir.OpCmpGE:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+// algebraic applies identity simplifications with one constant
+// operand, rewriting in place. Returns whether it changed in.
+func (v *valueNumbering) algebraic(in *ir.Instr) bool {
+	if !in.Op.IsBinary() {
+		return false
+	}
+	constOf := func(r ir.Reg) (int64, bool) {
+		c, ok := v.consts[v.vnOf(r)]
+		return c, ok
+	}
+	toMov := func(src ir.Reg) {
+		in.Op = ir.OpMov
+		in.A = src
+		in.B = ir.NoReg
+		in.Imm = 0
+	}
+	toConst := func(c int64) {
+		in.Op = ir.OpConst
+		in.A, in.B = ir.NoReg, ir.NoReg
+		in.Imm = c
+	}
+	ca, aok := constOf(in.A)
+	cb, bok := constOf(in.B)
+	switch in.Op {
+	case ir.OpAdd:
+		if aok && ca == 0 {
+			toMov(in.B)
+			return true
+		}
+		if bok && cb == 0 {
+			toMov(in.A)
+			return true
+		}
+	case ir.OpSub:
+		if bok && cb == 0 {
+			toMov(in.A)
+			return true
+		}
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toConst(0)
+			return true
+		}
+	case ir.OpMul:
+		if (aok && ca == 0) || (bok && cb == 0) {
+			toConst(0)
+			return true
+		}
+		if aok && ca == 1 {
+			toMov(in.B)
+			return true
+		}
+		if bok && cb == 1 {
+			toMov(in.A)
+			return true
+		}
+	case ir.OpDiv:
+		if bok && cb == 1 {
+			toMov(in.A)
+			return true
+		}
+	case ir.OpAnd, ir.OpOr:
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toMov(in.A)
+			return true
+		}
+		if in.Op == ir.OpAnd && ((aok && ca == 0) || (bok && cb == 0)) {
+			toConst(0)
+			return true
+		}
+		if in.Op == ir.OpOr {
+			if aok && ca == 0 {
+				toMov(in.B)
+				return true
+			}
+			if bok && cb == 0 {
+				toMov(in.A)
+				return true
+			}
+		}
+	case ir.OpXor:
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toConst(0)
+			return true
+		}
+	case ir.OpShl, ir.OpShr:
+		if bok && cb == 0 {
+			toMov(in.A)
+			return true
+		}
+	case ir.OpCmpEQ:
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toConst(1)
+			return true
+		}
+	case ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpGT:
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toConst(0)
+			return true
+		}
+		// b != 0 is b itself when b is known boolean (predicate
+		// normalization glue from if-conversion folds to a copy).
+		if in.Op == ir.OpCmpNE && bok && cb == 0 && v.bools[v.vnOf(in.A)] {
+			toMov(in.A)
+			return true
+		}
+		if in.Op == ir.OpCmpNE && aok && ca == 0 && v.bools[v.vnOf(in.B)] {
+			toMov(in.B)
+			return true
+		}
+	case ir.OpCmpLE, ir.OpCmpGE:
+		if v.vnOf(in.A) == v.vnOf(in.B) {
+			toConst(1)
+			return true
+		}
+	}
+	return false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

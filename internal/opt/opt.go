@@ -1,0 +1,101 @@
+// Package opt implements the scalar optimizations that convergent
+// hyperblock formation interleaves with block merging, plus the
+// discrete whole-function optimization phase ("O" in the paper's
+// phase orderings):
+//
+//   - predicate-aware local value numbering with constant folding,
+//     algebraic simplification, and copy propagation;
+//   - instruction merging: identical computations on complementary
+//     predicates collapse into one unpredicated instruction (the
+//     paper's §3 example of an optimization only expressible after
+//     if-conversion);
+//   - dead code elimination against live-out information;
+//   - CFG cleanups (jump threading, unreachable-block removal).
+//
+// All block-local passes are sound on predicated hyperblocks: value
+// numbers track the sequential evolution of each register, and
+// predicated definitions always produce fresh value numbers.
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// OptimizeBlock runs the block-local pipeline (value numbering +
+// folding, then DCE) to a fixpoint (bounded), given the set of
+// registers live out of the block. It reports whether anything
+// changed.
+func OptimizeBlock(f *ir.Function, b *ir.Block, liveOut analysis.RegSet) bool {
+	changed := false
+	for i := 0; i < 4; i++ {
+		c1 := ValueNumber(f, b)
+		c2 := DeadCodeElim(b, liveOut)
+		if !c1 && !c2 {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// OptimizeFunction runs block-local optimization over every block of
+// f plus CFG cleanup. This is the discrete scalar-optimization phase.
+func OptimizeFunction(f *ir.Function) bool {
+	changed := ThreadJumps(f)
+	lv := analysis.ComputeLiveness(f)
+	for _, b := range f.Blocks {
+		if OptimizeBlock(f, b, lv.Out[b]) {
+			changed = true
+		}
+	}
+	if f.RemoveUnreachable() > 0 {
+		changed = true
+	}
+	return changed
+}
+
+// OptimizeProgram applies OptimizeFunction to every function.
+func OptimizeProgram(p *ir.Program) {
+	for _, f := range p.OrderedFuncs() {
+		OptimizeFunction(f)
+	}
+}
+
+// ThreadJumps removes trivial forwarding blocks: a non-entry block
+// consisting of a single unconditional branch is bypassed by
+// retargeting its predecessors. Returns whether anything changed.
+func ThreadJumps(f *ir.Function) bool {
+	changed := false
+	for {
+		again := false
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 1 {
+				continue
+			}
+			br := b.Instrs[0]
+			if br.Op != ir.OpBr || br.Predicated() || br.Target == b {
+				continue
+			}
+			target := br.Target
+			n := 0
+			for _, p := range f.Blocks {
+				if p == b {
+					continue
+				}
+				n += p.RetargetBranches(b, target)
+			}
+			if n > 0 {
+				again = true
+			}
+		}
+		if f.RemoveUnreachable() > 0 {
+			again = true
+		}
+		if !again {
+			break
+		}
+		changed = true
+	}
+	return changed
+}

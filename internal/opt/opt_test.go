@@ -1,0 +1,490 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+)
+
+func newBlockFunc() (*ir.Function, *ir.Block, *ir.Builder) {
+	f := ir.NewFunction("f", 4)
+	b := f.NewBlock("entry")
+	return f, b, ir.NewBuilder(f, b)
+}
+
+func liveOutOf(f *ir.Function, b *ir.Block) analysis.RegSet {
+	return analysis.ComputeLiveness(f).Out[b]
+}
+
+func TestConstantFolding(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	a := bd.Const(6)
+	c := bd.Const(7)
+	m := bd.Bin(ir.OpMul, a, c)
+	bd.Ret(m)
+	ValueNumber(f, b)
+	// The multiply must now be a constant 42.
+	found := false
+	for _, in := range b.Instrs {
+		if in.Dst == m && in.Op == ir.OpConst && in.Imm == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mul not folded:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestCSE(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	y := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1]) // same expr
+	s := bd.Bin(ir.OpMul, x, y)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	// y's instruction must be rewritten to a mov from x.
+	var yIn *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dst == y && in.Op != ir.OpBr {
+			yIn = in
+		}
+	}
+	if yIn == nil || yIn.Op != ir.OpMov || yIn.A != x {
+		t.Fatalf("CSE failed:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestCSECommutative(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	y := bd.Bin(ir.OpAdd, f.Params[1], f.Params[0])
+	s := bd.Bin(ir.OpMul, x, y)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	for _, in := range b.Instrs {
+		if in.Dst == y && in.Op == ir.OpAdd {
+			t.Fatalf("commutative CSE failed:\n%s", ir.FormatBlock(b))
+		}
+	}
+}
+
+func TestCSEInvalidatedByRedefinition(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	bd.ConstInto(f.Params[0], 99) // redefines an operand
+	y := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	s := bd.Bin(ir.OpMul, x, y)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	var yIn *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dst == y {
+			yIn = in
+		}
+	}
+	if yIn == nil || yIn.Op != ir.OpAdd {
+		t.Fatalf("CSE must not fire across operand redefinition:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	y := bd.Mov(x)
+	z := bd.Bin(ir.OpSub, y, f.Params[2])
+	bd.Ret(z)
+	ValueNumber(f, b)
+	var zIn *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dst == z {
+			zIn = in
+		}
+	}
+	if zIn.A != x {
+		t.Fatalf("copy not propagated:\n%s", ir.FormatBlock(b))
+	}
+	DeadCodeElim(b, liveOutOf(f, b))
+	for _, in := range b.Instrs {
+		if in.Dst == y {
+			t.Fatalf("dead mov not removed:\n%s", ir.FormatBlock(b))
+		}
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	z := bd.Const(0)
+	one := bd.Const(1)
+	a := f.Params[0]
+	r1 := bd.Bin(ir.OpAdd, a, z)    // a+0 -> a
+	r2 := bd.Bin(ir.OpMul, r1, one) // a*1 -> a
+	r3 := bd.Bin(ir.OpSub, r2, r2)  // x-x -> 0
+	r4 := bd.Bin(ir.OpXor, a, a)    // -> 0
+	r5 := bd.Bin(ir.OpOr, r3, r4)
+	bd.Ret(r5)
+	_ = r5
+	OptimizeBlock(f, b, liveOutOf(f, b))
+	// Everything folds to zero: after convergence the block is
+	// "const X, 0; ret X".
+	if len(b.Instrs) != 2 || b.Instrs[0].Op != ir.OpConst || b.Instrs[0].Imm != 0 {
+		t.Fatalf("identities not folded:\n%s", ir.FormatBlock(b))
+	}
+	if b.Instrs[1].Op != ir.OpRet || b.Instrs[1].A != b.Instrs[0].Dst {
+		t.Fatalf("ret should consume the folded zero:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestPredicatedCSESameSense(t *testing.T) {
+	f, b, _ := newBlockFunc()
+	p := f.Params[3]
+	x, y := f.NewReg(), f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: x, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: true})
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: y, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: true})
+	bd := ir.NewBuilder(f, b)
+	s := bd.Bin(ir.OpMul, x, y)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	var yIn *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dst == y {
+			yIn = in
+		}
+	}
+	if yIn.Op != ir.OpMov || yIn.A != x || yIn.Pred != p {
+		t.Fatalf("predicated same-sense CSE should produce predicated mov:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestPredicatedCSEDifferentSenseBlocked(t *testing.T) {
+	f, b, _ := newBlockFunc()
+	p := f.Params[3]
+	x, y := f.NewReg(), f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: x, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: true})
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: y, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: false})
+	bd := ir.NewBuilder(f, b)
+	s := bd.Bin(ir.OpMul, x, y)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	var yIn *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dst == y {
+			yIn = in
+		}
+	}
+	if yIn.Op != ir.OpAdd {
+		t.Fatalf("opposite-sense CSE into different dst must not fire:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestInstructionMerging(t *testing.T) {
+	// dst = a+b [p:t]; dst = a+b [p:f]  =>  dst = a+b (unpredicated)
+	f, b, _ := newBlockFunc()
+	p := f.Params[3]
+	dst := f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: dst, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: true})
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: dst, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: false})
+	bd := ir.NewBuilder(f, b)
+	bd.Ret(dst)
+	ValueNumber(f, b)
+	adds := 0
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpAdd {
+			adds++
+			if in.Predicated() {
+				t.Fatalf("merged instruction must be unpredicated:\n%s", ir.FormatBlock(b))
+			}
+		}
+	}
+	if adds != 1 {
+		t.Fatalf("instruction merging should leave 1 add, got %d:\n%s", adds, ir.FormatBlock(b))
+	}
+}
+
+func TestInstructionMergingBlockedByInterveningUse(t *testing.T) {
+	f, b, _ := newBlockFunc()
+	p := f.Params[3]
+	dst := f.NewReg()
+	u := f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: dst, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: true})
+	// Intervening read of dst observes the conditional value.
+	b.Append(&ir.Instr{Op: ir.OpMov, Dst: u, A: dst, B: ir.NoReg, Pred: ir.NoReg})
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: dst, A: f.Params[0], B: f.Params[1], Pred: p, PredSense: false})
+	bd := ir.NewBuilder(f, b)
+	s := bd.Bin(ir.OpAdd, u, dst)
+	bd.Ret(s)
+	ValueNumber(f, b)
+	preds := 0
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpAdd && in.Predicated() {
+			preds++
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("merging must be blocked by intervening use:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestConstantPredicateFolding(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	one := bd.Const(1)
+	x := f.NewReg()
+	// Always-true predicate: instruction becomes unpredicated.
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: x, A: f.Params[0], B: f.Params[1], Pred: one, PredSense: true})
+	// Never-true predicate: instruction deleted.
+	y := f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpAdd, Dst: y, A: f.Params[0], B: f.Params[1], Pred: one, PredSense: false})
+	s := bd.Bin(ir.OpAdd, x, f.Params[2])
+	bd.Ret(s)
+	ValueNumber(f, b)
+	for _, in := range b.Instrs {
+		if in.Dst == x && in.Predicated() {
+			t.Fatal("true predicate not folded")
+		}
+		if in.Dst == y && in.Op == ir.OpAdd {
+			t.Fatal("false-predicated instruction not deleted")
+		}
+	}
+}
+
+func TestBranchPredicatesNeverUnpredicated(t *testing.T) {
+	// Non-constant predicate: both exits must survive, predicated.
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	e1 := f.NewBlock("e1")
+	e2 := f.NewBlock("e2")
+	bd := ir.NewBuilder(f, b)
+	bd.CondBr(f.Params[0], e1, e2)
+	bd.SetBlock(e1)
+	bd.Ret(ir.NoReg)
+	bd.SetBlock(e2)
+	bd.Ret(ir.NoReg)
+	ValueNumber(f, b)
+	brs := b.Branches()
+	if len(brs) != 2 || !brs[0].Predicated() || !brs[1].Predicated() {
+		t.Fatalf("exit predicates must be preserved:\n%s", ir.FormatBlock(b))
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadBranchesDeleted(t *testing.T) {
+	// Constant predicate: the never-taken branch is deleted and the
+	// surviving branch stays predicated (never unpredicated).
+	f := ir.NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	e1 := f.NewBlock("e1")
+	e2 := f.NewBlock("e2")
+	bd := ir.NewBuilder(f, b)
+	one := bd.Const(1)
+	bd.CondBr(one, e1, e2)
+	bd.SetBlock(e1)
+	bd.Ret(ir.NoReg)
+	bd.SetBlock(e2)
+	bd.Ret(ir.NoReg)
+	ValueNumber(f, b)
+	brs := b.Branches()
+	if len(brs) != 1 || brs[0].Target != e1 || !brs[0].Predicated() {
+		t.Fatalf("never-firing branch should be deleted:\n%s", ir.FormatBlock(b))
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateExitsDeleted(t *testing.T) {
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	e1 := f.NewBlock("e1")
+	p := f.Params[0]
+	b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: p, PredSense: true, Target: e1})
+	b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: p, PredSense: true, Target: e1})
+	b.Append(&ir.Instr{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: p, PredSense: false})
+	ir.NewBuilder(f, e1).Ret(ir.NoReg)
+	ValueNumber(f, b)
+	if len(b.Branches()) != 1 {
+		t.Fatalf("duplicate branch should be deleted:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestDCE(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	dead := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	_ = dead
+	live := bd.Bin(ir.OpSub, f.Params[0], f.Params[1])
+	bd.Ret(live)
+	if !DeadCodeElim(b, liveOutOf(f, b)) {
+		t.Fatal("DCE should report change")
+	}
+	if len(b.Instrs) != 2 {
+		t.Fatalf("dead add not removed:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestDCEKeepsPredicatedChains(t *testing.T) {
+	// r = a   (unpred); r = b [p:t]; ret r
+	// Both defs are needed: the predicated def does not kill r.
+	f, b, _ := newBlockFunc()
+	r := f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[0], B: ir.NoReg, Pred: ir.NoReg})
+	b.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[1], B: ir.NoReg, Pred: f.Params[3], PredSense: true})
+	bd := ir.NewBuilder(f, b)
+	bd.Ret(r)
+	DeadCodeElim(b, liveOutOf(f, b))
+	if len(b.Instrs) != 3 {
+		t.Fatalf("predicated chain broken:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestDCERemovesShadowedDef(t *testing.T) {
+	// r = a; r = b (both unpred); ret r -> first def dead.
+	f, b, _ := newBlockFunc()
+	r := f.NewReg()
+	b.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[0], B: ir.NoReg, Pred: ir.NoReg})
+	b.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[1], B: ir.NoReg, Pred: ir.NoReg})
+	bd := ir.NewBuilder(f, b)
+	bd.Ret(r)
+	DeadCodeElim(b, liveOutOf(f, b))
+	if len(b.Instrs) != 2 {
+		t.Fatalf("shadowed def not removed:\n%s", ir.FormatBlock(b))
+	}
+	if b.Instrs[0].A != f.Params[1] {
+		t.Fatal("wrong def removed")
+	}
+}
+
+func TestDCEKeepsStoresAndCalls(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	bd.Store(f.Params[0], 0, f.Params[1])
+	bd.CallVoid("g")
+	bd.Ret(ir.NoReg)
+	DeadCodeElim(b, nil)
+	if len(b.Instrs) != 3 {
+		t.Fatalf("impure instructions removed:\n%s", ir.FormatBlock(b))
+	}
+}
+
+func TestThreadJumps(t *testing.T) {
+	f := ir.NewFunction("f", 0)
+	entry := f.NewBlock("entry")
+	hop := f.NewBlock("hop")
+	end := f.NewBlock("end")
+	bd := ir.NewBuilder(f, entry)
+	bd.Br(hop)
+	bd.SetBlock(hop)
+	bd.Br(end)
+	bd.SetBlock(end)
+	bd.Ret(ir.NoReg)
+	if !ThreadJumps(f) {
+		t.Fatal("ThreadJumps should change")
+	}
+	if len(f.Blocks) != 2 {
+		t.Fatalf("hop not removed: %d blocks", len(f.Blocks))
+	}
+	if entry.Succs()[0] != end {
+		t.Fatal("entry not retargeted")
+	}
+}
+
+func TestThreadJumpsKeepsSelfLoop(t *testing.T) {
+	f := ir.NewFunction("f", 0)
+	entry := f.NewBlock("entry")
+	spin := f.NewBlock("spin")
+	ir.NewBuilder(f, entry).Br(spin)
+	ir.NewBuilder(f, spin).Br(spin)
+	ThreadJumps(f)
+	if len(f.Blocks) != 2 {
+		t.Fatal("self-loop must not be threaded away")
+	}
+}
+
+// TestOptimizationPreservesSemantics compiles tl programs and checks
+// output equivalence before/after whole-function optimization.
+func TestOptimizationPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		`func main(n) {
+			var s = 0;
+			for (var i = 0; i < n; i = i + 1) {
+				var a = i * 2 + 0;
+				var b = i * 2;
+				s = s + a + b - (a - b);
+				if (s > 100 && i % 3 == 0) { s = s - 50; }
+			}
+			print(s);
+			return s;
+		}`,
+		`array t[16];
+		func main(n) {
+			for (var i = 0; i < 16; i = i + 1) { t[i] = i * i; }
+			var s = 0;
+			var j = 0;
+			while (j < n) {
+				s = s + t[j % 16];
+				j = j + 1;
+			}
+			print(s);
+			return s;
+		}`,
+		`func helper(a, b) { return a * b + a; }
+		func main(n) {
+			var s = 1;
+			for (var i = 1; i <= n; i = i + 1) { s = helper(s, i) % 9973; }
+			print(s);
+			return s;
+		}`,
+	}
+	for si, src := range srcs {
+		for _, n := range []int64{0, 1, 7, 30} {
+			prog, err := lang.Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1, o1, st1, err := functional.RunProgram(prog, "main", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := ir.CloneProgram(prog)
+			OptimizeProgram(opt)
+			if err := ir.VerifyProgram(opt); err != nil {
+				t.Fatalf("src %d: invalid after opt: %v", si, err)
+			}
+			v2, o2, st2, err := functional.RunProgram(opt, "main", n)
+			if err != nil {
+				t.Fatalf("src %d n %d: %v", si, n, err)
+			}
+			if v1 != v2 {
+				t.Fatalf("src %d n %d: result %d != %d", si, n, v1, v2)
+			}
+			if len(o1) != len(o2) {
+				t.Fatalf("src %d n %d: output length differs", si, n)
+			}
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					t.Fatalf("src %d n %d: output[%d] %d != %d", si, n, i, o1[i], o2[i])
+				}
+			}
+			if st2.Executed > st1.Executed {
+				t.Errorf("src %d n %d: optimization increased executed instructions %d -> %d",
+					si, n, st1.Executed, st2.Executed)
+			}
+		}
+	}
+}
+
+func TestOptimizeBlockFixpoint(t *testing.T) {
+	f, b, bd := newBlockFunc()
+	a := bd.Const(2)
+	c := bd.Const(3)
+	x := bd.Bin(ir.OpMul, a, c)
+	y := bd.Bin(ir.OpAdd, x, a)
+	z := bd.Bin(ir.OpAdd, y, c) // fully foldable chain
+	bd.Ret(z)
+	OptimizeBlock(f, b, liveOutOf(f, b))
+	// After convergence only "const z, 11; ret z" should remain.
+	if len(b.Instrs) != 2 || b.Instrs[0].Op != ir.OpConst || b.Instrs[0].Imm != 11 {
+		t.Fatalf("fixpoint not reached:\n%s", ir.FormatBlock(b))
+	}
+}

@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/sim/functional"
+)
+
+// genBlock builds a random straight-line block over nregs registers
+// from a byte string: each 4-byte group encodes (op, dst, a, b), with
+// every 3rd instruction predicated on a random register. The block
+// ends by returning a register derived from the input.
+func genBlock(code []byte, nparams int) (*ir.Program, int) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", nparams)
+	b := f.NewBlock("entry")
+	// A pool of writable registers beyond the params.
+	pool := make([]ir.Reg, 8)
+	bd := ir.NewBuilder(f, b)
+	for i := range pool {
+		pool[i] = f.NewReg()
+		bd.ConstInto(pool[i], int64(i*7-11))
+	}
+	all := append(append([]ir.Reg(nil), f.Params...), pool...)
+	reg := func(x byte) ir.Reg { return all[int(x)%len(all)] }
+	wreg := func(x byte) ir.Reg { return pool[int(x)%len(pool)] }
+
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT,
+		ir.OpCmpGE, ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpConst}
+	n := 0
+	for i := 0; i+3 < len(code); i += 4 {
+		op := ops[int(code[i])%len(ops)]
+		in := &ir.Instr{Op: op, Dst: wreg(code[i+1]), A: reg(code[i+2]), B: reg(code[i+3]),
+			Pred: ir.NoReg}
+		switch {
+		case op == ir.OpConst:
+			in.A, in.B = ir.NoReg, ir.NoReg
+			in.Imm = int64(int8(code[i+2]))
+		case op.IsUnary():
+			in.B = ir.NoReg
+		}
+		if n%3 == 2 {
+			in.Pred = reg(code[i+3] ^ 0x55)
+			in.PredSense = code[i]&1 == 0
+		}
+		b.Append(in)
+		n++
+	}
+	retReg := pool[0]
+	if len(code) > 0 {
+		retReg = pool[int(code[0])%len(pool)]
+	}
+	bd.Ret(retReg)
+	p.AddFunc(f)
+	return p, n
+}
+
+// Property: value numbering plus DCE never changes a random block's
+// result.
+func TestQuickOptimizationPreservesRandomBlocks(t *testing.T) {
+	f := func(code []byte, a, b int64) bool {
+		prog, n := genBlock(code, 2)
+		if n == 0 {
+			return true
+		}
+		want, _, _, err := functional.RunProgram(ir.CloneProgram(prog), "f", a, b)
+		if err != nil {
+			return false
+		}
+		opt := ir.CloneProgram(prog)
+		fn := opt.Func("f")
+		blk := fn.Entry()
+		OptimizeBlock(fn, blk, analysis.ComputeLiveness(fn).Out[blk])
+		if err := ir.VerifyProgram(opt); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		got, _, _, err := functional.RunProgram(opt, "f", a, b)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimization is idempotent in effect — a second pass never
+// changes the result either, and never grows the block.
+func TestQuickOptimizationIdempotentSize(t *testing.T) {
+	f := func(code []byte) bool {
+		prog, n := genBlock(code, 2)
+		if n == 0 {
+			return true
+		}
+		fn := prog.Func("f")
+		blk := fn.Entry()
+		OptimizeBlock(fn, blk, analysis.ComputeLiveness(fn).Out[blk])
+		size1 := len(blk.Instrs)
+		OptimizeBlock(fn, blk, analysis.ComputeLiveness(fn).Out[blk])
+		return len(blk.Instrs) <= size1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

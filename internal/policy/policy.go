@@ -1,0 +1,86 @@
+// Package policy implements the block-selection heuristics the paper
+// evaluates (§5, Table 2) as core.Policy implementations:
+//
+//   - BreadthFirst: greedy FIFO merging of all successors, level by
+//     level. The paper's best EDGE heuristic — it removes conditional
+//     branches and limits the serialization cost of tail duplication
+//     by including all paths.
+//   - DepthFirst: follows the most frequently executed successor
+//     chain, excluding infrequently-taken blocks. Includes the most
+//     useful instructions but performs more tail duplication.
+//   - VLIW: the Mahlke-style path-based heuristic — a prepass
+//     enumerates acyclic paths through the region, prioritizes them
+//     by execution frequency, dependence height, and resource
+//     consumption, and only blocks on selected paths are merged.
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// BreadthFirst merges candidates in discovery (FIFO) order.
+type BreadthFirst struct{}
+
+// Name implements core.Policy.
+func (BreadthFirst) Name() string { return "breadth-first" }
+
+// Prepare implements core.Policy.
+func (BreadthFirst) Prepare(*core.Context) {}
+
+// Select implements core.Policy: the oldest candidate first.
+func (BreadthFirst) Select(_ *core.Context, cands []*ir.Block) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// DepthFirst merges the most frequently executed candidate first and
+// refuses candidates whose entry edge is cold relative to the
+// hyperblock's execution count.
+type DepthFirst struct {
+	// MinFraction is the minimum edge-frequency : block-frequency
+	// ratio for a candidate to be considered (default 0.05). With no
+	// profile available every candidate is eligible and selection
+	// degenerates to LIFO (deepest-first) order.
+	MinFraction float64
+}
+
+// Name implements core.Policy.
+func (DepthFirst) Name() string { return "depth-first" }
+
+// Prepare implements core.Policy.
+func (DepthFirst) Prepare(*core.Context) {}
+
+// Select implements core.Policy.
+func (d DepthFirst) Select(ctx *core.Context, cands []*ir.Block) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	if ctx.Prof == nil {
+		return len(cands) - 1 // LIFO: deepest discovery first
+	}
+	minFrac := d.MinFraction
+	if minFrac == 0 {
+		minFrac = 0.05
+	}
+	hbFreq := ctx.Prof.BlockFreq(ctx.HB)
+	best, bestFreq := -1, int64(-1)
+	for i, s := range cands {
+		f := ctx.Prof.EdgeFreq(ctx.HB, s)
+		if f > bestFreq {
+			best, bestFreq = i, f
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	// Cold-candidate cutoff: depth-first excludes rarely taken
+	// blocks (which is what forces the extra tail duplication the
+	// paper analyzes in bzip2_3).
+	if hbFreq > 0 && float64(bestFreq) < minFrac*float64(hbFreq) {
+		return -1
+	}
+	return best
+}

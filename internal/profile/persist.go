@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// persistedProfile is the on-disk form: JSON with string keys (Go's
+// JSON maps require string keys).
+type persistedProfile struct {
+	Funcs map[string]persistedFunc `json:"funcs"`
+}
+
+type persistedFunc struct {
+	Entries    int64                       `json:"entries"`
+	BlockCount map[string]int64            `json:"blocks"`
+	EdgeCount  map[string]int64            `json:"edges"` // "from->to"
+	TripHist   map[string]map[string]int64 `json:"trips"` // header -> trip -> n
+}
+
+// Save writes the profile as JSON. Profiles from a training run can
+// be reused across compilations of the same source (the paper's Scale
+// flow consumes "data from previous compilations").
+func (p *Profile) Save(w io.Writer) error {
+	out := persistedProfile{Funcs: map[string]persistedFunc{}}
+	for name, fp := range p.Funcs {
+		pf := persistedFunc{
+			Entries:    fp.Entries,
+			BlockCount: map[string]int64{},
+			EdgeCount:  map[string]int64{},
+			TripHist:   map[string]map[string]int64{},
+		}
+		for id, c := range fp.BlockCount {
+			pf.BlockCount[strconv.Itoa(id)] = c
+		}
+		for e, c := range fp.EdgeCount {
+			pf.EdgeCount[fmt.Sprintf("%d->%d", e.From, e.To)] = c
+		}
+		for h, hist := range fp.TripHist {
+			m := map[string]int64{}
+			for trip, n := range hist {
+				m[strconv.FormatInt(trip, 10)] = n
+			}
+			pf.TripHist[strconv.Itoa(h)] = m
+		}
+		out.Funcs[name] = pf
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load reads a profile previously written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	var in persistedProfile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	p := &Profile{Funcs: map[string]*FuncProfile{}}
+	for name, pf := range in.Funcs {
+		fp := &FuncProfile{
+			Name:       name,
+			Entries:    pf.Entries,
+			BlockCount: map[int]int64{},
+			EdgeCount:  map[Edge]int64{},
+			TripHist:   map[int]map[int64]int64{},
+		}
+		for id, c := range pf.BlockCount {
+			n, err := strconv.Atoi(id)
+			if err != nil {
+				return nil, fmt.Errorf("profile: bad block id %q", id)
+			}
+			fp.BlockCount[n] = c
+		}
+		for e, c := range pf.EdgeCount {
+			var from, to int
+			if _, err := fmt.Sscanf(e, "%d->%d", &from, &to); err != nil {
+				return nil, fmt.Errorf("profile: bad edge %q", e)
+			}
+			fp.EdgeCount[Edge{from, to}] = c
+		}
+		for h, hist := range pf.TripHist {
+			hn, err := strconv.Atoi(h)
+			if err != nil {
+				return nil, fmt.Errorf("profile: bad header id %q", h)
+			}
+			m := map[int64]int64{}
+			for trip, n := range hist {
+				tn, err := strconv.ParseInt(trip, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("profile: bad trip %q", trip)
+				}
+				m[tn] = n
+			}
+			fp.TripHist[hn] = m
+		}
+		p.Funcs[name] = fp
+	}
+	return p, nil
+}

@@ -1,0 +1,75 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := `
+func helper(x) { return x * 2; }
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var j = 0;
+    while (j < 3) { s = s + helper(j); j = j + 1; }
+  }
+  return s;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _, err := Collect(prog, "main", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Funcs) != len(orig.Funcs) {
+		t.Fatalf("function count: %d vs %d", len(loaded.Funcs), len(orig.Funcs))
+	}
+	for name, ofp := range orig.Funcs {
+		lfp := loaded.Funcs[name]
+		if lfp == nil {
+			t.Fatalf("missing function %s", name)
+		}
+		if lfp.Entries != ofp.Entries {
+			t.Errorf("%s entries: %d vs %d", name, lfp.Entries, ofp.Entries)
+		}
+		if !reflect.DeepEqual(lfp.BlockCount, ofp.BlockCount) {
+			t.Errorf("%s block counts differ", name)
+		}
+		if !reflect.DeepEqual(lfp.EdgeCount, ofp.EdgeCount) {
+			t.Errorf("%s edge counts differ", name)
+		}
+		if !reflect.DeepEqual(lfp.TripHist, ofp.TripHist) {
+			t.Errorf("%s trip histograms differ: %v vs %v", name, lfp.TripHist, ofp.TripHist)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"funcs":{"f":{"blocks":{"x":1}}}}`,
+		`{"funcs":{"f":{"edges":{"junk":1}}}}`,
+		`{"funcs":{"f":{"trips":{"x":{"1":1}}}}}`,
+		`{"funcs":{"f":{"trips":{"1":{"x":1}}}}}`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+}

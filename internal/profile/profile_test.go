@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func compile(t *testing.T, src string) (p *Profile, result int64) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, v, err := Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, v
+}
+
+func TestCollectBlockAndEdgeCounts(t *testing.T) {
+	src := `
+func main() {
+  var s = 0;
+  var i = 0;
+  while (i < 10) {
+    if (i % 2 == 0) { s = s + i; }
+    i = i + 1;
+  }
+  return s;
+}`
+	prof, v := compile(t, src)
+	if v != 20 {
+		t.Fatalf("result = %d", v)
+	}
+	fp := prof.Get("main")
+	if fp.Entries != 1 {
+		t.Fatalf("Entries = %d", fp.Entries)
+	}
+	var totalBlocks int64
+	for _, c := range fp.BlockCount {
+		totalBlocks += c
+	}
+	if totalBlocks == 0 {
+		t.Fatal("no block counts recorded")
+	}
+	var maxEdge int64
+	for _, c := range fp.EdgeCount {
+		if c > maxEdge {
+			maxEdge = c
+		}
+	}
+	if maxEdge < 10 {
+		t.Fatalf("hottest edge should be traversed >= 10 times, got %d", maxEdge)
+	}
+}
+
+func TestTripHistogram(t *testing.T) {
+	// Inner loop always runs exactly 3 iterations; outer runs 5 times.
+	src := `
+func main() {
+  var t = 0;
+  for (var o = 0; o < 5; o = o + 1) {
+    var j = 0;
+    while (j < 3) { t = t + 1; j = j + 1; }
+  }
+  return t;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, v, err := Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 15 {
+		t.Fatalf("result = %d", v)
+	}
+	fp := prof.Get("main")
+	f := prog.Func("main")
+	// Find the while-loop header: a block whose trip histogram is
+	// {3: 5}.
+	found := false
+	for id, hist := range fp.TripHist {
+		if hist[3] == 5 && len(hist) == 1 {
+			found = true
+			if b := f.BlockByID(id); b == nil {
+				t.Fatal("trip header not a real block")
+			}
+			if avg, ok := fp.AvgTrip(f.BlockByID(id)); !ok || avg != 3 {
+				t.Fatalf("AvgTrip = %v, %v", avg, ok)
+			}
+			if trip, frac, ok := fp.DominantTrip(f.BlockByID(id)); !ok || trip != 3 || frac != 1 {
+				t.Fatalf("DominantTrip = %d, %f, %v", trip, frac, ok)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no loop with trip histogram {3:5}; got %v", fp.TripHist)
+	}
+}
+
+func TestTripHistogramVariable(t *testing.T) {
+	// Trips 1, 2, 3 once each.
+	src := `
+func main() {
+  var t = 0;
+  for (var o = 1; o <= 3; o = o + 1) {
+    var j = 0;
+    while (j < o) { t = t + 1; j = j + 1; }
+  }
+  return t;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := prof.Get("main")
+	ok := false
+	for _, hist := range fp.TripHist {
+		if hist[1] == 1 && hist[2] == 1 && hist[3] == 1 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("want {1:1,2:1,3:1} histogram, got %v", fp.TripHist)
+	}
+}
+
+func TestGetMissingFunction(t *testing.T) {
+	p := &Profile{Funcs: map[string]*FuncProfile{}}
+	fp := p.Get("nope")
+	if fp == nil || fp.BlockCount == nil {
+		t.Fatal("Get must return usable empty profile")
+	}
+}
+
+func TestCallsProfiledPerFunction(t *testing.T) {
+	src := `
+func helper(x) { return x * 2; }
+func main() {
+  var s = 0;
+  for (var i = 0; i < 4; i = i + 1) { s = s + helper(i); }
+  return s;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, v, err := Collect(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Fatalf("result = %d", v)
+	}
+	if prof.Get("helper").Entries != 4 {
+		t.Fatalf("helper entries = %d", prof.Get("helper").Entries)
+	}
+	if !strings.Contains(prof.String(), "func helper: 4 entries") {
+		t.Fatalf("String() missing helper:\n%s", prof.String())
+	}
+}

@@ -1,0 +1,9 @@
+package regalloc
+
+import "repro/internal/ir"
+
+// TrySpills exposes one allocation attempt's spill list (testing aid).
+func TrySpills(f *ir.Function, opts Options) []ir.Reg {
+	_, spills, _ := tryAllocate(f, opts.withDefaults(), ir.Reg(f.NumRegs()))
+	return spills
+}

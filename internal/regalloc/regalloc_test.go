@@ -1,0 +1,264 @@
+package regalloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const simpleSrc = `
+func main(a, b) {
+  var s = a + b;
+  var d = a - b;
+  if (s > d) { return s * d; }
+  return s + d;
+}`
+
+func TestAllocateSimple(t *testing.T) {
+	p := compile(t, simpleSrc)
+	f := p.Func("main")
+	asn, err := Allocate(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Spilled) != 0 {
+		t.Fatalf("unexpected spills: %v", asn.Spilled)
+	}
+	// Params precolored.
+	if asn.Phys[f.Params[0]] != 0 || asn.Phys[f.Params[1]] != 1 {
+		t.Fatalf("params not precolored: %v", asn.Phys)
+	}
+	// No two overlapping registers share a physical register: weak
+	// check — distinct regs live simultaneously through the whole
+	// function is hard to assert directly, so instead verify
+	// execution still works (spill-free allocation does not modify
+	// the function).
+	v, _, _, err := functional.RunProgram(p, "main", 10, 3)
+	if err != nil || v != 91 {
+		t.Fatalf("main(10,3) = %d, %v", v, err)
+	}
+}
+
+func TestAllocationAssignsAllRegs(t *testing.T) {
+	p := compile(t, simpleSrc)
+	f := p.Func("main")
+	asn, err := Allocate(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every register used by any instruction must be mapped.
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf)
+			for _, r := range buf {
+				if _, ok := asn.Phys[r]; !ok {
+					t.Fatalf("register %s unmapped", r)
+				}
+			}
+			if d := in.Def(); d.Valid() {
+				if _, ok := asn.Phys[d]; !ok {
+					t.Fatalf("def %s unmapped", d)
+				}
+			}
+		}
+	}
+}
+
+func TestBankBalancing(t *testing.T) {
+	// Many simultaneously-live registers: bank usage should spread.
+	src := `
+func main(n) {
+  var a = n + 1; var b = n + 2; var c = n + 3; var d = n + 4;
+  var e = n + 5; var f = n + 6; var g = n + 7; var h = n + 8;
+  return a*b + c*d + e*f + g*h + a*h;
+}`
+	p := compile(t, src)
+	f := p.Func("main")
+	asn, err := Allocate(f, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := map[int]int{}
+	for _, ph := range asn.Phys {
+		banks[ph%4]++
+	}
+	if len(banks) < 3 {
+		t.Fatalf("bank usage too skewed: %v", banks)
+	}
+}
+
+// spillSrc keeps ~40 values live at once under a tiny register file.
+const spillSrc = `
+func main(n) {
+  var a0 = n + 0; var a1 = n + 1; var a2 = n + 2; var a3 = n + 3;
+  var a4 = n + 4; var a5 = n + 5; var a6 = n + 6; var a7 = n + 7;
+  var a8 = n + 8; var a9 = n + 9; var b0 = n * 2; var b1 = n * 3;
+  var b2 = n * 4; var b3 = n * 5; var b4 = n * 6; var b5 = n * 7;
+  return a0+a1+a2+a3+a4+a5+a6+a7+a8+a9+b0+b1+b2+b3+b4+b5;
+}`
+
+func TestSpilling(t *testing.T) {
+	p := compile(t, spillSrc)
+	want, _, _, err := functional.RunProgram(ir.CloneProgram(p), "main", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("main")
+	asn, err := Allocate(f, p, Options{NumRegs: 8, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Spilled) == 0 {
+		t.Fatal("expected spills under an 8-register file")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("spill code broke verification: %v", err)
+	}
+	got, _, _, err := functional.RunProgram(p, "main", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("spilled program computes %d, want %d", got, want)
+	}
+}
+
+func TestRecursiveSpillRejected(t *testing.T) {
+	src := `
+func main(n) {
+  if (n < 2) { return n; }
+  var a0 = n + 0; var a1 = n + 1; var a2 = n + 2; var a3 = n + 3;
+  var a4 = n + 4; var a5 = n + 5; var a6 = n + 6; var a7 = n + 7;
+  var r = main(n - 1);
+  return a0+a1+a2+a3+a4+a5+a6+a7+r;
+}`
+	p := compile(t, src)
+	f := p.Func("main")
+	_, err := Allocate(f, p, Options{NumRegs: 6, Banks: 2})
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("want recursion rejection, got %v", err)
+	}
+}
+
+func TestSplitBlock(t *testing.T) {
+	p := compile(t, simpleSrc)
+	f := p.Func("main")
+	entry := f.Entry()
+	n := len(entry.Instrs)
+	if !splitBlock(f, entry) {
+		t.Fatal("splitBlock failed")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("split broke verification: %v", err)
+	}
+	if len(entry.Instrs) >= n {
+		t.Fatal("split did not shrink the block")
+	}
+	v, _, _, err := functional.RunProgram(p, "main", 10, 3)
+	if err != nil || v != 91 {
+		t.Fatalf("after split main(10,3) = %d, %v", v, err)
+	}
+}
+
+func TestReverseIfConversionLoop(t *testing.T) {
+	// Form big hyperblocks, then allocate with a tiny register file
+	// so spill code forces block splitting.
+	src := `
+array m[64];
+func main(n) {
+  for (var i = 0; i < 64; i = i + 1) { m[i] = i; }
+  var s = 0;
+  for (var j = 0; j < n; j = j + 1) {
+    var v = m[j % 64];
+    if (v > 31) { s = s + v * 2; } else { s = s - v; }
+  }
+  print(s);
+  return s;
+}`
+	p := compile(t, src)
+	want, wantOut, _, err := functional.RunProgram(ir.CloneProgram(p), "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.FormProgram(p, core.Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
+	f := p.Func("main")
+	asn, err := Allocate(f, p, Options{NumRegs: 32, Banks: 4,
+		Cons: trips.Constraints{MaxInstrs: 64, MaxMemOps: 16, RegBanks: 4,
+			MaxReadsPerBank: 8, MaxWritesPerBank: 8}})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	got, gotOut, _, err := functional.RunProgram(p, "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || len(gotOut) != len(wantOut) || gotOut[0] != wantOut[0] {
+		t.Fatalf("semantics broken: %d vs %d", got, want)
+	}
+	t.Logf("rounds=%d splits=%d spills=%d", asn.Rounds, asn.Splits, len(asn.Spilled))
+}
+
+func TestAllocateProgram(t *testing.T) {
+	src := `
+func helper(x) { return x * 2; }
+func main(n) { return helper(n) + 1; }`
+	p := compile(t, src)
+	asns, errs := AllocateProgram(p, Options{})
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(asns) != 2 {
+		t.Fatalf("want 2 assignments, got %d", len(asns))
+	}
+}
+
+func TestBankConstraintViolationDetected(t *testing.T) {
+	// Force every register into bank 0 with Banks=1... instead build
+	// an artificial assignment hitting the per-bank read limit.
+	f := ir.NewFunction("f", 10)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	acc := f.Params[0]
+	for i := 1; i < 10; i++ {
+		acc = bd.Bin(ir.OpAdd, acc, f.Params[i])
+	}
+	bd.Ret(acc)
+	// All 10 params read in one block; map them all to bank 0.
+	phys := map[ir.Reg]int{}
+	for i, p := range f.Params {
+		phys[p] = i * 4 // bank 0 under Banks=4
+	}
+	next := 100
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if d := in.Def(); d.Valid() {
+				if _, ok := phys[d]; !ok {
+					phys[d] = next
+					next += 4
+				}
+			}
+		}
+	}
+	opts := Options{}.withDefaults()
+	if v := findViolatingBlock(f, phys, opts); v == nil {
+		t.Fatal("bank overflow not detected")
+	}
+}

@@ -1,0 +1,486 @@
+// Package sched implements the back end of the paper's Figure 6
+// compiler flow after register allocation: fanout insertion and
+// instruction placement ("instruction positioning") onto the TRIPS
+// execution substrate, plus translation to a TRIPS-like textual
+// assembly (block-atomic target form).
+//
+// The TRIPS microarchitecture is a 4x4 grid of ALUs; each block maps
+// up to 128 instructions, eight per tile. Instructions name their
+// consumers (target form) rather than writing shared registers, and a
+// producer can encode at most two targets — values with more
+// consumers need an explicit fanout (mov) tree. Placement determines
+// operand routing distance: the scheduler below is a greedy
+// list-placer in the spirit of SPDI (Nagarajan et al., PACT 2004): it
+// walks each block in dependence order and places every instruction
+// on the free ALU slot that minimizes the Manhattan distance from its
+// producers, breaking ties toward the register-file row for block
+// inputs.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// GridConfig describes the execution substrate.
+type GridConfig struct {
+	// Rows x Cols ALU tiles (TRIPS: 4x4).
+	Rows, Cols int
+	// SlotsPerTile is the per-tile instruction capacity (TRIPS: 8).
+	SlotsPerTile int
+	// MaxTargets is the number of consumers a producer can name
+	// directly (TRIPS: 2); beyond that a fanout tree is inserted.
+	MaxTargets int
+}
+
+// DefaultGrid returns the TRIPS prototype's 4x4x8 substrate.
+func DefaultGrid() GridConfig {
+	return GridConfig{Rows: 4, Cols: 4, SlotsPerTile: 8, MaxTargets: 2}
+}
+
+// Slots returns the total instruction capacity.
+func (g GridConfig) Slots() int { return g.Rows * g.Cols * g.SlotsPerTile }
+
+// Placement is the result of scheduling one block.
+type Placement struct {
+	// Tile[i] is the tile index (row*Cols+col) of instruction i in
+	// the block's (post-fanout) instruction list.
+	Tile []int
+	// Fanouts is the number of fanout movs inserted.
+	Fanouts int
+	// RouteCost is the total Manhattan distance over all
+	// producer->consumer operand edges.
+	RouteCost int
+	// MaxHop is the longest single operand route.
+	MaxHop int
+}
+
+// BlockSchedule pairs a block with its placement.
+type BlockSchedule struct {
+	Block     *ir.Block
+	Placement Placement
+}
+
+// Scheduler places blocks onto a grid.
+type Scheduler struct {
+	Grid GridConfig
+}
+
+// New returns a scheduler for the given grid.
+func New(g GridConfig) *Scheduler {
+	if g.Rows == 0 {
+		g = DefaultGrid()
+	}
+	return &Scheduler{Grid: g}
+}
+
+// InsertFanout rewrites b so that no register value produced inside
+// the block has more than Grid.MaxTargets consumers: excess consumers
+// are fed through a tree of mov instructions. Returns the number of
+// movs inserted. Block inputs (values produced outside b) are assumed
+// to come from the register file, which has its own fanout hardware,
+// and are not rewritten.
+func (s *Scheduler) InsertFanout(f *ir.Function, b *ir.Block) int {
+	maxT := s.Grid.MaxTargets
+	if maxT <= 0 {
+		maxT = 2
+	}
+	// One scan: consumers per producer, by instruction pointer. A
+	// NullW's read of its own destination is an output-port name, not
+	// a routed operand (it cannot be redirected), and does not count.
+	defOf := map[ir.Reg]*ir.Instr{}
+	consumers := map[*ir.Instr][]*ir.Instr{}
+	var buf []ir.Reg
+	for _, in := range b.Instrs {
+		buf = in.Uses(buf)
+		for _, r := range buf {
+			if in.Op == ir.OpNullW && r == in.Dst {
+				continue
+			}
+			if d, ok := defOf[r]; ok {
+				consumers[d] = append(consumers[d], in)
+			}
+		}
+		if d := in.Def(); d.Valid() {
+			defOf[d] = in
+		}
+	}
+
+	// Rebuild the block, appending a fanout chain after each wide
+	// producer: the producer keeps maxT-1 consumers and feeds the
+	// first mov; each mov keeps maxT-1 and feeds the next; the last
+	// keeps up to maxT.
+	inserted := 0
+	out := make([]*ir.Instr, 0, len(b.Instrs))
+	for _, in := range b.Instrs {
+		out = append(out, in)
+		cons := consumers[in]
+		if len(cons) <= maxT {
+			continue
+		}
+		def := in.Def()
+		src := def
+		// The producer keeps its first maxT-1 consumers and feeds the
+		// chain (one more target = maxT). Each chain mov serves
+		// maxT-1 consumers and feeds the next mov; the final mov
+		// serves the rest (at most maxT).
+		rest := cons[maxT-1:]
+		for len(rest) > 0 {
+			// Fanout movs are unpredicated plain copies: they forward
+			// whatever value the register holds (the producer's result
+			// when its predicate fired, the prior value otherwise), so
+			// consumers observe exactly what they would have read from
+			// the original register.
+			t := f.NewReg()
+			out = append(out, &ir.Instr{Op: ir.OpMov, Dst: t, A: src, B: ir.NoReg,
+				Pred: ir.NoReg})
+			inserted++
+			serve := rest
+			if len(rest) > maxT {
+				serve = rest[:maxT-1]
+			}
+			for _, c := range serve {
+				rewriteUse(c, def, t)
+			}
+			rest = rest[len(serve):]
+			src = t
+		}
+	}
+	b.Instrs = out
+	return inserted
+}
+
+func rewriteUse(in *ir.Instr, from, to ir.Reg) {
+	if in.A == from {
+		in.A = to
+	}
+	if in.B == from {
+		in.B = to
+	}
+	if in.Pred == from {
+		in.Pred = to
+	}
+	for i, a := range in.Args {
+		if a == from {
+			in.Args[i] = to
+		}
+	}
+	// NullW reads its Dst; keep Dst as the architectural register
+	// (it is an output name, not a routed operand).
+}
+
+// Place assigns every instruction of b to a tile, greedily minimizing
+// operand routing distance. Call InsertFanout first for a fanout-
+// correct placement; Place itself accepts any block that fits the
+// grid's slot budget.
+func (s *Scheduler) Place(b *ir.Block) (Placement, error) {
+	g := s.Grid
+	n := len(b.Instrs)
+	if n > g.Slots() {
+		return Placement{}, fmt.Errorf("sched: block %s has %d instructions, grid holds %d",
+			b, n, g.Slots())
+	}
+	tiles := g.Rows * g.Cols
+	free := make([]int, tiles) // free slots per tile
+	for i := range free {
+		free[i] = g.SlotsPerTile
+	}
+	place := Placement{Tile: make([]int, n)}
+	pos := map[ir.Reg]int{} // reg -> tile of its latest producer
+
+	dist := func(a, b int) int {
+		ar, ac := a/g.Cols, a%g.Cols
+		br, bc := b/g.Cols, b%g.Cols
+		dr, dc := ar-br, ac-bc
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		return dr + dc
+	}
+
+	var buf []ir.Reg
+	for i, in := range b.Instrs {
+		// Candidate cost: sum of distances from each operand's
+		// producer tile (block inputs count distance from column 0,
+		// the register-file side).
+		best, bestCost := -1, 1<<30
+		buf = in.Uses(buf)
+		for t := 0; t < tiles; t++ {
+			if free[t] == 0 {
+				continue
+			}
+			cost := 0
+			for _, r := range buf {
+				if pt, ok := pos[r]; ok {
+					cost += dist(pt, t)
+				} else {
+					cost += t % g.Cols // register file at column 0
+				}
+			}
+			// Prefer spreading across tiles on ties (less slot
+			// contention): penalize fuller tiles slightly.
+			cost = cost*8 + (g.SlotsPerTile - free[t])
+			if cost < bestCost {
+				best, bestCost = t, cost
+			}
+		}
+		if best < 0 {
+			return Placement{}, fmt.Errorf("sched: no free slot for instruction %d", i)
+		}
+		free[best]--
+		place.Tile[i] = best
+		for _, r := range buf {
+			if pt, ok := pos[r]; ok {
+				d := dist(pt, best)
+				place.RouteCost += d
+				if d > place.MaxHop {
+					place.MaxHop = d
+				}
+			}
+		}
+		if d := in.Def(); d.Valid() {
+			pos[d] = best
+		}
+	}
+	return place, nil
+}
+
+// ScheduleFunction runs fanout insertion and placement over every
+// block of f, returning per-block schedules. Formation estimates
+// fanout overhead rather than measuring it (the paper's §6), so a
+// block can overflow the grid once real fanout movs are inserted;
+// such blocks are split (the same recovery Scale uses when later
+// phases break the block estimates) and both halves scheduled.
+func (s *Scheduler) ScheduleFunction(f *ir.Function) ([]BlockSchedule, error) {
+	var out []BlockSchedule
+	// Iterate over a worklist: splitting appends new blocks.
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		b := f.Blocks[bi]
+		fan := s.InsertFanout(f, b)
+		for len(b.Instrs) > s.Grid.Slots() {
+			if !splitForCapacity(f, b) {
+				return nil, fmt.Errorf("sched: block %s (%d instrs) cannot be split to fit %d slots",
+					b, len(b.Instrs), s.Grid.Slots())
+			}
+		}
+		pl, err := s.Place(b)
+		if err != nil {
+			return nil, err
+		}
+		pl.Fanouts = fan
+		out = append(out, BlockSchedule{Block: b, Placement: pl})
+	}
+	return out, nil
+}
+
+// splitForCapacity cuts b in half, moving the remainder to a fresh
+// fall-through block. Exits may appear anywhere in a hyperblock, so
+// the fall-through branch is predicated on "no earlier exit fired":
+// the conjunction of the complements of every exit predicate left in
+// the first half. Returns false when b has no legal cut.
+func splitForCapacity(f *ir.Function, b *ir.Block) bool {
+	// Choose the largest cut whose first half — including the guard
+	// glue (two instructions per retained exit plus the fall-through
+	// branch and a shared zero constant) — fits well inside the
+	// frame; this guarantees the split makes progress even for
+	// exit-dense hyperblocks.
+	budget := len(b.Instrs)/2 + 1
+	cut, nExits := 0, 0
+	for i, in := range b.Instrs {
+		isExit := in.Op == ir.OpBr || in.Op == ir.OpRet
+		if isExit && !in.Predicated() {
+			break // nothing may follow an unpredicated exit
+		}
+		e := nExits
+		if isExit {
+			e++
+		}
+		if (i+1)+2*e+2 > budget {
+			break
+		}
+		cut = i + 1
+		nExits = e
+	}
+	if cut < 1 || cut >= len(b.Instrs) {
+		return false
+	}
+
+	first := b.Instrs[:cut:cut]
+	rest := b.Instrs[cut:]
+	nb := &ir.Block{ID: -1, Name: b.Name + ".cap", Fn: f, Hyper: b.Hyper}
+	nb.Instrs = append(nb.Instrs, rest...)
+	f.AdoptBlock(nb)
+
+	// Guard the fall-through on the complement of every exit that
+	// stays in the first half.
+	type leg struct {
+		pred  ir.Reg
+		sense bool
+	}
+	var exits []leg
+	for _, in := range first {
+		if in.Op == ir.OpBr || in.Op == ir.OpRet {
+			exits = append(exits, leg{in.Pred, in.PredSense})
+		}
+	}
+	b.Instrs = first
+	guard := ir.NoReg
+	if len(exits) > 0 {
+		zero := f.NewReg()
+		b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpConst, Dst: zero,
+			A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Imm: 0})
+		for _, e := range exits {
+			// Complement: the exit does NOT fire when pred == 0 for
+			// sense true, pred != 0 for sense false.
+			op := ir.OpCmpEQ
+			if !e.sense {
+				op = ir.OpCmpNE
+			}
+			c := f.NewReg()
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: op, Dst: c,
+				A: e.pred, B: zero, Pred: ir.NoReg})
+			if !guard.Valid() {
+				guard = c
+			} else {
+				g := f.NewReg()
+				b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpAnd, Dst: g,
+					A: guard, B: c, Pred: ir.NoReg})
+				guard = g
+			}
+		}
+	}
+	br := &ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg,
+		Pred: guard, PredSense: true, Target: nb}
+	if !guard.Valid() {
+		br.Pred = ir.NoReg
+	}
+	b.Instrs = append(b.Instrs, br)
+	return true
+}
+
+// EmitAssembly renders a function as TRIPS-like block-atomic
+// assembly: one .bbegin/.bend section per block, instructions
+// annotated with their tile placement in target form (consumer lists
+// instead of destination registers for in-block temporaries), and
+// read/write pseudo-instructions for block inputs and outputs when an
+// architectural assignment is provided (phys maps virtual registers
+// to architectural register numbers; nil emits virtual names).
+func EmitAssembly(f *ir.Function, scheds []BlockSchedule, phys map[ir.Reg]int) string {
+	bySched := map[*ir.Block]Placement{}
+	for _, bs := range scheds {
+		bySched[bs.Block] = bs.Placement
+	}
+	lv := analysis.ComputeLiveness(f)
+
+	regName := func(r ir.Reg) string {
+		if !r.Valid() {
+			return "-"
+		}
+		if phys != nil {
+			if p, ok := phys[r]; ok {
+				return fmt.Sprintf("R%d", p)
+			}
+		}
+		return r.String()
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".global %s\n", f.Name)
+	for _, b := range f.Blocks {
+		pl, placed := bySched[b]
+		fmt.Fprintf(&sb, ".bbegin %s_b%d\n", f.Name, b.ID)
+		// Block inputs: read pseudo-ops.
+		for _, r := range analysis.BlockReads(b, lv) {
+			fmt.Fprintf(&sb, "  read %s\n", regName(r))
+		}
+		// Consumer map for target form: def index -> consumer
+		// indices.
+		defAt := map[ir.Reg]int{}
+		consumers := map[int][]int{}
+		var buf []ir.Reg
+		for i, in := range b.Instrs {
+			buf = in.Uses(buf)
+			for _, r := range buf {
+				if di, ok := defAt[r]; ok {
+					consumers[di] = append(consumers[di], i)
+				}
+			}
+			if d := in.Def(); d.Valid() {
+				defAt[d] = i
+			}
+		}
+		liveOut := map[ir.Reg]bool{}
+		for _, r := range analysis.LiveOutWrites(b, lv) {
+			liveOut[r] = true
+		}
+
+		for i, in := range b.Instrs {
+			tile := "  "
+			if placed && i < len(pl.Tile) {
+				tile = fmt.Sprintf("N%d", pl.Tile[i])
+			}
+			fmt.Fprintf(&sb, "  [%s] %s", tile, formatTargetForm(in, i, consumers, liveOut, regName))
+			sb.WriteByte('\n')
+		}
+		// Block outputs: write pseudo-ops.
+		for _, r := range analysis.LiveOutWrites(b, lv) {
+			fmt.Fprintf(&sb, "  write %s\n", regName(r))
+		}
+		fmt.Fprintf(&sb, ".bend\n")
+	}
+	return sb.String()
+}
+
+func formatTargetForm(in *ir.Instr, idx int, consumers map[int][]int,
+	liveOut map[ir.Reg]bool, regName func(ir.Reg) string) string {
+	var targets []string
+	for _, c := range consumers[idx] {
+		targets = append(targets, fmt.Sprintf("I%d", c))
+	}
+	if d := in.Def(); d.Valid() && liveOut[d] {
+		targets = append(targets, "W:"+regName(d))
+	}
+	tgt := ""
+	if len(targets) > 0 {
+		tgt = " -> " + strings.Join(targets, ",")
+	}
+	pred := ""
+	if in.Predicated() {
+		sense := "t"
+		if !in.PredSense {
+			sense = "f"
+		}
+		pred = fmt.Sprintf("<%s:%s> ", regName(in.Pred), sense)
+	}
+	switch {
+	case in.Op == ir.OpConst:
+		return fmt.Sprintf("%smovi #%d%s", pred, in.Imm, tgt)
+	case in.Op == ir.OpBr:
+		return fmt.Sprintf("%sbro %s_b%d", pred, in.Target.Fn.Name, in.Target.ID)
+	case in.Op == ir.OpRet:
+		return fmt.Sprintf("%sret %s", pred, regName(in.A))
+	case in.Op == ir.OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = regName(a)
+		}
+		return fmt.Sprintf("%scallo %s(%s)%s", pred, in.Callee, strings.Join(args, ","), tgt)
+	case in.Op == ir.OpLoad:
+		return fmt.Sprintf("%slw %s, %d%s", pred, regName(in.A), in.Imm, tgt)
+	case in.Op == ir.OpStore:
+		return fmt.Sprintf("%ssw %s, %d, %s", pred, regName(in.A), in.Imm, regName(in.B))
+	case in.Op == ir.OpNullW:
+		return fmt.Sprintf("%snull W:%s", pred, regName(in.Dst))
+	case in.Op.IsBinary():
+		return fmt.Sprintf("%s%s %s, %s%s", pred, in.Op, regName(in.A), regName(in.B), tgt)
+	case in.Op.IsUnary():
+		return fmt.Sprintf("%s%s %s%s", pred, in.Op, regName(in.A), tgt)
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/regalloc"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if g.Slots() != 128 {
+		t.Fatalf("TRIPS grid must hold 128 instructions, got %d", g.Slots())
+	}
+	if g.MaxTargets != 2 {
+		t.Fatal("TRIPS producers name at most 2 targets")
+	}
+}
+
+// buildWide creates a block where one value feeds many consumers.
+func buildWide(nConsumers int) (*ir.Program, *ir.Function, *ir.Block) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", 2)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	v := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	acc := bd.Const(0)
+	for i := 0; i < nConsumers; i++ {
+		acc = bd.Bin(ir.OpAdd, acc, v)
+	}
+	bd.Ret(acc)
+	p.AddFunc(f)
+	return p, f, b
+}
+
+func TestInsertFanout(t *testing.T) {
+	prog, f, b := buildWide(9)
+	want, _, _, err := functional.RunProgram(ir.CloneProgram(prog), "f", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultGrid())
+	n := s.InsertFanout(f, b)
+	if n == 0 {
+		t.Fatal("9 consumers need fanout movs")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// Post-condition: no in-block producer has more than MaxTargets
+	// in-block consumers.
+	defAt := map[ir.Reg]int{}
+	count := map[int]int{}
+	var buf []ir.Reg
+	for i, in := range b.Instrs {
+		buf = in.Uses(buf)
+		for _, r := range buf {
+			if di, ok := defAt[r]; ok {
+				count[di]++
+			}
+		}
+		if d := in.Def(); d.Valid() {
+			defAt[d] = i
+		}
+	}
+	for di, c := range count {
+		if c > DefaultGrid().MaxTargets {
+			t.Fatalf("instruction %d still has %d consumers", di, c)
+		}
+	}
+	// Semantics preserved.
+	got, _, _, err := functional.RunProgram(prog, "f", 3, 4)
+	if err != nil || got != want {
+		t.Fatalf("fanout broke semantics: %d vs %d (%v)", got, want, err)
+	}
+}
+
+func TestFanoutNoopWhenNarrow(t *testing.T) {
+	_, f, b := buildWide(2)
+	s := New(DefaultGrid())
+	if n := s.InsertFanout(f, b); n != 0 {
+		t.Fatalf("2 consumers need no fanout, inserted %d", n)
+	}
+}
+
+func TestPlaceRespectsCapacity(t *testing.T) {
+	_, f, b := buildWide(20)
+	s := New(GridConfig{Rows: 2, Cols: 2, SlotsPerTile: 4, MaxTargets: 2})
+	if _, err := s.Place(b); err == nil {
+		t.Fatal("block exceeding grid capacity must be rejected")
+	}
+	_ = f
+}
+
+func TestPlaceChainsNearby(t *testing.T) {
+	// A pure dependence chain should be placed with short hops.
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	v := f.Params[0]
+	for i := 0; i < 20; i++ {
+		v = bd.Bin(ir.OpAdd, v, v)
+	}
+	bd.Ret(v)
+	p.AddFunc(f)
+	s := New(DefaultGrid())
+	pl, err := s.Place(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Tile) != len(b.Instrs) {
+		t.Fatal("placement incomplete")
+	}
+	// A chain of 21 dependence edges on a 4x4 grid with 8 slots/tile:
+	// the greedy placer should keep the average hop short.
+	if pl.RouteCost > 2*len(b.Instrs) {
+		t.Fatalf("route cost %d too high for a chain", pl.RouteCost)
+	}
+	// Tile occupancy respected.
+	occ := map[int]int{}
+	for _, tile := range pl.Tile {
+		occ[tile]++
+		if occ[tile] > 8 {
+			t.Fatal("tile overfilled")
+		}
+	}
+}
+
+func TestScheduleFormedFunction(t *testing.T) {
+	src := `
+array a[64];
+func main(n) {
+  for (var i = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+  var s = 0;
+  for (var j = 0; j < n; j = j + 1) {
+    var v = a[j & 63];
+    if (v > 90) { s = s + v; } else { s = s + 1; }
+  }
+  print(s);
+  return s;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantOut, _, err := functional.RunProgram(ir.CloneProgram(prog), "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.FormProgram(prog, core.Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
+	s := New(DefaultGrid())
+	f := prog.Func("main")
+	scheds, err := s.ScheduleFunction(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != len(f.Blocks) {
+		t.Fatal("not every block scheduled")
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, gotOut, _, err := functional.RunProgram(prog, "main", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || len(gotOut) != len(wantOut) || gotOut[0] != wantOut[0] {
+		t.Fatalf("scheduling broke semantics: %d vs %d", got, want)
+	}
+}
+
+func TestEmitAssembly(t *testing.T) {
+	src := `func main(a, b) { if (a > b) { return a * 2; } return b; }`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("main")
+	s := New(DefaultGrid())
+	scheds, err := s.ScheduleFunction(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := EmitAssembly(f, scheds, nil)
+	for _, want := range []string{".global main", ".bbegin", ".bend", "read ", "bro ", "ret "} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+	// With a physical assignment, names become R<n>.
+	asn, err := regalloc.Allocate(f, prog, regalloc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm2 := EmitAssembly(f, scheds, asn.Phys)
+	if !strings.Contains(asm2, "R0") {
+		t.Errorf("physical register names missing:\n%s", asm2)
+	}
+}
+
+func TestEmitTargetForm(t *testing.T) {
+	// In-block consumers appear as I<n> targets; live-out writes as
+	// W: targets.
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", 2)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("exit")
+	bd := ir.NewBuilder(f, b)
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	y := bd.Bin(ir.OpMul, x, x)
+	bd.Br(e)
+	bd.SetBlock(e)
+	bd.Ret(y)
+	p.AddFunc(f)
+	s := New(DefaultGrid())
+	scheds, err := s.ScheduleFunction(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := EmitAssembly(f, scheds, nil)
+	if !strings.Contains(asm, "-> I1") {
+		t.Errorf("target form missing consumer targets:\n%s", asm)
+	}
+	if !strings.Contains(asm, "W:") {
+		t.Errorf("live-out write target missing:\n%s", asm)
+	}
+}

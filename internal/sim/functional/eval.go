@@ -1,0 +1,59 @@
+package functional
+
+import "repro/internal/ir"
+
+// EvalPure computes the result of a pure (register-only) instruction
+// given its operand values and immediate. It returns ok=false for
+// opcodes with memory or control effects. Both simulators share this
+// evaluator so their value semantics cannot diverge.
+func EvalPure(op ir.Op, a, b, imm int64) (int64, bool) {
+	switch op {
+	case ir.OpConst:
+		return imm, true
+	case ir.OpMov:
+		return a, true
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, true
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, true
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return a >> (uint64(b) & 63), true
+	case ir.OpNeg:
+		return -a, true
+	case ir.OpNot:
+		return ^a, true
+	case ir.OpCmpEQ:
+		return b2i(a == b), true
+	case ir.OpCmpNE:
+		return b2i(a != b), true
+	case ir.OpCmpLT:
+		return b2i(a < b), true
+	case ir.OpCmpLE:
+		return b2i(a <= b), true
+	case ir.OpCmpGT:
+		return b2i(a > b), true
+	case ir.OpCmpGE:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}

@@ -1,0 +1,123 @@
+package functional
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// Property: every comparison result is 0 or 1 for arbitrary operands.
+func TestQuickCompareResultsAreBoolean(t *testing.T) {
+	cmps := []ir.Op{ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE}
+	f := func(a, b int64) bool {
+		for _, op := range cmps {
+			v, ok := EvalPure(op, a, b, 0)
+			if !ok || (v != 0 && v != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a comparison and its negation always disagree.
+func TestQuickNegatedComparesAreComplementary(t *testing.T) {
+	cmps := []ir.Op{ir.OpCmpEQ, ir.OpCmpLT, ir.OpCmpLE}
+	f := func(a, b int64) bool {
+		for _, op := range cmps {
+			neg, _ := ir.NegateCompare(op)
+			v1, _ := EvalPure(op, a, b, 0)
+			v2, _ := EvalPure(neg, a, b, 0)
+			if v1 == v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the division identity a == b*(a/b) + (a%b) holds whenever
+// b != 0 (Go semantics), and both yield 0 when b == 0 (architectural
+// choice).
+func TestQuickDivRemIdentity(t *testing.T) {
+	f := func(a, b int64) bool {
+		q, ok1 := EvalPure(ir.OpDiv, a, b, 0)
+		r, ok2 := EvalPure(ir.OpRem, a, b, 0)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if b == 0 {
+			return q == 0 && r == 0
+		}
+		if a == -9223372036854775808 && b == -1 {
+			return true // wraps, like Go's quotient overflow panic avoided upstream
+		}
+		return a == b*q+r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: add/sub and neg are mutually inverse; not is an
+// involution.
+func TestQuickArithmeticInverses(t *testing.T) {
+	f := func(a, b int64) bool {
+		s, _ := EvalPure(ir.OpAdd, a, b, 0)
+		d, _ := EvalPure(ir.OpSub, s, b, 0)
+		if d != a {
+			return false
+		}
+		n, _ := EvalPure(ir.OpNeg, a, 0, 0)
+		nn, _ := EvalPure(ir.OpNeg, n, 0, 0)
+		if nn != a {
+			return false
+		}
+		c, _ := EvalPure(ir.OpNot, a, 0, 0)
+		cc, _ := EvalPure(ir.OpNot, c, 0, 0)
+		return cc == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: commutative opcodes commute.
+func TestQuickCommutativity(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpCmpEQ, ir.OpCmpNE}
+	f := func(a, b int64) bool {
+		for _, op := range ops {
+			x, _ := EvalPure(op, a, b, 0)
+			y, _ := EvalPure(op, b, a, 0)
+			if x != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shift amounts are taken mod 64 (never panic, stable
+// semantics for huge shift operands).
+func TestQuickShiftsMod64(t *testing.T) {
+	f := func(a, b int64) bool {
+		l1, _ := EvalPure(ir.OpShl, a, b, 0)
+		l2, _ := EvalPure(ir.OpShl, a, b&63, 0)
+		r1, _ := EvalPure(ir.OpShr, a, b, 0)
+		r2, _ := EvalPure(ir.OpShr, a, b&63, 0)
+		return l1 == l2 && r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package functional implements the architectural (functional)
+// simulator: it executes IR programs directly, producing the
+// program's observable output and architecture-independent event
+// counts (blocks executed, instructions executed, branches, memory
+// operations). It stands in for the TRIPS functional simulator
+// (tsim-arch) the paper uses to gather block counts and profiles.
+//
+// Execution semantics follow the EDGE block-atomic model expressed
+// sequentially: every instruction of a block is visited in order; an
+// instruction executes iff it is unpredicated or its predicate
+// register's truth value matches its sense; exactly one exit (branch
+// or return) may fire per block execution. Loads observe earlier
+// stores of the same block (LSQ store-load forwarding).
+package functional
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Stats aggregates dynamic execution counts.
+type Stats struct {
+	// Blocks is the number of block executions (the paper's "blocks
+	// executed" metric).
+	Blocks int64
+	// Fetched counts instructions occupying slots in executed blocks
+	// (total block sizes).
+	Fetched int64
+	// Executed counts instructions whose predicate was satisfied.
+	Executed int64
+	// Branches counts fired block exits; MispredictableBranches
+	// counts executed blocks with more than one static exit.
+	Branches int64
+	// Loads and Stores count executed memory operations.
+	Loads  int64
+	Stores int64
+	// Calls counts function invocations.
+	Calls int64
+}
+
+// Hooks are optional instrumentation callbacks.
+type Hooks struct {
+	// OnBlock fires before a block executes.
+	OnBlock func(f *ir.Function, b *ir.Block)
+	// OnEdge fires when control transfers from one block to another
+	// within a function (not across calls/returns).
+	OnEdge func(f *ir.Function, from, to *ir.Block)
+}
+
+// Machine executes a program.
+type Machine struct {
+	Prog *ir.Program
+	// Mem is the global memory image (word-addressed int64).
+	Mem []int64
+	// Output is the print stream — the program's observable output,
+	// used as the semantic-preservation oracle.
+	Output []int64
+	// Stats accumulates dynamic counts.
+	Stats Stats
+	// Hooks holds optional instrumentation.
+	Hooks Hooks
+	// MaxSteps bounds executed instructions (0 = default 500M); Run
+	// fails with ErrFuel when exceeded.
+	MaxSteps int64
+	// MaxDepth bounds call nesting (0 = default 512).
+	MaxDepth int
+
+	steps int64
+	depth int
+}
+
+// ErrFuel reports that execution exceeded MaxSteps.
+var ErrFuel = errors.New("functional: instruction budget exhausted")
+
+// New creates a machine with the program's initial memory image.
+func New(prog *ir.Program) *Machine {
+	m := &Machine{Prog: prog}
+	m.Mem = make([]int64, prog.MemSize)
+	for addr, v := range prog.InitData {
+		m.Mem[addr] = v
+	}
+	return m
+}
+
+// Reset restores initial memory, clears output and statistics.
+func (m *Machine) Reset() {
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	for addr, v := range m.Prog.InitData {
+		m.Mem[addr] = v
+	}
+	m.Output = nil
+	m.Stats = Stats{}
+	m.steps = 0
+	m.depth = 0
+}
+
+// Run executes the named function with the given arguments and
+// returns its result.
+func (m *Machine) Run(fn string, args ...int64) (int64, error) {
+	f := m.Prog.Func(fn)
+	if f == nil {
+		return 0, fmt.Errorf("functional: no function %q", fn)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("functional: %s takes %d args, got %d", fn, len(f.Params), len(args))
+	}
+	return m.call(f, args)
+}
+
+func (m *Machine) call(f *ir.Function, args []int64) (int64, error) {
+	maxDepth := m.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 512
+	}
+	if m.depth >= maxDepth {
+		return 0, fmt.Errorf("functional: call depth exceeds %d", maxDepth)
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	m.Stats.Calls++
+
+	regs := make([]int64, f.NumRegs())
+	for i, p := range f.Params {
+		regs[p] = args[i]
+	}
+	b := f.Entry()
+	for {
+		next, ret, retVal, err := m.execBlock(f, b, regs)
+		if err != nil {
+			return 0, err
+		}
+		if ret {
+			return retVal, nil
+		}
+		if m.Hooks.OnEdge != nil {
+			m.Hooks.OnEdge(f, b, next)
+		}
+		b = next
+	}
+}
+
+// execBlock runs one block to completion. It returns the successor
+// block, or ret=true with the return value.
+func (m *Machine) execBlock(f *ir.Function, b *ir.Block, regs []int64) (next *ir.Block, ret bool, retVal int64, err error) {
+	if m.Hooks.OnBlock != nil {
+		m.Hooks.OnBlock(f, b)
+	}
+	m.Stats.Blocks++
+	m.Stats.Fetched += int64(len(b.Instrs))
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 500_000_000
+	}
+
+	exits := 0
+	for _, in := range b.Instrs {
+		if m.steps >= maxSteps {
+			return nil, false, 0, ErrFuel
+		}
+		m.steps++
+		if in.Predicated() {
+			truth := regs[in.Pred] != 0
+			if truth != in.PredSense {
+				continue
+			}
+		}
+		m.Stats.Executed++
+		switch in.Op {
+		case ir.OpLoad:
+			addr := regs[in.A] + in.Imm
+			v, _ := m.load(addr)
+			regs[in.Dst] = v
+			m.Stats.Loads++
+		case ir.OpStore:
+			addr := regs[in.A] + in.Imm
+			if err := m.store(addr, regs[in.B]); err != nil {
+				return nil, false, 0, fmt.Errorf("%s.%s: %w", f.Name, b.Name, err)
+			}
+			m.Stats.Stores++
+		case ir.OpBr:
+			exits++
+			if exits > 1 {
+				return nil, false, 0, fmt.Errorf("functional: %s.%s fired multiple exits", f.Name, b.Name)
+			}
+			next = in.Target
+			m.Stats.Branches++
+		case ir.OpRet:
+			exits++
+			if exits > 1 {
+				return nil, false, 0, fmt.Errorf("functional: %s.%s fired multiple exits", f.Name, b.Name)
+			}
+			ret = true
+			if in.A.Valid() {
+				retVal = regs[in.A]
+			}
+			m.Stats.Branches++
+		case ir.OpCall:
+			if in.Callee == "print" && m.Prog.Externs["print"] {
+				m.Output = append(m.Output, regs[in.Args[0]])
+				break
+			}
+			callee := m.Prog.Func(in.Callee)
+			if callee == nil {
+				return nil, false, 0, fmt.Errorf("functional: call to unknown %q", in.Callee)
+			}
+			cargs := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				cargs[i] = regs[a]
+			}
+			v, err := m.call(callee, cargs)
+			if err != nil {
+				return nil, false, 0, err
+			}
+			if in.Dst.Valid() {
+				regs[in.Dst] = v
+			}
+		case ir.OpNullW:
+			// Output normalization: semantically a no-op.
+		default:
+			var a, bv int64
+			if in.A.Valid() {
+				a = regs[in.A]
+			}
+			if in.B.Valid() {
+				bv = regs[in.B]
+			}
+			v, ok := EvalPure(in.Op, a, bv, in.Imm)
+			if !ok {
+				return nil, false, 0, fmt.Errorf("functional: cannot execute %s", in.Op)
+			}
+			regs[in.Dst] = v
+		}
+	}
+	if exits == 0 {
+		return nil, false, 0, fmt.Errorf("functional: %s.%s produced no exit", f.Name, b.Name)
+	}
+	return next, ret, retVal, nil
+}
+
+// load implements speculative-load semantics: an address outside the
+// memory image reads as zero instead of faulting. Hyperblock
+// formation speculates loads from merged code, and a wrong-path
+// (predicate-false) load may compute a junk address; its value can
+// only reach architectural state through a commit gated on the
+// predicate, so the zero is never observable by a correct program.
+func (m *Machine) load(addr int64) (int64, error) {
+	if addr < 0 || addr >= int64(len(m.Mem)) {
+		return 0, nil
+	}
+	return m.Mem[addr], nil
+}
+
+func (m *Machine) store(addr, v int64) error {
+	if addr < 0 || addr >= int64(len(m.Mem)) {
+		return fmt.Errorf("store out of bounds: %d (mem %d)", addr, len(m.Mem))
+	}
+	m.Mem[addr] = v
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RunProgram is a convenience helper: build a machine, run fn, and
+// return (result, output, stats).
+func RunProgram(prog *ir.Program, fn string, args ...int64) (int64, []int64, Stats, error) {
+	m := New(prog)
+	v, err := m.Run(fn, args...)
+	return v, m.Output, m.Stats, err
+}

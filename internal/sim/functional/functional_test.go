@@ -1,0 +1,285 @@
+package functional
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildAbs constructs: f(a) = |a| as two basic blocks plus a join.
+func buildAbs() *ir.Program {
+	p := ir.NewProgram()
+	f := ir.NewFunction("abs", 1)
+	entry := f.NewBlock("entry")
+	neg := f.NewBlock("neg")
+	done := f.NewBlock("done")
+	bd := ir.NewBuilder(f, entry)
+	z := bd.Const(0)
+	c := bd.Bin(ir.OpCmpLT, f.Params[0], z)
+	r := f.NewReg()
+	bd.MovInto(r, f.Params[0])
+	bd.CondBr(c, neg, done)
+	bd.SetBlock(neg)
+	bd.Cur.Append(&ir.Instr{Op: ir.OpNeg, Dst: r, A: f.Params[0], B: ir.NoReg, Pred: ir.NoReg})
+	bd.Br(done)
+	bd.SetBlock(done)
+	bd.Ret(r)
+	p.AddFunc(f)
+	return p
+}
+
+func TestRunBasic(t *testing.T) {
+	p := buildAbs()
+	for _, tc := range []struct{ in, want int64 }{{5, 5}, {-5, 5}, {0, 0}} {
+		v, _, _, err := RunProgram(p, "abs", tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != tc.want {
+			t.Errorf("abs(%d) = %d", tc.in, v)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := buildAbs()
+	m := New(p)
+	if _, err := m.Run("abs", -3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Blocks != 3 {
+		t.Errorf("Blocks = %d, want 3", m.Stats.Blocks)
+	}
+	if m.Stats.Branches != 3 { // condbr + br + ret
+		t.Errorf("Branches = %d, want 3", m.Stats.Branches)
+	}
+	if m.Stats.Calls != 1 {
+		t.Errorf("Calls = %d", m.Stats.Calls)
+	}
+	if m.Stats.Executed >= m.Stats.Fetched {
+		t.Errorf("some instructions (untaken branch) must not execute: exec=%d fetch=%d",
+			m.Stats.Executed, m.Stats.Fetched)
+	}
+}
+
+// TestHyperblockSemantics builds a single predicated block equivalent
+// to abs: both arms predicated on the comparison, one exit each.
+func TestHyperblockSemantics(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("abs", 1)
+	hb := f.NewBlock("hb")
+	exitB := f.NewBlock("exit")
+	bd := ir.NewBuilder(f, hb)
+	z := bd.Const(0)
+	c := bd.Bin(ir.OpCmpLT, f.Params[0], z)
+	r := f.NewReg()
+	// r = a (pred false), r = -a (pred true)
+	hb.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[0], B: ir.NoReg, Pred: c, PredSense: false})
+	hb.Append(&ir.Instr{Op: ir.OpNeg, Dst: r, A: f.Params[0], B: ir.NoReg, Pred: c, PredSense: true})
+	bd.Br(exitB)
+	bd.SetBlock(exitB)
+	bd.Ret(r)
+	p.AddFunc(f)
+	for _, tc := range []struct{ in, want int64 }{{7, 7}, {-7, 7}} {
+		v, _, _, err := RunProgram(p, "abs", tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != tc.want {
+			t.Errorf("abs(%d) = %d", tc.in, v)
+		}
+	}
+}
+
+func TestMultipleExitsDetected(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("bad", 0)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("e")
+	bd := ir.NewBuilder(f, b)
+	one := bd.Const(1)
+	// Two branches both predicated true on the same condition.
+	b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: one, PredSense: true, Target: e})
+	b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: one, PredSense: true, Target: e})
+	bd.SetBlock(e)
+	bd.Ret(ir.NoReg)
+	p.AddFunc(f)
+	_, _, _, err := RunProgram(p, "bad")
+	if err == nil || !strings.Contains(err.Error(), "multiple exits") {
+		t.Fatalf("want multiple-exit error, got %v", err)
+	}
+}
+
+func TestNoExitDetected(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("bad", 0)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("e")
+	bd := ir.NewBuilder(f, b)
+	z := bd.Const(0)
+	// Branch predicated on a false condition: no exit fires.
+	b.Append(&ir.Instr{Op: ir.OpBr, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: z, PredSense: true, Target: e})
+	bd.SetBlock(e)
+	bd.Ret(ir.NoReg)
+	p.AddFunc(f)
+	_, _, _, err := RunProgram(p, "bad")
+	if err == nil || !strings.Contains(err.Error(), "no exit") {
+		t.Fatalf("want no-exit error, got %v", err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	p := ir.NewProgram()
+	p.AddGlobal("a", 4)
+	p.InitData[3] = 42
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	v := bd.Load(f.Params[0], 0)
+	bd.Ret(v)
+	p.AddFunc(f)
+	// Speculative-load semantics: out-of-range reads return zero.
+	if got, _, _, err := RunProgram(p, "f", 100); err != nil || got != 0 {
+		t.Fatalf("OOB load: got %d, %v (want 0, nil)", got, err)
+	}
+	if got, _, _, err := RunProgram(p, "f", -1); err != nil || got != 0 {
+		t.Fatalf("negative load: got %d, %v (want 0, nil)", got, err)
+	}
+	if got, _, _, err := RunProgram(p, "f", 3); err != nil || got != 42 {
+		t.Fatalf("in-bounds load: got %d, %v", got, err)
+	}
+	// Stores remain bounds-checked (they are never speculative).
+	g := ir.NewFunction("g", 1)
+	gb := g.NewBlock("entry")
+	gbd := ir.NewBuilder(g, gb)
+	gbd.Store(g.Params[0], 0, g.Params[0])
+	gbd.Ret(ir.NoReg)
+	p.AddFunc(g)
+	if _, _, _, err := RunProgram(p, "g", 100); err == nil {
+		t.Fatal("out-of-bounds store must fail")
+	}
+}
+
+func TestStoreLoadForwardingWithinBlock(t *testing.T) {
+	p := ir.NewProgram()
+	p.AddGlobal("a", 1)
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	z := bd.Const(0)
+	bd.Store(z, 0, f.Params[0])
+	v := bd.Load(z, 0)
+	bd.Ret(v)
+	p.AddFunc(f)
+	got, _, _, err := RunProgram(p, "f", 42)
+	if err != nil || got != 42 {
+		t.Fatalf("forwarding: got %d, %v", got, err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("spin", 0)
+	b := f.NewBlock("entry")
+	ir.NewBuilder(f, b).Br(b)
+	p.AddFunc(f)
+	m := New(p)
+	m.MaxSteps = 1000
+	_, err := m.Run("spin")
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("r", 0)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	v := bd.Call("r")
+	bd.Ret(v)
+	p.AddFunc(f)
+	m := New(p)
+	m.MaxDepth = 50
+	if _, err := m.Run("r"); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("want depth error, got %v", err)
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	p := ir.NewProgram()
+	p.AddGlobal("a", 2)
+	p.InitData[0] = 9
+	p.Externs["print"] = true
+	f := ir.NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	z := bd.Const(0)
+	v := bd.Load(z, 0)
+	bd.CallVoid("print", v)
+	one := bd.Const(1)
+	bd.Store(z, 0, one)
+	bd.Ret(v)
+	p.AddFunc(f)
+	m := New(p)
+	if _, err := m.Run("f"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[0] != 1 || len(m.Output) != 1 || m.Output[0] != 9 {
+		t.Fatalf("first run state wrong: mem=%v out=%v", m.Mem, m.Output)
+	}
+	m.Reset()
+	if m.Mem[0] != 9 || len(m.Output) != 0 || m.Stats.Blocks != 0 {
+		t.Fatal("Reset did not restore state")
+	}
+	if _, err := m.Run("f"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output[0] != 9 {
+		t.Fatal("second run saw stale memory")
+	}
+}
+
+func TestHooks(t *testing.T) {
+	p := buildAbs()
+	m := New(p)
+	var blocks, edges int
+	m.Hooks.OnBlock = func(f *ir.Function, b *ir.Block) { blocks++ }
+	m.Hooks.OnEdge = func(f *ir.Function, from, to *ir.Block) { edges++ }
+	if _, err := m.Run("abs", -1); err != nil {
+		t.Fatal(err)
+	}
+	if blocks != 3 || edges != 2 {
+		t.Fatalf("hooks: blocks=%d edges=%d", blocks, edges)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	p := ir.NewProgram()
+	if _, _, _, err := RunProgram(p, "nope"); err == nil {
+		t.Fatal("unknown function must fail")
+	}
+}
+
+func TestArgCountMismatch(t *testing.T) {
+	p := buildAbs()
+	if _, _, _, err := RunProgram(p, "abs"); err == nil {
+		t.Fatal("arg mismatch must fail")
+	}
+}
+
+func TestNullWIsNoop(t *testing.T) {
+	p := ir.NewProgram()
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	b.Append(&ir.Instr{Op: ir.OpNullW, Dst: f.Params[0], A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg})
+	bd.Ret(f.Params[0])
+	p.AddFunc(f)
+	got, _, _, err := RunProgram(p, "f", 77)
+	if err != nil || got != 77 {
+		t.Fatalf("nullw: %d, %v", got, err)
+	}
+}

@@ -1,0 +1,370 @@
+package timing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sim/functional"
+)
+
+// Stats aggregates the timing run's counters.
+type Stats struct {
+	// Cycles is the cycle count at the final block's commit.
+	Cycles int64
+	// Blocks is the number of blocks executed.
+	Blocks int64
+	// Executed counts executed (predicate-satisfied) instructions.
+	Executed int64
+	// Fetched counts instruction slots in executed blocks.
+	Fetched int64
+	// ExitLookups and Mispredicts summarize multi-exit block
+	// prediction; Flushes counts pipeline flushes taken.
+	ExitLookups int64
+	Mispredicts int64
+	Flushes     int64
+	// CacheAccesses and CacheMisses count data-cache behaviour.
+	CacheAccesses int64
+	CacheMisses   int64
+	// Calls counts function invocations.
+	Calls int64
+}
+
+// MispredictRate returns mispredicts per multi-exit lookup.
+func (s Stats) MispredictRate() float64 {
+	if s.ExitLookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.ExitLookups)
+}
+
+// ErrFuel reports that the run exceeded its instruction budget.
+var ErrFuel = errors.New("timing: instruction budget exhausted")
+
+// Machine is the cycle-level simulator.
+type Machine struct {
+	Prog *ir.Program
+	Cfg  Config
+	// Mem is the data memory image; Output the print stream.
+	Mem    []int64
+	Output []int64
+	Stats  Stats
+
+	pred *predictor
+	// cache holds one tag per line; -1 means invalid.
+	cache []int64
+
+	// Pipeline state.
+	prevFetchStart int64
+	lastCommitDone int64
+	nextFetchMin   int64
+	inflight       []int64 // commitDone times of recent blocks
+
+	steps int64
+	depth int
+
+	// TraceBlock, when set to "fn.block", prints a one-line timing
+	// summary for each execution of that block (debugging aid).
+	TraceBlock string
+	traced     int
+}
+
+// New creates a machine over prog with the given configuration.
+func New(prog *ir.Program, cfg Config) *Machine {
+	if cfg.IssueWidth == 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Machine{Prog: prog, Cfg: cfg, pred: newPredictor(cfg.HistoryLen)}
+	m.Mem = make([]int64, prog.MemSize)
+	for addr, v := range prog.InitData {
+		m.Mem[addr] = v
+	}
+	if cfg.CacheLines > 0 {
+		m.cache = make([]int64, cfg.CacheLines)
+		for i := range m.cache {
+			m.cache[i] = -1
+		}
+	}
+	return m
+}
+
+// Run simulates the named function and returns its result value.
+// Stats.Cycles holds the total cycle count afterwards.
+func (m *Machine) Run(fn string, args ...int64) (int64, error) {
+	f := m.Prog.Func(fn)
+	if f == nil {
+		return 0, fmt.Errorf("timing: no function %q", fn)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("timing: %s takes %d args, got %d", fn, len(f.Params), len(args))
+	}
+	times := make([]int64, len(args))
+	v, _, err := m.call(f, args, times)
+	if err != nil {
+		return 0, err
+	}
+	m.Stats.Cycles = m.lastCommitDone
+	m.Stats.ExitLookups = m.pred.Lookups
+	m.Stats.Mispredicts = m.pred.Mispredicts
+	return v, nil
+}
+
+// frame is a function activation: register values and readiness
+// times.
+type frame struct {
+	val  []int64
+	time []int64
+}
+
+func (m *Machine) call(f *ir.Function, args, argTimes []int64) (int64, int64, error) {
+	if m.depth >= 512 {
+		return 0, 0, fmt.Errorf("timing: call depth exceeds 512")
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+	m.Stats.Calls++
+
+	fr := &frame{
+		val:  make([]int64, f.NumRegs()),
+		time: make([]int64, f.NumRegs()),
+	}
+	for i, p := range f.Params {
+		fr.val[p] = args[i]
+		fr.time[p] = argTimes[i]
+	}
+	b := f.Entry()
+	for {
+		res, err := m.execBlock(f, b, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if res.ret {
+			return res.retVal, res.retTime, nil
+		}
+		b = res.next
+	}
+}
+
+type blockResult struct {
+	next    *ir.Block
+	ret     bool
+	retVal  int64
+	retTime int64
+}
+
+func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult, error) {
+	cfg := m.Cfg
+
+	// Fetch/map: pipelined behind the previous block, bounded by the
+	// in-flight window, and delayed by a pending misprediction flush.
+	fetchStart := m.prevFetchStart + int64(cfg.FetchGap)
+	if fetchStart < m.nextFetchMin {
+		fetchStart = m.nextFetchMin
+	}
+	if n := len(m.inflight); cfg.MaxInflight > 0 && n >= cfg.MaxInflight {
+		if w := m.inflight[n-cfg.MaxInflight]; fetchStart < w {
+			fetchStart = w
+		}
+	}
+	m.prevFetchStart = fetchStart
+	m.nextFetchMin = 0
+	readyBase := fetchStart + int64(cfg.FetchCycles)
+
+	m.Stats.Blocks++
+	m.Stats.Fetched += int64(len(b.Instrs))
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 500_000_000
+	}
+
+	issueUsed := map[int64]int{}
+	blockDone := readyBase
+	var res blockResult
+	exitOutcome := 0
+	exitResolve := int64(0)
+	exits := 0
+	var buf []ir.Reg
+
+	for _, in := range b.Instrs {
+		if m.steps >= maxSteps {
+			return res, ErrFuel
+		}
+		m.steps++
+		if in.Predicated() {
+			if (fr.val[in.Pred] != 0) != in.PredSense {
+				continue
+			}
+		}
+		m.Stats.Executed++
+
+		// Dataflow readiness: operands (including the predicate).
+		ready := readyBase
+		buf = in.Uses(buf)
+		for _, r := range buf {
+			if t := fr.time[r]; t > ready {
+				ready = t
+			}
+		}
+		// Issue-width contention within the block.
+		issueAt := ready
+		for issueUsed[issueAt] >= cfg.IssueWidth {
+			issueAt++
+		}
+		issueUsed[issueAt]++
+
+		var complete int64
+		switch in.Op {
+		case ir.OpMul:
+			complete = issueAt + cfg.latency(latMul)
+		case ir.OpDiv, ir.OpRem:
+			complete = issueAt + cfg.latency(latDiv)
+		default:
+			complete = issueAt + cfg.latency(latSimple)
+		}
+
+		switch in.Op {
+		case ir.OpLoad:
+			// Speculative-load semantics: out-of-range addresses read
+			// zero (a wrong-path load's value is only observable
+			// through a predicated commit, which will not fire).
+			addr := fr.val[in.A] + in.Imm
+			var v int64
+			if addr >= 0 && addr < int64(len(m.Mem)) {
+				v = m.Mem[addr]
+			}
+			complete = issueAt + int64(cfg.LoadLat) + m.cacheAccess(addr)
+			fr.val[in.Dst] = v
+			fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+		case ir.OpStore:
+			addr := fr.val[in.A] + in.Imm
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				return res, fmt.Errorf("timing: %s.%s: store out of bounds %d", f.Name, b.Name, addr)
+			}
+			complete = issueAt + 1 + m.cacheAccess(addr)
+			m.Mem[addr] = fr.val[in.B]
+		case ir.OpBr:
+			exits++
+			exitOutcome = in.Target.ID
+			exitResolve = complete
+			res.next = in.Target
+		case ir.OpRet:
+			exits++
+			exitOutcome = retOutcome
+			exitResolve = complete
+			res.ret = true
+			if in.A.Valid() {
+				res.retVal = fr.val[in.A]
+				res.retTime = fr.time[in.A]
+			}
+		case ir.OpCall:
+			if in.Callee == "print" && m.Prog.Externs["print"] {
+				m.Output = append(m.Output, fr.val[in.Args[0]])
+				break
+			}
+			callee := m.Prog.Func(in.Callee)
+			if callee == nil {
+				return res, fmt.Errorf("timing: unknown callee %q", in.Callee)
+			}
+			vals := make([]int64, len(in.Args))
+			times := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				vals[i] = fr.val[a]
+				times[i] = fr.time[a]
+			}
+			v, t, err := m.call(callee, vals, times)
+			if err != nil {
+				return res, err
+			}
+			if t < issueAt {
+				t = issueAt
+			}
+			complete = t + 1
+			if in.Dst.Valid() {
+				fr.val[in.Dst] = v
+				fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+			}
+		case ir.OpNullW:
+			// Output production only: completes when the predicate
+			// allows it; the value is unchanged.
+		default:
+			v, ok := functional.EvalPure(in.Op, m.operand(fr, in.A), m.operand(fr, in.B), in.Imm)
+			if !ok {
+				return res, fmt.Errorf("timing: cannot execute %s", in.Op)
+			}
+			fr.val[in.Dst] = v
+			fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+		}
+		if exits > 1 {
+			return res, fmt.Errorf("timing: %s.%s fired multiple exits", f.Name, b.Name)
+		}
+		if complete > blockDone {
+			blockDone = complete
+		}
+	}
+	if exits == 0 {
+		return res, fmt.Errorf("timing: %s.%s produced no exit", f.Name, b.Name)
+	}
+
+	// Commit: in order, after all outputs are produced.
+	commitDone := blockDone
+	if m.lastCommitDone > commitDone {
+		commitDone = m.lastCommitDone
+	}
+	commitDone += int64(cfg.CommitOverhead)
+	m.lastCommitDone = commitDone
+	m.inflight = append(m.inflight, commitDone)
+	if len(m.inflight) > 64 {
+		m.inflight = append([]int64(nil), m.inflight[len(m.inflight)-cfg.MaxInflight:]...)
+	}
+
+	if m.TraceBlock == f.Name+"."+b.Name && m.traced < 8 {
+		m.traced++
+		fmt.Printf("trace %s: fetch=%d readyBase=%d blockDone=%d span=%d commit=%d exec=%d\n",
+			m.TraceBlock, fetchStart, readyBase, blockDone, blockDone-readyBase, commitDone, len(issueUsed))
+	}
+
+	// Next-block prediction (returns and calls are handled by
+	// RAS/direct-target hardware and treated as predicted).
+	if exitOutcome != retOutcome {
+		if correct := m.pred.observe(f.Name, b, exitOutcome); !correct {
+			m.nextFetchMin = exitResolve + int64(cfg.MispredictPenalty)
+			m.Stats.Flushes++
+		}
+	}
+	return res, nil
+}
+
+func (m *Machine) operand(fr *frame, r ir.Reg) int64 {
+	if !r.Valid() {
+		return 0
+	}
+	return fr.val[r]
+}
+
+// cacheAccess returns the extra latency of a data access and updates
+// the cache state.
+func (m *Machine) cacheAccess(addr int64) int64 {
+	if m.cache == nil {
+		return 0
+	}
+	m.Stats.CacheAccesses++
+	line := addr / int64(m.Cfg.CacheLineWords)
+	if line < 0 {
+		line = -line
+	}
+	idx := line % int64(len(m.cache))
+	if m.cache[idx] == line {
+		return 0
+	}
+	m.cache[idx] = line
+	m.Stats.CacheMisses++
+	return int64(m.Cfg.CacheMissLat)
+}
+
+// RunProgram is a convenience wrapper: simulate fn on a fresh machine
+// with the default configuration.
+func RunProgram(prog *ir.Program, fn string, args ...int64) (int64, Stats, error) {
+	m := New(prog, DefaultConfig())
+	v, err := m.Run(fn, args...)
+	return v, m.Stats, err
+}

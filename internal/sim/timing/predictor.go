@@ -1,0 +1,85 @@
+package timing
+
+import "repro/internal/ir"
+
+// Exit outcome encoding for the predictor: a successor block ID, or
+// retOutcome for a return exit.
+const retOutcome = -2
+
+// predictor is the next-block predictor: a last-outcome table indexed
+// by a hash of (function, block, recent exit history). Blocks with a
+// single static exit outcome are inherently predictable and bypass
+// the table; calls are direct and returns are covered by a (perfect)
+// return-address stack, matching the strong call/return prediction of
+// real front ends.
+type predictor struct {
+	historyLen int
+	history    uint64
+	table      map[uint64]int // hashed (fn, block, history) -> predicted outcome
+
+	// Lookups and Mispredicts count dynamic multi-exit predictions.
+	Lookups     int64
+	Mispredicts int64
+}
+
+func newPredictor(historyLen int) *predictor {
+	if historyLen <= 0 {
+		historyLen = 6
+	}
+	return &predictor{historyLen: historyLen, table: map[uint64]int{}}
+}
+
+func (p *predictor) key(fn string, blockID int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(fn); i++ {
+		h = (h ^ uint64(fn[i])) * 1099511628211
+	}
+	h ^= uint64(uint32(blockID)) * 0x9e3779b97f4a7c15
+	h ^= p.history * 0xbf58476d1ce4e5b9
+	return h
+}
+
+// observe records one dynamic exit of a block and reports whether it
+// was predicted correctly. Single-outcome blocks always predict
+// correctly.
+func (p *predictor) observe(fn string, b *ir.Block, actual int) bool {
+	if out, single := singleExitOutcome(b); single {
+		_ = out
+		return true
+	}
+	p.Lookups++
+	k := p.key(fn, b.ID)
+	pred, known := p.table[k]
+	correct := known && pred == actual
+	if !correct {
+		p.Mispredicts++
+	}
+	p.table[k] = actual
+	p.history = (p.history<<4 | uint64(uint32(actual)&15)) & ((1 << (4 * uint(p.historyLen))) - 1)
+	return correct
+}
+
+// singleExitOutcome returns the block's only possible exit outcome
+// when it has exactly one distinct outcome (one branch target and no
+// return, or returns only).
+func singleExitOutcome(b *ir.Block) (int, bool) {
+	outcome := -1
+	seen := false
+	for _, in := range b.Instrs {
+		var o int
+		switch in.Op {
+		case ir.OpRet:
+			o = retOutcome
+		case ir.OpBr:
+			o = in.Target.ID
+		default:
+			continue
+		}
+		if !seen {
+			outcome, seen = o, true
+		} else if outcome != o {
+			return -1, false
+		}
+	}
+	return outcome, seen
+}

@@ -1,0 +1,112 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func twoExitBlock() (*ir.Function, *ir.Block, *ir.Block, *ir.Block) {
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	t1 := f.NewBlock("t")
+	t2 := f.NewBlock("u")
+	bd := ir.NewBuilder(f, b)
+	bd.CondBr(f.Params[0], t1, t2)
+	ir.NewBuilder(f, t1).Ret(ir.NoReg)
+	ir.NewBuilder(f, t2).Ret(ir.NoReg)
+	return f, b, t1, t2
+}
+
+func TestSingleExitOutcome(t *testing.T) {
+	f := ir.NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("exit")
+	ir.NewBuilder(f, b).Br(e)
+	ir.NewBuilder(f, e).Ret(ir.NoReg)
+	if o, single := singleExitOutcome(b); !single || o != e.ID {
+		t.Fatalf("single-branch block: %d, %v", o, single)
+	}
+	if o, single := singleExitOutcome(e); !single || o != retOutcome {
+		t.Fatalf("ret-only block: %d, %v", o, single)
+	}
+	_, twob, _, _ := func() (*ir.Function, *ir.Block, *ir.Block, *ir.Block) { return twoExitBlock() }()
+	if _, single := singleExitOutcome(twob); single {
+		t.Fatal("two-target block is not single-exit")
+	}
+}
+
+func TestPredictorLearnsStablePattern(t *testing.T) {
+	_, b, t1, _ := twoExitBlock()
+	p := newPredictor(6)
+	// Always the same outcome: each distinct history pattern trains
+	// separately, so warmup costs up to historyLen+1 cold misses and
+	// then the predictor is perfect.
+	misses := 0
+	for i := 0; i < 50; i++ {
+		if !p.observe("f", b, t1.ID) {
+			misses++
+		}
+	}
+	if misses > 7 {
+		t.Fatalf("stable pattern misses = %d, want <= 7 (history warmup)", misses)
+	}
+	// Steady state: no further misses.
+	before := p.Mispredicts
+	for i := 0; i < 50; i++ {
+		p.observe("f", b, t1.ID)
+	}
+	if p.Mispredicts != before {
+		t.Fatalf("steady-state mispredicts: %d new", p.Mispredicts-before)
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	_, b, t1, t2 := twoExitBlock()
+	p := newPredictor(6)
+	misses := 0
+	for i := 0; i < 200; i++ {
+		out := t1.ID
+		if i%2 == 1 {
+			out = t2.ID
+		}
+		if !p.observe("f", b, out) {
+			misses++
+		}
+	}
+	// History indexing should capture the alternation after warmup.
+	if misses > 20 {
+		t.Fatalf("alternating pattern misses = %d, too many", misses)
+	}
+}
+
+func TestPredictorCountsLookups(t *testing.T) {
+	_, b, t1, _ := twoExitBlock()
+	p := newPredictor(0) // default history length kicks in
+	for i := 0; i < 10; i++ {
+		p.observe("f", b, t1.ID)
+	}
+	if p.Lookups != 10 {
+		t.Fatalf("Lookups = %d", p.Lookups)
+	}
+	if p.Mispredicts == 0 || p.Mispredicts > 8 {
+		t.Fatalf("Mispredicts = %d", p.Mispredicts)
+	}
+}
+
+func TestPredictorSingleExitBypass(t *testing.T) {
+	f := ir.NewFunction("f", 0)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("exit")
+	ir.NewBuilder(f, b).Br(e)
+	ir.NewBuilder(f, e).Ret(ir.NoReg)
+	p := newPredictor(6)
+	for i := 0; i < 5; i++ {
+		if !p.observe("f", b, e.ID) {
+			t.Fatal("single-exit block must always predict")
+		}
+	}
+	if p.Lookups != 0 {
+		t.Fatalf("single-exit blocks must not consume table lookups: %d", p.Lookups)
+	}
+}

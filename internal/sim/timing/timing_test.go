@@ -1,0 +1,323 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+	"repro/internal/trips"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+const loopSrc = `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}`
+
+func TestResultsMatchFunctional(t *testing.T) {
+	srcs := []string{
+		loopSrc,
+		`array a[16];
+		 func main(n) {
+		   for (var i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+		   var s = 0;
+		   for (var j = 0; j < n; j = j + 1) { s = s + a[j % 16]; }
+		   print(s);
+		   return s;
+		 }`,
+		`func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+		 func main(n) { return fib(n % 12); }`,
+	}
+	for si, src := range srcs {
+		prog := compile(t, src)
+		for _, n := range []int64{0, 1, 5, 23} {
+			wantV, wantOut, _, err := functional.RunProgram(ir.CloneProgram(prog), "main", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := New(ir.CloneProgram(prog), DefaultConfig())
+			gotV, err := m.Run("main", n)
+			if err != nil {
+				t.Fatalf("src %d n %d: %v", si, n, err)
+			}
+			if gotV != wantV {
+				t.Fatalf("src %d n %d: %d != %d", si, n, gotV, wantV)
+			}
+			if len(m.Output) != len(wantOut) {
+				t.Fatalf("src %d n %d: output mismatch", si, n)
+			}
+			if m.Stats.Cycles <= 0 {
+				t.Fatalf("src %d: no cycles recorded", si)
+			}
+		}
+	}
+}
+
+func TestCyclesScaleWithWork(t *testing.T) {
+	prog := compile(t, loopSrc)
+	cyc := func(n int64) int64 {
+		m := New(ir.CloneProgram(prog), DefaultConfig())
+		if _, err := m.Run("main", n); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.Cycles
+	}
+	c10, c100, c1000 := cyc(10), cyc(100), cyc(1000)
+	if !(c10 < c100 && c100 < c1000) {
+		t.Fatalf("cycles must scale: %d, %d, %d", c10, c100, c1000)
+	}
+	// Roughly linear: 10x work within 5x..20x cycles.
+	if c1000 < c100*5 || c1000 > c100*20 {
+		t.Fatalf("scaling off: c100=%d c1000=%d", c100, c1000)
+	}
+}
+
+func TestBlockOverheadMatters(t *testing.T) {
+	// The same computation split over more blocks must cost more
+	// cycles (block overhead): compare a branchy loop against its
+	// hyperblock-formed version.
+	src := `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if ((i & 1) == 0) { s = s + i; } else { s = s + 1; }
+  }
+  return s;
+}`
+	prog := compile(t, src)
+	m0 := New(ir.CloneProgram(prog), DefaultConfig())
+	if _, err := m0.Run("main", 500); err != nil {
+		t.Fatal(err)
+	}
+	formed := ir.CloneProgram(prog)
+	core.FormProgram(formed, core.Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
+	m1 := New(formed, DefaultConfig())
+	if _, err := m1.Run("main", 500); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Stats.Blocks >= m0.Stats.Blocks {
+		t.Fatalf("formation should reduce blocks: %d -> %d", m0.Stats.Blocks, m1.Stats.Blocks)
+	}
+	if m1.Stats.Cycles >= m0.Stats.Cycles {
+		t.Fatalf("fewer blocks should be faster: %d -> %d cycles",
+			m0.Stats.Cycles, m1.Stats.Cycles)
+	}
+}
+
+func TestPredictableVsUnpredictableBranches(t *testing.T) {
+	// A data-dependent alternating-vs-chaotic branch: the chaotic
+	// version must mispredict more and run slower.
+	predictable := `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if ((i & 1) == 0) { s = s + 1; } else { s = s + 2; }
+  }
+  return s;
+}`
+	chaotic := `
+func main(n) {
+  var s = 0;
+  var x = 12345;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 48271) % 2147483647;
+    if ((x >> 7) & 1) { s = s + 1; } else { s = s + 2; }
+  }
+  return s;
+}`
+	run := func(src string) Stats {
+		m := New(compile(t, src), DefaultConfig())
+		if _, err := m.Run("main", 2000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats
+	}
+	sp := run(predictable)
+	sc := run(chaotic)
+	if sc.MispredictRate() <= sp.MispredictRate() {
+		t.Fatalf("chaotic branch must mispredict more: %.3f vs %.3f",
+			sc.MispredictRate(), sp.MispredictRate())
+	}
+	if sc.Flushes <= sp.Flushes {
+		t.Fatalf("chaotic branch must flush more: %d vs %d", sc.Flushes, sp.Flushes)
+	}
+}
+
+func TestPredicateDependenceDelaysOutputs(t *testing.T) {
+	// Two hand-built single-block functions computing the same thing:
+	// in one, a long dependence chain feeds the predicate of the
+	// final write; in the other the write is unpredicated. The
+	// predicated version must take at least as many cycles.
+	build := func(predicated bool) *ir.Program {
+		p := ir.NewProgram()
+		f := ir.NewFunction("f", 1)
+		b := f.NewBlock("entry")
+		bd := ir.NewBuilder(f, b)
+		x := f.Params[0]
+		for i := 0; i < 12; i++ {
+			x = bd.Bin(ir.OpMul, x, x) // long latency chain
+		}
+		z := bd.Const(0)
+		c := bd.Bin(ir.OpCmpGE, x, z)
+		out := f.NewReg()
+		bd.ConstInto(out, 7)
+		if predicated {
+			b.Append(&ir.Instr{Op: ir.OpNullW, Dst: out, A: ir.NoReg, B: ir.NoReg, Pred: c, PredSense: true})
+			b.Append(&ir.Instr{Op: ir.OpNullW, Dst: out, A: ir.NoReg, B: ir.NoReg, Pred: c, PredSense: false})
+		}
+		bd.Ret(out)
+		p.AddFunc(f)
+		return p
+	}
+	cyc := func(p *ir.Program) int64 {
+		m := New(p, DefaultConfig())
+		if _, err := m.Run("f", 3); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.Cycles
+	}
+	free := cyc(build(false))
+	gated := cyc(build(true))
+	if gated < free {
+		t.Fatalf("predicated outputs cannot be faster: %d < %d", gated, free)
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	src := `
+array big[4096];
+func main(n) {
+  var s = 0;
+  for (var r = 0; r < 4; r = r + 1) {
+    for (var i = 0; i < n; i = i + 1) { s = s + big[i]; }
+  }
+  return s;
+}`
+	// Small working set: high hit rate after warmup. Large working
+	// set exceeding the 256-line x 4-word cache: many misses.
+	small := New(compile(t, src), DefaultConfig())
+	if _, err := small.Run("main", 64); err != nil {
+		t.Fatal(err)
+	}
+	large := New(compile(t, src), DefaultConfig())
+	if _, err := large.Run("main", 4096); err != nil {
+		t.Fatal(err)
+	}
+	smallRate := float64(small.Stats.CacheMisses) / float64(small.Stats.CacheAccesses)
+	largeRate := float64(large.Stats.CacheMisses) / float64(large.Stats.CacheAccesses)
+	if largeRate <= smallRate {
+		t.Fatalf("large working set must miss more: %.3f vs %.3f", largeRate, smallRate)
+	}
+	// Disabling the cache removes miss accounting.
+	cfg := DefaultConfig()
+	cfg.CacheLines = 0
+	off := New(compile(t, src), cfg)
+	if _, err := off.Run("main", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.CacheMisses != 0 || off.Stats.CacheAccesses != 0 {
+		t.Fatal("disabled cache must not record accesses")
+	}
+}
+
+func TestIssueWidthContention(t *testing.T) {
+	// A block with many independent instructions: narrower issue
+	// width must take more cycles.
+	build := func() *ir.Program {
+		p := ir.NewProgram()
+		f := ir.NewFunction("f", 2)
+		b := f.NewBlock("entry")
+		bd := ir.NewBuilder(f, b)
+		var last ir.Reg
+		for i := 0; i < 64; i++ {
+			last = bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+		}
+		bd.Ret(last)
+		p.AddFunc(f)
+		return p
+	}
+	wide := DefaultConfig()
+	narrow := DefaultConfig()
+	narrow.IssueWidth = 1
+	mw := New(build(), wide)
+	if _, err := mw.Run("f", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	mn := New(build(), narrow)
+	if _, err := mn.Run("f", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if mn.Stats.Cycles <= mw.Stats.Cycles {
+		t.Fatalf("narrow issue must be slower: %d vs %d", mn.Stats.Cycles, mw.Stats.Cycles)
+	}
+}
+
+func TestMispredictPenaltyConfigurable(t *testing.T) {
+	chaotic := `
+func main(n) {
+  var s = 0;
+  var x = 99991;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 48271) % 2147483647;
+    if (x % 2 == 0) { s = s + 1; } else { s = s - 1; }
+  }
+  return s;
+}`
+	cheap := DefaultConfig()
+	cheap.MispredictPenalty = 0
+	dear := DefaultConfig()
+	dear.MispredictPenalty = 60
+	m1 := New(compile(t, chaotic), cheap)
+	if _, err := m1.Run("main", 1000); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(compile(t, chaotic), dear)
+	if _, err := m2.Run("main", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.Cycles <= m1.Stats.Cycles {
+		t.Fatalf("higher flush penalty must cost cycles: %d vs %d",
+			m2.Stats.Cycles, m1.Stats.Cycles)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	prog := compile(t, loopSrc)
+	m := New(prog, DefaultConfig())
+	if _, err := m.Run("nosuch"); err == nil {
+		t.Fatal("unknown function must fail")
+	}
+	if _, err := m.Run("main"); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxSteps = 10
+	m2 := New(compile(t, loopSrc), cfg)
+	if _, err := m2.Run("main", 100000); err != ErrFuel {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestSingleExitAlwaysPredicted(t *testing.T) {
+	// A straight-line chain of single-exit blocks never mispredicts.
+	src := `func main(a) { var x = a + 1; var y = x * 2; return y; }`
+	m := New(compile(t, src), DefaultConfig())
+	if _, err := m.Run("main", 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Mispredicts != 0 {
+		t.Fatalf("straight-line code mispredicted %d times", m.Stats.Mispredicts)
+	}
+}

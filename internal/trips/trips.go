@@ -1,0 +1,260 @@
+// Package trips encodes the TRIPS ISA's structural block constraints
+// (the paper, §2) and the machinery the compiler needs to respect
+// them: block resource measurement, legality checking, and block
+// output normalization (null writes) so that every predicate path
+// through a block produces the same number of outputs.
+package trips
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Constraints are the per-block structural limits. The TRIPS
+// prototype values are the defaults; tests use smaller ones to force
+// interesting convergence behaviour.
+type Constraints struct {
+	// MaxInstrs bounds the regular instructions in a block (TRIPS:
+	// 128).
+	MaxInstrs int
+	// MaxMemOps bounds load/store queue identifiers (TRIPS: 32).
+	MaxMemOps int
+	// RegBanks is the number of register banks (TRIPS: 4).
+	RegBanks int
+	// MaxReadsPerBank / MaxWritesPerBank bound the read/write
+	// instructions per bank (TRIPS: 8 each, i.e. 32 total reads and
+	// 32 total writes).
+	MaxReadsPerBank  int
+	MaxWritesPerBank int
+	// FanoutFactor approximates the instruction overhead of
+	// replicating a value to many consumers (fanout insertion, §6):
+	// one extra instruction is charged per FanoutFactor consumers
+	// beyond the first ... 0 disables the charge.
+	FanoutFactor int
+}
+
+// Default returns the TRIPS prototype's constraints.
+func Default() Constraints {
+	return Constraints{
+		MaxInstrs:        128,
+		MaxMemOps:        32,
+		RegBanks:         4,
+		MaxReadsPerBank:  8,
+		MaxWritesPerBank: 8,
+		FanoutFactor:     4,
+	}
+}
+
+// MaxReads returns the total register-read budget.
+func (c Constraints) MaxReads() int { return c.RegBanks * c.MaxReadsPerBank }
+
+// MaxWrites returns the total register-write budget.
+func (c Constraints) MaxWrites() int { return c.RegBanks * c.MaxWritesPerBank }
+
+// BlockStats are the measured resources of one block.
+type BlockStats struct {
+	// Instrs counts instruction slots: all block instructions plus
+	// the estimated fanout overhead.
+	Instrs int
+	// MemOps counts loads + stores (LSQ ids).
+	MemOps int
+	// RegReads is the number of distinct upward-exposed registers
+	// (block inputs).
+	RegReads int
+	// RegWrites is the number of distinct live-out written registers
+	// (block outputs).
+	RegWrites int
+	// Exits counts branch/return instructions.
+	Exits int
+}
+
+// Measure computes the stats of b given function liveness.
+func Measure(b *ir.Block, lv *analysis.Liveness) BlockStats {
+	var s BlockStats
+	s.Instrs = len(b.Instrs)
+	useCount := map[ir.Reg]int{}
+	var buf []ir.Reg
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpLoad, ir.OpStore:
+			s.MemOps++
+		case ir.OpBr, ir.OpRet:
+			s.Exits++
+		}
+		buf = in.Uses(buf)
+		for _, r := range buf {
+			useCount[r]++
+		}
+	}
+	s.RegReads = lv.UEVar[b].Count()
+	s.RegWrites = len(analysis.LiveOutWrites(b, lv))
+	return s
+}
+
+// MeasureWithFanout is Measure plus the fanout instruction estimate:
+// each register with more than FanoutFactor uses in the block charges
+// ceil(uses/FanoutFactor)-1 extra instruction slots.
+func MeasureWithFanout(b *ir.Block, lv *analysis.Liveness, c Constraints) BlockStats {
+	s := Measure(b, lv)
+	if c.FanoutFactor > 0 {
+		useCount := map[ir.Reg]int{}
+		var buf []ir.Reg
+		for _, in := range b.Instrs {
+			buf = in.Uses(buf)
+			for _, r := range buf {
+				useCount[r]++
+			}
+		}
+		extra := 0
+		for _, n := range useCount {
+			if n > c.FanoutFactor {
+				extra += (n + c.FanoutFactor - 1) / c.FanoutFactor
+				extra--
+			}
+		}
+		s.Instrs += extra
+	}
+	return s
+}
+
+// Check reports whether stats satisfy the constraints, with a reason
+// when they do not.
+func (c Constraints) Check(s BlockStats) error {
+	if s.Instrs > c.MaxInstrs {
+		return fmt.Errorf("trips: %d instructions exceed limit %d", s.Instrs, c.MaxInstrs)
+	}
+	if s.MemOps > c.MaxMemOps {
+		return fmt.Errorf("trips: %d memory ops exceed limit %d", s.MemOps, c.MaxMemOps)
+	}
+	if s.RegReads > c.MaxReads() {
+		return fmt.Errorf("trips: %d register reads exceed limit %d", s.RegReads, c.MaxReads())
+	}
+	if s.RegWrites > c.MaxWrites() {
+		return fmt.Errorf("trips: %d register writes exceed limit %d", s.RegWrites, c.MaxWrites())
+	}
+	return nil
+}
+
+// LegalBlock measures b (with fanout estimate) and checks the
+// constraints.
+func (c Constraints) LegalBlock(b *ir.Block, lv *analysis.Liveness) error {
+	return c.Check(MeasureWithFanout(b, lv, c))
+}
+
+// StripNullOps removes all output-normalization instructions from b,
+// returning how many were removed. Normalization is idempotent:
+// strip, then re-insert.
+func StripNullOps(b *ir.Block) int {
+	n := 0
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if b.Instrs[i].Op == ir.OpNullW {
+			b.RemoveAt(i)
+			n++
+		}
+	}
+	return n
+}
+
+// NormalizeOutputs inserts null writes so that every predicate path
+// through b produces the same register outputs (the TRIPS
+// constant-output rule, §2 constraint 4). For each live-out register
+// whose writes are all predicated, a complementary NullW is added per
+// uncovered (predicate, sense) pair. Existing null ops are stripped
+// first. Returns the number of null writes inserted.
+//
+// This is a per-predicate approximation of full path analysis: it
+// matches the common shapes formation produces (a merge adds writes
+// under one predicate leg) and always errs by inserting a no-op, so
+// semantics are never affected — only block size and output timing,
+// which is exactly the overhead the paper attributes to duplication
+// on EDGE (§4.1).
+func NormalizeOutputs(b *ir.Block, lv *analysis.Liveness) int {
+	StripNullOps(b)
+	out := lv.Out[b]
+
+	type predLeg struct {
+		pred  ir.Reg
+		sense bool
+	}
+	// For each live-out register written in the block, collect the
+	// predicate legs under which it is written.
+	writes := map[ir.Reg][]predLeg{}
+	covered := map[ir.Reg]bool{} // has an unpredicated write
+	var order []ir.Reg
+	for _, in := range b.Instrs {
+		d := in.Def()
+		if !d.Valid() || !out.Has(d) {
+			continue
+		}
+		if _, seen := writes[d]; !seen {
+			order = append(order, d)
+			writes[d] = nil
+		}
+		if !in.Predicated() {
+			covered[d] = true
+		} else {
+			writes[d] = append(writes[d], predLeg{in.Pred, in.PredSense})
+		}
+	}
+
+	// Insertion point: before an unpredicated exit if the block has
+	// one (it is necessarily last), else at the end. Either position
+	// follows every definition in the block, preserving dependence
+	// order.
+	insertAt := len(b.Instrs)
+	for i, in := range b.Instrs {
+		if (in.Op == ir.OpBr || in.Op == ir.OpRet) && !in.Predicated() {
+			insertAt = i
+			break
+		}
+	}
+
+	inserted := 0
+	for _, r := range order {
+		if covered[r] {
+			continue
+		}
+		legs := writes[r]
+		// Group by predicate register; a register written under both
+		// senses of the same predicate is covered for that predicate.
+		bySense := map[ir.Reg][2]bool{}
+		for _, l := range legs {
+			e := bySense[l.pred]
+			if l.sense {
+				e[0] = true
+			} else {
+				e[1] = true
+			}
+			bySense[l.pred] = e
+		}
+		fullyCovered := false
+		for _, e := range bySense {
+			if e[0] && e[1] {
+				fullyCovered = true
+			}
+		}
+		if fullyCovered {
+			continue
+		}
+		// Insert one complementary null write per uncovered leg,
+		// deduplicated. Placement: at the end of the block's
+		// non-exit region is fine (order is data-dependence order and
+		// NullW only reads r and the predicate).
+		seen := map[predLeg]bool{}
+		for _, l := range legs {
+			comp := predLeg{l.pred, !l.sense}
+			if seen[comp] {
+				continue
+			}
+			seen[comp] = true
+			nw := &ir.Instr{Op: ir.OpNullW, Dst: r, A: ir.NoReg, B: ir.NoReg,
+				Pred: comp.pred, PredSense: comp.sense}
+			b.InsertBefore(insertAt, nw)
+			insertAt++
+			inserted++
+		}
+	}
+	return inserted
+}

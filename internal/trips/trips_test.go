@@ -1,0 +1,229 @@
+package trips
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Default()
+	if c.MaxInstrs != 128 || c.MaxMemOps != 32 {
+		t.Fatal("wrong TRIPS limits")
+	}
+	if c.MaxReads() != 32 || c.MaxWrites() != 32 {
+		t.Fatal("bank totals wrong")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	f := ir.NewFunction("f", 2)
+	b := f.NewBlock("entry")
+	e := f.NewBlock("exit")
+	bd := ir.NewBuilder(f, b)
+	x := bd.Bin(ir.OpAdd, f.Params[0], f.Params[1])
+	v := bd.Load(x, 0)
+	bd.Store(x, 1, v)
+	bd.Br(e)
+	bd.SetBlock(e)
+	bd.Ret(v)
+	lv := analysis.ComputeLiveness(f)
+	s := Measure(b, lv)
+	if s.Instrs != 4 {
+		t.Errorf("Instrs = %d", s.Instrs)
+	}
+	if s.MemOps != 2 {
+		t.Errorf("MemOps = %d", s.MemOps)
+	}
+	if s.RegReads != 2 { // the two parameters
+		t.Errorf("RegReads = %d", s.RegReads)
+	}
+	if s.RegWrites != 1 { // only v is live out
+		t.Errorf("RegWrites = %d", s.RegWrites)
+	}
+	if s.Exits != 1 {
+		t.Errorf("Exits = %d", s.Exits)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	c := Constraints{MaxInstrs: 2, MaxMemOps: 1, RegBanks: 1, MaxReadsPerBank: 1, MaxWritesPerBank: 1}
+	cases := []struct {
+		s    BlockStats
+		want string
+	}{
+		{BlockStats{Instrs: 3}, "instructions"},
+		{BlockStats{MemOps: 2}, "memory"},
+		{BlockStats{RegReads: 2}, "reads"},
+		{BlockStats{RegWrites: 2}, "writes"},
+	}
+	for _, tc := range cases {
+		err := c.Check(tc.s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Check(%+v) = %v, want %q", tc.s, err, tc.want)
+		}
+	}
+	if err := c.Check(BlockStats{Instrs: 2, MemOps: 1, RegReads: 1, RegWrites: 1}); err != nil {
+		t.Errorf("legal stats rejected: %v", err)
+	}
+}
+
+func TestFanoutCharge(t *testing.T) {
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	// 9 uses of the same register with FanoutFactor 4 charge
+	// ceil(9/4)-1 = 2 extra slots.
+	a := f.Params[0]
+	var last ir.Reg
+	for i := 0; i < 4; i++ {
+		last = bd.Bin(ir.OpAdd, a, a) // 2 uses each
+	}
+	x := bd.Bin(ir.OpAdd, a, last) // 9th use of a
+	bd.Ret(x)
+	lv := analysis.ComputeLiveness(f)
+	c := Default()
+	plain := Measure(b, lv)
+	fan := MeasureWithFanout(b, lv, c)
+	if fan.Instrs != plain.Instrs+2 {
+		t.Errorf("fanout charge = %d, want +2", fan.Instrs-plain.Instrs)
+	}
+	c.FanoutFactor = 0
+	if MeasureWithFanout(b, lv, c).Instrs != plain.Instrs {
+		t.Error("FanoutFactor 0 must disable charge")
+	}
+}
+
+// buildPredicatedWrite builds a block where r is written only under
+// p:true and is live out.
+func buildPredicatedWrite(t *testing.T) (*ir.Function, *ir.Block, ir.Reg, ir.Reg) {
+	t.Helper()
+	f := ir.NewFunction("f", 2)
+	hb := f.NewBlock("hb")
+	e := f.NewBlock("exit")
+	p := f.Params[0]
+	r := f.NewReg()
+	hb.Append(&ir.Instr{Op: ir.OpAdd, Dst: r, A: f.Params[1], B: f.Params[1], Pred: p, PredSense: true})
+	ir.NewBuilder(f, hb).Br(e)
+	ir.NewBuilder(f, e).Ret(r)
+	return f, hb, r, p
+}
+
+func TestNormalizeOutputsInsertsNullW(t *testing.T) {
+	f, hb, r, p := buildPredicatedWrite(t)
+	lv := analysis.ComputeLiveness(f)
+	n := NormalizeOutputs(hb, lv)
+	if n != 1 {
+		t.Fatalf("inserted %d null writes, want 1:\n%s", n, ir.FormatBlock(hb))
+	}
+	var nw *ir.Instr
+	for _, in := range hb.Instrs {
+		if in.Op == ir.OpNullW {
+			nw = in
+		}
+	}
+	if nw == nil || nw.Dst != r || nw.Pred != p || nw.PredSense != false {
+		t.Fatalf("null write wrong: %+v", nw)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("normalization broke verification: %v", err)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f, hb, _, _ := buildPredicatedWrite(t)
+	lv := analysis.ComputeLiveness(f)
+	NormalizeOutputs(hb, lv)
+	size := len(hb.Instrs)
+	lv = analysis.ComputeLiveness(f)
+	NormalizeOutputs(hb, lv)
+	if len(hb.Instrs) != size {
+		t.Fatalf("normalization not idempotent: %d -> %d", size, len(hb.Instrs))
+	}
+}
+
+func TestNormalizeSkipsCoveredWrites(t *testing.T) {
+	// r written under both senses: no null write needed.
+	f := ir.NewFunction("f", 2)
+	hb := f.NewBlock("hb")
+	e := f.NewBlock("exit")
+	p := f.Params[0]
+	r := f.NewReg()
+	hb.Append(&ir.Instr{Op: ir.OpAdd, Dst: r, A: f.Params[1], B: f.Params[1], Pred: p, PredSense: true})
+	hb.Append(&ir.Instr{Op: ir.OpSub, Dst: r, A: f.Params[1], B: f.Params[1], Pred: p, PredSense: false})
+	ir.NewBuilder(f, hb).Br(e)
+	ir.NewBuilder(f, e).Ret(r)
+	lv := analysis.ComputeLiveness(f)
+	if n := NormalizeOutputs(hb, lv); n != 0 {
+		t.Fatalf("covered write got %d null writes", n)
+	}
+}
+
+func TestNormalizeSkipsUnconditionalWrite(t *testing.T) {
+	f := ir.NewFunction("f", 2)
+	hb := f.NewBlock("hb")
+	e := f.NewBlock("exit")
+	p := f.Params[0]
+	r := f.NewReg()
+	// Unpredicated base write plus predicated override: outputs are
+	// produced on every path already.
+	hb.Append(&ir.Instr{Op: ir.OpMov, Dst: r, A: f.Params[1], B: ir.NoReg, Pred: ir.NoReg})
+	hb.Append(&ir.Instr{Op: ir.OpAdd, Dst: r, A: f.Params[1], B: f.Params[1], Pred: p, PredSense: true})
+	ir.NewBuilder(f, hb).Br(e)
+	ir.NewBuilder(f, e).Ret(r)
+	lv := analysis.ComputeLiveness(f)
+	if n := NormalizeOutputs(hb, lv); n != 0 {
+		t.Fatalf("unconditionally-written register got %d null writes", n)
+	}
+}
+
+func TestNormalizeSkipsDeadWrites(t *testing.T) {
+	// r not live out: no normalization needed.
+	f := ir.NewFunction("f", 2)
+	hb := f.NewBlock("hb")
+	e := f.NewBlock("exit")
+	p := f.Params[0]
+	r := f.NewReg()
+	hb.Append(&ir.Instr{Op: ir.OpAdd, Dst: r, A: f.Params[1], B: f.Params[1], Pred: p, PredSense: true})
+	ir.NewBuilder(f, hb).Br(e)
+	ir.NewBuilder(f, e).Ret(f.Params[1])
+	lv := analysis.ComputeLiveness(f)
+	if n := NormalizeOutputs(hb, lv); n != 0 {
+		t.Fatalf("dead write got %d null writes", n)
+	}
+}
+
+func TestStripNullOps(t *testing.T) {
+	f, hb, _, _ := buildPredicatedWrite(t)
+	lv := analysis.ComputeLiveness(f)
+	NormalizeOutputs(hb, lv)
+	if StripNullOps(hb) != 1 {
+		t.Fatal("strip count wrong")
+	}
+	for _, in := range hb.Instrs {
+		if in.Op == ir.OpNullW {
+			t.Fatal("null op left behind")
+		}
+	}
+}
+
+func TestLegalBlock(t *testing.T) {
+	f := ir.NewFunction("f", 1)
+	b := f.NewBlock("entry")
+	bd := ir.NewBuilder(f, b)
+	r := f.Params[0]
+	for i := 0; i < 10; i++ {
+		r = bd.Bin(ir.OpAdd, r, r)
+	}
+	bd.Ret(r)
+	lv := analysis.ComputeLiveness(f)
+	small := Constraints{MaxInstrs: 5, MaxMemOps: 32, RegBanks: 4, MaxReadsPerBank: 8, MaxWritesPerBank: 8}
+	if small.LegalBlock(b, lv) == nil {
+		t.Fatal("11-instruction block must violate MaxInstrs 5")
+	}
+	if err := Default().LegalBlock(b, lv); err != nil {
+		t.Fatalf("default constraints should accept: %v", err)
+	}
+}

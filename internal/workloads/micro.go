@@ -1,0 +1,842 @@
+package workloads
+
+// Micro returns the 24 microbenchmarks of Tables 1 and 2.
+func Micro() []Workload {
+	return []Workload{
+		{
+			Name: "ammp_1",
+			Description: "molecular-dynamics force pass: outer atom loop with an " +
+				"inner while loop of low, data-dependent trip count (the paper's " +
+				"best head-duplication candidate)",
+			Source: `
+array pos[256];
+array force[256];
+array nbrs[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) {
+    pos[i] = (i * 13) % 97;
+    nbrs[i] = i % 4;
+    force[i] = 0;
+  }
+  var a = 0;
+  while (a < n) {
+    var idx = a & 255;
+    var k = 0;
+    var cnt = nbrs[idx];
+    var f = 0;
+    while (k < cnt) {
+      var other = (idx + k + 1) & 255;
+      var d = pos[idx] - pos[other];
+      if (d < 0) { d = -d; }
+      if (d < 40) { f = f + (40 - d); }
+      k = k + 1;
+    }
+    force[idx] = force[idx] + f;
+    a = a + 1;
+  }
+  var s = 0;
+  for (var j = 0; j < 256; j = j + 1) { s = s + force[j]; }
+  print(s);
+  return s;
+}`,
+			Args:      []int64{1500},
+			TrainArgs: []int64{300},
+		},
+		{
+			Name: "ammp_2",
+			Description: "bonded-pair energy: inner while loop of trip 2-4 with a " +
+				"cutoff conditional inside",
+			Source: `
+array bonds[128];
+array energy[128];
+func main(n) {
+  for (var i = 0; i < 128; i = i + 1) {
+    bonds[i] = 2 + (i % 3);
+    energy[i] = 0;
+  }
+  var t = 0;
+  var total = 0;
+  while (t < n) {
+    var at = t & 127;
+    var b = 0;
+    var nb = bonds[at];
+    while (b < nb) {
+      var r = (at * 7 + b * 11) % 50;
+      if (r > 25) {
+        energy[at] = energy[at] + r - 25;
+      } else {
+        energy[at] = energy[at] + 1;
+      }
+      b = b + 1;
+    }
+    total = total + energy[at];
+    t = t + 1;
+  }
+  print(total);
+  return total;
+}`,
+			Args:      []int64{1200},
+			TrainArgs: []int64{240},
+		},
+		{
+			Name:        "art_1",
+			Description: "ART F1 match scores: sum of elementwise min(weight, input)",
+			Source: `
+array w1[512];
+array in1[64];
+array score[8];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { w1[i] = (i * 29) % 128; }
+  for (var j = 0; j < 64; j = j + 1) { in1[j] = (j * 17) % 128; }
+  var pass = 0;
+  var acc = 0;
+  while (pass < n) {
+    for (var f2 = 0; f2 < 8; f2 = f2 + 1) {
+      var s = 0;
+      for (var f1 = 0; f1 < 64; f1 = f1 + 1) {
+        var w = w1[f2 * 64 + f1];
+        var x = in1[f1];
+        if (w < x) { s = s + w; } else { s = s + x; }
+      }
+      score[f2] = s;
+    }
+    acc = acc + score[pass % 8];
+    pass = pass + 1;
+  }
+  print(acc);
+  return acc;
+}`,
+			Args:      []int64{40},
+			TrainArgs: []int64{8},
+		},
+		{
+			Name:        "art_2",
+			Description: "ART winner search: argmax loop with conditional update",
+			Source: `
+array sc[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) { sc[i] = (i * 193 + 7) % 1009; }
+  var pass = 0;
+  var sum = 0;
+  while (pass < n) {
+    var best = -1;
+    var bestv = -1;
+    for (var j = 0; j < 256; j = j + 1) {
+      var v = sc[j];
+      if (v > bestv) { bestv = v; best = j; }
+    }
+    sc[best] = 0;
+    sum = sum + bestv;
+    pass = pass + 1;
+  }
+  print(sum);
+  return sum;
+}`,
+			Args:      []int64{60},
+			TrainArgs: []int64{12},
+		},
+		{
+			Name: "art_3",
+			Description: "ART weight adaptation: conditional reset plus fixed-point " +
+				"scaling division",
+			Source: `
+array wadj[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) { wadj[i] = (i * 37) % 200; }
+  var pass = 0;
+  var acc = 0;
+  while (pass < n) {
+    for (var j = 0; j < 256; j = j + 1) {
+      var w = wadj[j];
+      if (w > 150) {
+        w = w / 2;
+      } else {
+        w = w + ((200 - w) * 3) / 16;
+      }
+      wadj[j] = w;
+      acc = acc + w;
+    }
+    pass = pass + 1;
+  }
+  print(acc);
+  return acc;
+}`,
+			Args:      []int64{25},
+			TrainArgs: []int64{5},
+		},
+		{
+			Name:        "bzip2_1",
+			Description: "byte frequency count + move-to-front over a block",
+			Source: `
+array buf1[1024];
+array freq[64];
+array mtf[64];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) { buf1[i] = (i * 131 + 17) % 64; }
+  for (var j = 0; j < 64; j = j + 1) { freq[j] = 0; mtf[j] = j; }
+  var p = 0;
+  var out = 0;
+  while (p < n) {
+    var c = buf1[p & 1023];
+    freq[c] = freq[c] + 1;
+    var k = 0;
+    while (mtf[k] != c) { k = k + 1; }
+    while (k > 0) { mtf[k] = mtf[k - 1]; k = k - 1; }
+    mtf[0] = c;
+    out = out + k + c;
+    p = p + 1;
+  }
+  var s = 0;
+  for (var q = 0; q < 64; q = q + 1) { s = s + freq[q] * q; }
+  print(s + out);
+  return s + out;
+}`,
+			Args:      []int64{900},
+			TrainArgs: []int64{180},
+		},
+		{
+			Name:        "bzip2_2",
+			Description: "shell-sort pass over suffix keys (branchy compare-swap)",
+			Source: `
+array keys[256];
+func main(n) {
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var i = 0; i < 256; i = i + 1) { keys[i] = (i * 167 + pass) % 251; }
+    var gap = 4;
+    while (gap > 0) {
+      for (var j = gap; j < 256; j = j + 1) {
+        var v = keys[j];
+        var k = j;
+        while (k >= gap && keys[k - gap] > v) {
+          keys[k] = keys[k - gap];
+          k = k - gap;
+        }
+        keys[k] = v;
+      }
+      gap = gap / 2;
+    }
+    chk = chk + keys[128];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{4},
+			TrainArgs: []int64{1},
+		},
+		{
+			Name: "bzip2_3",
+			Description: "run-length scan whose main loop has a rarely-taken escape " +
+				"block just before the block holding the induction update — the " +
+				"paper's example of tail duplication making the induction variable " +
+				"data-dependent on a test (breadth-first wins; depth-first/VLIW lose)",
+			Source: `
+array buf3[2048];
+func main(n) {
+  for (var i = 0; i < 2048; i = i + 1) {
+    var v = (i * 73 + 11) % 256;
+    if (v == 255) { v = 7; }
+    buf3[i] = v;
+  }
+  buf3[700] = 255;
+  buf3[1400] = 255;
+  var p = 0;
+  var runs = 0;
+  var total = 0;
+  while (p < n) {
+    var c = buf3[p & 2047];
+    if (c == 255) {
+      runs = runs + 1;
+      total = total + runs * 3;
+    }
+    total = total + c;
+    p = p + 1;
+  }
+  print(total + runs);
+  return total + runs;
+}`,
+			Args:      []int64{4000},
+			TrainArgs: []int64{800},
+		},
+		{
+			Name:        "dct8x8",
+			Description: "8x8 fixed-point DCT: separable row and column passes",
+			Source: `
+array px[64];
+array tmp8[64];
+array co[64];
+array cosT[64];
+func main(n) {
+  // Integer cosine table (Q6).
+  for (var u = 0; u < 8; u = u + 1) {
+    for (var x = 0; x < 8; x = x + 1) {
+      var ang = ((2 * x + 1) * u * 8) % 64;
+      var c = 64 - ang;
+      if (ang > 32) { c = ang - 96; }
+      cosT[u * 8 + x] = c;
+    }
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var i = 0; i < 64; i = i + 1) { px[i] = ((i + pass) * 31) % 255 - 128; }
+    // Row pass.
+    for (var r = 0; r < 8; r = r + 1) {
+      for (var u2 = 0; u2 < 8; u2 = u2 + 1) {
+        var s = 0;
+        for (var x2 = 0; x2 < 8; x2 = x2 + 1) {
+          s = s + px[r * 8 + x2] * cosT[u2 * 8 + x2];
+        }
+        tmp8[r * 8 + u2] = s / 64;
+      }
+    }
+    // Column pass.
+    for (var cidx = 0; cidx < 8; cidx = cidx + 1) {
+      for (var v2 = 0; v2 < 8; v2 = v2 + 1) {
+        var s2 = 0;
+        for (var y2 = 0; y2 < 8; y2 = y2 + 1) {
+          s2 = s2 + tmp8[y2 * 8 + cidx] * cosT[v2 * 8 + y2];
+        }
+        co[v2 * 8 + cidx] = s2 / 64;
+      }
+    }
+    chk = chk + co[(pass * 9) % 64];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{12},
+			TrainArgs: []int64{3},
+		},
+		{
+			Name: "dhry",
+			Description: "Dhrystone-like mix: procedure calls, record field updates, " +
+				"integer-array string compare",
+			Source: `
+array recA[16];
+array recB[16];
+array strA[32];
+array strB[32];
+func strcmp30() {
+  var i = 0;
+  while (i < 30 && strA[i] == strB[i]) { i = i + 1; }
+  if (i >= 30) { return 0; }
+  return strA[i] - strB[i];
+}
+func proc1(x) {
+  recA[0] = x;
+  recA[1] = recB[1] + x;
+  if (recA[1] > 100) { recA[2] = 1; } else { recA[2] = 0; }
+  return recA[1];
+}
+func proc2(y) {
+  var z = y + 9;
+  if (z > 50) { z = z - 50; }
+  return z;
+}
+func main(n) {
+  for (var i = 0; i < 32; i = i + 1) { strA[i] = 65 + (i % 26); strB[i] = 65 + (i % 26); }
+  strB[29] = 90;
+  for (var j = 0; j < 16; j = j + 1) { recB[j] = j * 3; }
+  var run = 0;
+  var s = 0;
+  while (run < n) {
+    s = s + proc1(run % 97);
+    s = s + proc2(run % 61);
+    if (strcmp30() != 0) { s = s + 1; }
+    run = run + 1;
+  }
+  print(s);
+  return s;
+}`,
+			Args:      []int64{500},
+			TrainArgs: []int64{100},
+		},
+		{
+			Name:        "doppler_gmti",
+			Description: "GMTI doppler filter: complex vector multiply in fixed point",
+			Source: `
+array reX[256];
+array imX[256];
+array reW[256];
+array imW[256];
+array reY[256];
+array imY[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) {
+    reX[i] = ((i * 37) % 255) - 127;
+    imX[i] = ((i * 53) % 255) - 127;
+    reW[i] = ((i * 71) % 255) - 127;
+    imW[i] = ((i * 89) % 255) - 127;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var k = 0; k < 256; k = k + 1) {
+      var a = reX[k]; var b = imX[k];
+      var c = reW[k]; var d = imW[k];
+      reY[k] = (a * c - b * d) / 128;
+      imY[k] = (a * d + b * c) / 128;
+    }
+    chk = chk + reY[pass % 256] + imY[(pass * 3) % 256];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{30},
+			TrainArgs: []int64{6},
+		},
+		{
+			Name:        "equake_1",
+			Description: "sparse matrix-vector product with per-row length loop",
+			Source: `
+array rowlen[64];
+array colidx[512];
+array val[512];
+array vecx[64];
+array vecy[64];
+func main(n) {
+  for (var i = 0; i < 64; i = i + 1) {
+    rowlen[i] = 3 + (i % 6);
+    vecx[i] = (i * 11) % 50;
+    vecy[i] = 0;
+  }
+  for (var j = 0; j < 512; j = j + 1) {
+    colidx[j] = (j * 29) % 64;
+    val[j] = ((j * 13) % 39) - 19;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    var base = 0;
+    for (var r = 0; r < 64; r = r + 1) {
+      var s = 0;
+      var k = 0;
+      var len = rowlen[r];
+      while (k < len) {
+        s = s + val[(base + k) & 511] * vecx[colidx[(base + k) & 511]];
+        k = k + 1;
+      }
+      vecy[r] = s;
+      base = base + len;
+    }
+    chk = chk + vecy[pass % 64];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{25},
+			TrainArgs: []int64{5},
+		},
+		{
+			Name:        "fft2_gmti",
+			Description: "radix-2 FFT stage sweep over 32 points, fixed point",
+			Source: `
+array fre[32];
+array fim[32];
+array twr[16];
+array twi[16];
+func main(n) {
+  // Coarse integer twiddles (Q6).
+  for (var t = 0; t < 16; t = t + 1) {
+    twr[t] = 64 - (t * t) / 4;
+    twi[t] = -(t * 8) + (t * t) / 8;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var i = 0; i < 32; i = i + 1) {
+      fre[i] = ((i + pass) * 23) % 200 - 100;
+      fim[i] = ((i + pass) * 41) % 200 - 100;
+    }
+    var half = 1;
+    while (half < 32) {
+      var step = 32 / (half * 2);
+      for (var g = 0; g < 32; g = g + 2 * half) {
+        for (var b = 0; b < half; b = b + 1) {
+          var tw = (b * step) & 15;
+          var wr = twr[tw]; var wi = twi[tw];
+          var i0 = g + b;
+          var i1 = g + b + half;
+          var tr = (fre[i1] * wr - fim[i1] * wi) / 64;
+          var ti = (fre[i1] * wi + fim[i1] * wr) / 64;
+          fre[i1] = fre[i0] - tr;
+          fim[i1] = fim[i0] - ti;
+          fre[i0] = fre[i0] + tr;
+          fim[i0] = fim[i0] + ti;
+        }
+      }
+      half = half * 2;
+    }
+    chk = chk + fre[pass % 32] + fim[(pass * 7) % 32];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{20},
+			TrainArgs: []int64{4},
+		},
+		{
+			Name:        "fft4_gmti",
+			Description: "radix-4 butterfly sweep over 64 points, fixed point",
+			Source: `
+array gre[64];
+array gim[64];
+func main(n) {
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var i = 0; i < 64; i = i + 1) {
+      gre[i] = ((i * 3 + pass) * 19) % 160 - 80;
+      gim[i] = ((i * 5 + pass) * 31) % 160 - 80;
+    }
+    for (var q = 0; q < 16; q = q + 1) {
+      var a0 = gre[4 * q];     var b0 = gim[4 * q];
+      var a1 = gre[4 * q + 1]; var b1 = gim[4 * q + 1];
+      var a2 = gre[4 * q + 2]; var b2 = gim[4 * q + 2];
+      var a3 = gre[4 * q + 3]; var b3 = gim[4 * q + 3];
+      var s0 = a0 + a2; var s1 = a0 - a2;
+      var s2 = a1 + a3; var s3 = a1 - a3;
+      var t0 = b0 + b2; var t1 = b0 - b2;
+      var t2 = b1 + b3; var t3 = b1 - b3;
+      gre[4 * q] = s0 + s2;     gim[4 * q] = t0 + t2;
+      gre[4 * q + 1] = s1 + t3; gim[4 * q + 1] = t1 - s3;
+      gre[4 * q + 2] = s0 - s2; gim[4 * q + 2] = t0 - t2;
+      gre[4 * q + 3] = s1 - t3; gim[4 * q + 3] = t1 + s3;
+    }
+    chk = chk + gre[pass % 64] + gim[(pass * 11) % 64];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{60},
+			TrainArgs: []int64{12},
+		},
+		{
+			Name:        "forward_gmti",
+			Description: "8-tap FIR filter forward pass",
+			Source: `
+array fx[512];
+array fy[512];
+array taps[8];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { fx[i] = ((i * 47) % 101) - 50; }
+  taps[0] = 3; taps[1] = -8; taps[2] = 21; taps[3] = 40;
+  taps[4] = 40; taps[5] = 21; taps[6] = -8; taps[7] = 3;
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var t = 8; t < 512; t = t + 1) {
+      var s = 0;
+      for (var k = 0; k < 8; k = k + 1) {
+        s = s + taps[k] * fx[t - k];
+      }
+      fy[t] = s / 64;
+    }
+    chk = chk + fy[(pass * 37) % 512];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{10},
+			TrainArgs: []int64{2},
+		},
+		{
+			Name: "gzip_1",
+			Description: "LZ77 longest-match inner loop with early exit (the paper's " +
+				"standout (IUPO) winner: the whole inner loop fits one block after " +
+				"iterative optimization)",
+			Source: `
+array win[1024];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) { win[i] = (i * 7 + i / 13) % 17; }
+  var pos = 0;
+  var bestsum = 0;
+  while (pos < n) {
+    var cur = pos % 768;
+    var cand = (pos * 5 + 3) % 768;
+    var len = 0;
+    while (len < 16 && win[cur + len] == win[cand + len]) {
+      len = len + 1;
+    }
+    bestsum = bestsum + len;
+    pos = pos + 1;
+  }
+  print(bestsum);
+  return bestsum;
+}`,
+			Args:      []int64{1800},
+			TrainArgs: []int64{360},
+		},
+		{
+			Name:        "gzip_2",
+			Description: "hash-chain update plus CRC-style table folding",
+			Source: `
+array head[256];
+array prev[512];
+array crcT[64];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) { head[i] = -1; }
+  for (var j = 0; j < 64; j = j + 1) { crcT[j] = (j * 73 + 7) % 251; }
+  var pos = 0;
+  var crc = 255;
+  while (pos < n) {
+    var h = (pos * 2654435761) & 255;
+    prev[pos & 511] = head[h];
+    head[h] = pos & 511;
+    crc = (crc >> 6) ^ crcT[(crc ^ pos) & 63];
+    pos = pos + 1;
+  }
+  var s = 0;
+  for (var q = 0; q < 256; q = q + 1) {
+    if (head[q] >= 0) { s = s + head[q]; }
+  }
+  print(s + crc);
+  return s + crc;
+}`,
+			Args:      []int64{2500},
+			TrainArgs: []int64{500},
+		},
+		{
+			Name:        "matrix_1",
+			Description: "10x10 integer matrix multiply (as in the paper's suite)",
+			Source: `
+array ma[100];
+array mb[100];
+array mc[100];
+func main(n) {
+  for (var i = 0; i < 100; i = i + 1) {
+    ma[i] = (i * 3) % 19 - 9;
+    mb[i] = (i * 7) % 23 - 11;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var r = 0; r < 10; r = r + 1) {
+      for (var c = 0; c < 10; c = c + 1) {
+        var s = 0;
+        for (var k = 0; k < 10; k = k + 1) {
+          s = s + ma[r * 10 + k] * mb[k * 10 + c];
+        }
+        mc[r * 10 + c] = s;
+      }
+    }
+    chk = chk + mc[(pass * 13) % 100];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{30},
+			TrainArgs: []int64{6},
+		},
+		{
+			Name: "parser_1",
+			Description: "token scanner with rarely-taken error paths of large " +
+				"dependence height — excluding them (VLIW) causes the 11x " +
+				"misprediction blowup the paper describes",
+			Source: `
+array text[2048];
+func main(n) {
+  for (var i = 0; i < 2048; i = i + 1) {
+    var c = (i * 11 + 5) % 100;
+    text[i] = c;
+  }
+  text[701] = 999;
+  text[1402] = 999;
+  var p = 0;
+  var words = 0;
+  var digits = 0;
+  var errs = 0;
+  while (p < n) {
+    var ch = text[p & 2047];
+    if (ch == 999) {
+      // Rare error path with a long dependence chain.
+      var e = ch;
+      e = e * 31 + 7; e = e % 1009;
+      e = e * 31 + 7; e = e % 1009;
+      e = e * 31 + 7; e = e % 1009;
+      errs = errs + e;
+    } else if (ch < 26) {
+      words = words + 1;
+    } else if (ch < 36) {
+      digits = digits + ch - 26;
+    } else {
+      words = words + ch / 50;
+    }
+    p = p + 1;
+  }
+  print(words + digits + errs);
+  return words + digits + errs;
+}`,
+			Args:      []int64{4000},
+			TrainArgs: []int64{800},
+		},
+		{
+			Name:        "sieve",
+			Description: "prime sieve over 512 slots with an inner marking loop",
+			Source: `
+array flags[512];
+func main(n) {
+  var pass = 0;
+  var count = 0;
+  while (pass < n) {
+    for (var i = 0; i < 512; i = i + 1) { flags[i] = 1; }
+    count = 0;
+    for (var p = 2; p < 512; p = p + 1) {
+      if (flags[p] == 1) {
+        count = count + 1;
+        var m = p + p;
+        while (m < 512) {
+          flags[m] = 0;
+          m = m + p;
+        }
+      }
+    }
+    pass = pass + 1;
+  }
+  print(count);
+  return count;
+}`,
+			Args:      []int64{8},
+			TrainArgs: []int64{2},
+		},
+		{
+			Name:        "transpose_gmti",
+			Description: "16x16 matrix transpose with swap conditionals",
+			Source: `
+array tm[256];
+func main(n) {
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var i = 0; i < 256; i = i + 1) { tm[i] = (i * 3 + pass) % 97; }
+    for (var r = 0; r < 16; r = r + 1) {
+      for (var c = r + 1; c < 16; c = c + 1) {
+        var t = tm[r * 16 + c];
+        tm[r * 16 + c] = tm[c * 16 + r];
+        tm[c * 16 + r] = t;
+      }
+    }
+    chk = chk + tm[(pass * 19) % 256];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{50},
+			TrainArgs: []int64{10},
+		},
+		{
+			Name:        "twolf_1",
+			Description: "cell-swap cost: wire-length delta with min/max conditionals",
+			Source: `
+array cellx[128];
+array celly[128];
+array netw[128];
+func main(n) {
+  for (var i = 0; i < 128; i = i + 1) {
+    cellx[i] = (i * 37) % 200;
+    celly[i] = (i * 53) % 200;
+    netw[i] = 1 + (i % 5);
+  }
+  var t = 0;
+  var cost = 0;
+  while (t < n) {
+    var a = t & 127;
+    var b = (t * 7 + 13) & 127;
+    var dx = cellx[a] - cellx[b];
+    if (dx < 0) { dx = -dx; }
+    var dy = celly[a] - celly[b];
+    if (dy < 0) { dy = -dy; }
+    var delta = (dx + dy) * netw[a] - (dx * netw[b]) / 2;
+    if (delta < 0) {
+      var tmp = cellx[a]; cellx[a] = cellx[b]; cellx[b] = tmp;
+      cost = cost + delta;
+    } else if (delta < 10) {
+      cost = cost + 1;
+    }
+    t = t + 1;
+  }
+  print(cost);
+  return cost;
+}`,
+			Args:      []int64{2500},
+			TrainArgs: []int64{500},
+		},
+		{
+			Name:        "twolf_3",
+			Description: "net bounding-box update: running min/max over pins",
+			Source: `
+array pinx[512];
+array piny[512];
+array netlo[32];
+array nethi[32];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) {
+    pinx[i] = (i * 91) % 300;
+    piny[i] = (i * 57) % 300;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var net = 0; net < 32; net = net + 1) {
+      var lox = 1000; var hix = -1000;
+      var loy = 1000; var hiy = -1000;
+      for (var p = 0; p < 16; p = p + 1) {
+        var px = pinx[net * 16 + p];
+        var py = piny[net * 16 + p];
+        if (px < lox) { lox = px; }
+        if (px > hix) { hix = px; }
+        if (py < loy) { loy = py; }
+        if (py > hiy) { hiy = py; }
+      }
+      netlo[net] = lox + loy;
+      nethi[net] = hix + hiy;
+    }
+    chk = chk + nethi[pass % 32] - netlo[(pass * 3) % 32];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{30},
+			TrainArgs: []int64{6},
+		},
+		{
+			Name:        "vadd",
+			Description: "vector add (pure streaming baseline)",
+			Source: `
+array va[1024];
+array vb[1024];
+array vc[1024];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) {
+    va[i] = i * 3;
+    vb[i] = i * 5 + 1;
+  }
+  var pass = 0;
+  var chk = 0;
+  while (pass < n) {
+    for (var j = 0; j < 1024; j = j + 1) {
+      vc[j] = va[j] + vb[j];
+    }
+    chk = chk + vc[(pass * 101) % 1024];
+    pass = pass + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{8},
+			TrainArgs: []int64{2},
+		},
+	}
+}

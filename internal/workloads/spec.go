@@ -1,0 +1,736 @@
+package workloads
+
+// Spec returns the 19 SPEC2000 proxy programs of Table 3 (gcc and
+// perlbmk are absent exactly as in the paper, whose toolchain could
+// not build them). Each proxy reproduces the control-flow character
+// of its namesake at MinneSPEC-like reduced scale: block-count
+// improvements depend on CFG shape, not program meaning.
+func Spec() []Workload {
+	return []Workload{
+		{
+			Name:        "ammp",
+			Description: "molecular dynamics: neighbor-list while loops of low trip count plus a force sweep",
+			Source: `
+array apos[512];
+array avel[512];
+array annb[512];
+func forces(base) {
+  var f = 0;
+  var a = 0;
+  while (a < 512) {
+    var k = 0;
+    var cnt = annb[a];
+    while (k < cnt) {
+      var o = (a + k + 1) % 512;
+      var d = apos[a] - apos[o];
+      if (d < 0) { d = -d; }
+      if (d < 30) { f = f + 30 - d; }
+      k = k + 1;
+    }
+    a = a + 1;
+  }
+  return f + base;
+}
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) {
+    apos[i] = (i * 17) % 211;
+    avel[i] = 0;
+    annb[i] = i % 4;
+  }
+  var t = 0;
+  var e = 0;
+  while (t < n) {
+    e = forces(e % 10007);
+    for (var j = 0; j < 512; j = j + 1) {
+      avel[j] = avel[j] + (apos[j] % 7) - 3;
+      apos[j] = (apos[j] + avel[j] / 4) % 211;
+      if (apos[j] < 0) { apos[j] = apos[j] + 211; }
+    }
+    t = t + 1;
+  }
+  print(e);
+  return e;
+}`,
+			Args:      []int64{6},
+			TrainArgs: []int64{2},
+		},
+		{
+			Name:        "applu",
+			Description: "LU solver: triple-nested stencil sweeps with boundary conditionals",
+			Source: `
+array grid[512];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { grid[i] = (i * 7) % 100; }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    for (var z = 1; z < 7; z = z + 1) {
+      for (var y = 1; y < 7; y = y + 1) {
+        for (var x = 1; x < 7; x = x + 1) {
+          var idx = z * 64 + y * 8 + x;
+          var v = grid[idx] * 4 - grid[idx - 1] - grid[idx + 1] - grid[idx - 8] - grid[idx + 8];
+          grid[idx] = grid[idx] - v / 8;
+        }
+      }
+    }
+    chk = chk + grid[(t * 37) % 512];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{20},
+			TrainArgs: []int64{4},
+		},
+		{
+			Name:        "apsi",
+			Description: "mesoscale weather: several array sweeps with clamping conditionals",
+			Source: `
+array temp[256];
+array wind[256];
+array pres[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) {
+    temp[i] = 200 + (i * 13) % 100;
+    wind[i] = ((i * 29) % 41) - 20;
+    pres[i] = 900 + (i % 200);
+  }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    for (var j = 1; j < 255; j = j + 1) {
+      var adv = wind[j] * (temp[j + 1] - temp[j - 1]) / 32;
+      temp[j] = temp[j] - adv;
+      if (temp[j] < 150) { temp[j] = 150; }
+      if (temp[j] > 350) { temp[j] = 350; }
+    }
+    for (var k = 1; k < 255; k = k + 1) {
+      wind[k] = wind[k] + (pres[k - 1] - pres[k + 1]) / 64;
+      if (wind[k] > 30) { wind[k] = 30; } else if (wind[k] < -30) { wind[k] = -30; }
+    }
+    chk = chk + temp[(t * 11) % 256] + wind[(t * 17) % 256];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{25},
+			TrainArgs: []int64{5},
+		},
+		{
+			Name:        "art",
+			Description: "adaptive resonance: match scores, winner search, vigilance reset",
+			Source: `
+array fw[512];
+array fin[64];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { fw[i] = (i * 31) % 120; }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    for (var j = 0; j < 64; j = j + 1) { fin[j] = ((j + t) * 19) % 120; }
+    var best = 0;
+    var bestv = -1;
+    for (var f2 = 0; f2 < 8; f2 = f2 + 1) {
+      var s = 0;
+      for (var f1 = 0; f1 < 64; f1 = f1 + 1) {
+        var w = fw[f2 * 64 + f1];
+        var x = fin[f1];
+        if (w < x) { s = s + w; } else { s = s + x; }
+      }
+      if (s > bestv) { bestv = s; best = f2; }
+    }
+    if (bestv < 2000) {
+      for (var r = 0; r < 64; r = r + 1) {
+        fw[best * 64 + r] = (fw[best * 64 + r] * 3 + fin[r]) / 4;
+      }
+    }
+    chk = chk + bestv;
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{20},
+			TrainArgs: []int64{4},
+		},
+		{
+			Name:        "bzip2",
+			Description: "block compression: frequency count, MTF, run-length with rare escapes",
+			Source: `
+array bbuf[1024];
+array bmtf[64];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) { bbuf[i] = (i * 131 + 7) % 64; }
+  var t = 0;
+  var out = 0;
+  while (t < n) {
+    for (var j = 0; j < 64; j = j + 1) { bmtf[j] = j; }
+    var run = 0;
+    for (var p = 0; p < 1024; p = p + 1) {
+      var c = bbuf[p];
+      var k = 0;
+      while (bmtf[k] != c) { k = k + 1; }
+      var m = k;
+      while (m > 0) { bmtf[m] = bmtf[m - 1]; m = m - 1; }
+      bmtf[0] = c;
+      if (k == 0) {
+        run = run + 1;
+      } else {
+        if (run > 3) { out = out + run * 2; }
+        run = 0;
+        out = out + k;
+      }
+    }
+    t = t + 1;
+  }
+  print(out);
+  return out;
+}`,
+			Args:      []int64{4},
+			TrainArgs: []int64{1},
+		},
+		{
+			Name:        "crafty",
+			Description: "chess: bitboard shifts/masks, popcount while loops, branchy evaluation",
+			Source: `
+array pieces[64];
+func popcount(b) {
+  var c = 0;
+  while (b != 0) { b = b & (b - 1); c = c + 1; }
+  return c;
+}
+func main(n) {
+  for (var i = 0; i < 64; i = i + 1) { pieces[i] = (i * 2654435761) % 65536; }
+  var t = 0;
+  var eval = 0;
+  while (t < n) {
+    var sq = t % 64;
+    var bb = pieces[sq];
+    var attacks = (bb << 1) | (bb >> 1) | (bb << 8) | (bb >> 8);
+    attacks = attacks & 65535;
+    var mob = popcount(attacks);
+    if (mob > 10) {
+      eval = eval + mob * 3;
+    } else if (mob > 4) {
+      eval = eval + mob;
+    } else {
+      eval = eval - (4 - mob);
+    }
+    pieces[sq] = (bb * 5 + 1) % 65536;
+    t = t + 1;
+  }
+  print(eval);
+  return eval;
+}`,
+			Args:      []int64{1500},
+			TrainArgs: []int64{300},
+		},
+		{
+			Name:        "equake",
+			Description: "earthquake: sparse matvec plus explicit time integration",
+			Source: `
+array erow[64];
+array ecol[512];
+array eval2[512];
+array edisp[64];
+array evel[64];
+func main(n) {
+  for (var i = 0; i < 64; i = i + 1) {
+    erow[i] = 4 + (i % 5);
+    edisp[i] = (i * 7) % 40;
+    evel[i] = 0;
+  }
+  for (var j = 0; j < 512; j = j + 1) {
+    ecol[j] = (j * 37) % 64;
+    eval2[j] = ((j * 11) % 21) - 10;
+  }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    var base = 0;
+    for (var r = 0; r < 64; r = r + 1) {
+      var acc = 0;
+      var k = 0;
+      var len = erow[r];
+      while (k < len) {
+        acc = acc + eval2[(base + k) % 512] * edisp[ecol[(base + k) % 512]];
+        k = k + 1;
+      }
+      evel[r] = evel[r] + acc / 16;
+      base = base + len;
+    }
+    for (var u = 0; u < 64; u = u + 1) {
+      edisp[u] = edisp[u] + evel[u] / 4;
+      if (edisp[u] > 100) { edisp[u] = 100; }
+      if (edisp[u] < -100) { edisp[u] = -100; }
+    }
+    chk = chk + edisp[(t * 13) % 64];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{25},
+			TrainArgs: []int64{5},
+		},
+		{
+			Name:        "gap",
+			Description: "computer algebra: multi-word arithmetic with carry-propagation loops",
+			Source: `
+array biga[32];
+array bigb[32];
+array bigc[32];
+func main(n) {
+  for (var i = 0; i < 32; i = i + 1) {
+    biga[i] = (i * 97) % 1000;
+    bigb[i] = (i * 61) % 1000;
+  }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    // Multi-digit add with carries (base 1000).
+    var carry = 0;
+    for (var d = 0; d < 32; d = d + 1) {
+      var s = biga[d] + bigb[d] + carry;
+      if (s >= 1000) { s = s - 1000; carry = 1; } else { carry = 0; }
+      bigc[d] = s;
+    }
+    // Multiply by a small scalar with carry loop.
+    carry = 0;
+    for (var e = 0; e < 32; e = e + 1) {
+      var p = bigc[e] * 7 + carry;
+      bigc[e] = p % 1000;
+      carry = p / 1000;
+    }
+    biga[t % 32] = bigc[t % 32];
+    chk = chk + bigc[(t * 3) % 32];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{60},
+			TrainArgs: []int64{12},
+		},
+		{
+			Name:        "gzip",
+			Description: "LZ77: hash probe, chain walk with early exit, literal/match emit",
+			Source: `
+array gwin[1024];
+array ghead[128];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) { gwin[i] = (i * 7 + i / 11) % 19; }
+  for (var j = 0; j < 128; j = j + 1) { ghead[j] = -1; }
+  var pos = 0;
+  var emitted = 0;
+  while (pos < n) {
+    var cur = pos % 896;
+    var h = (gwin[cur] * 33 + gwin[cur + 1]) % 128;
+    var cand = ghead[h];
+    var bestlen = 0;
+    var tries = 0;
+    while (cand >= 0 && tries < 4) {
+      var len = 0;
+      while (len < 8 && gwin[cand + len] == gwin[cur + len]) { len = len + 1; }
+      if (len > bestlen) { bestlen = len; }
+      cand = cand - 17;
+      tries = tries + 1;
+    }
+    ghead[h] = cur % 880;
+    if (bestlen >= 3) { emitted = emitted + 2; } else { emitted = emitted + 1; }
+    pos = pos + 1;
+  }
+  print(emitted);
+  return emitted;
+}`,
+			Args:      []int64{1500},
+			TrainArgs: []int64{300},
+		},
+		{
+			Name:        "mcf",
+			Description: "network simplex: pointer-chasing arc walks via index arrays",
+			Source: `
+array next[256];
+array cost[256];
+array pot[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) {
+    next[i] = (i * 101 + 31) % 256;
+    cost[i] = ((i * 17) % 61) - 30;
+    pot[i] = 0;
+  }
+  var t = 0;
+  var total = 0;
+  while (t < n) {
+    var node = t % 256;
+    var steps = 0;
+    var acc = 0;
+    while (steps < 12) {
+      acc = acc + cost[node] - pot[node] / 4;
+      if (acc < 0) { pot[node] = pot[node] + 1; }
+      node = next[node];
+      steps = steps + 1;
+    }
+    total = total + acc;
+    t = t + 1;
+  }
+  print(total);
+  return total;
+}`,
+			Args:      []int64{800},
+			TrainArgs: []int64{160},
+		},
+		{
+			Name:        "mesa",
+			Description: "software rasterizer: span loops with clipping and z-test conditionals",
+			Source: `
+array fb[1024];
+array zb[1024];
+func main(n) {
+  for (var i = 0; i < 1024; i = i + 1) { fb[i] = 0; zb[i] = 10000; }
+  var t = 0;
+  var drawn = 0;
+  while (t < n) {
+    var y = (t * 7) % 32;
+    var x0 = (t * 13) % 24;
+    var x1 = x0 + 3 + (t % 9);
+    if (x1 > 32) { x1 = 32; }
+    var z = 100 + (t % 500);
+    var x = x0;
+    while (x < x1) {
+      var idx = y * 32 + x;
+      if (z < zb[idx]) {
+        zb[idx] = z;
+        fb[idx] = (t % 255) + 1;
+        drawn = drawn + 1;
+      }
+      x = x + 1;
+    }
+    t = t + 1;
+  }
+  print(drawn);
+  return drawn;
+}`,
+			Args:      []int64{2000},
+			TrainArgs: []int64{400},
+		},
+		{
+			Name:        "mgrid",
+			Description: "multigrid: relaxation sweeps at two grid scales",
+			Source: `
+array fine[512];
+array coarse[64];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { fine[i] = (i * 11) % 100; }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    for (var j = 1; j < 511; j = j + 1) {
+      fine[j] = (fine[j - 1] + fine[j] * 2 + fine[j + 1]) / 4;
+    }
+    for (var c = 0; c < 64; c = c + 1) {
+      coarse[c] = (fine[c * 8] + fine[c * 8 + 4]) / 2;
+    }
+    for (var k = 1; k < 63; k = k + 1) {
+      coarse[k] = (coarse[k - 1] + coarse[k + 1]) / 2;
+    }
+    for (var m = 0; m < 512; m = m + 1) {
+      fine[m] = fine[m] + coarse[m / 8] / 8;
+    }
+    chk = chk + fine[(t * 37) % 512];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{15},
+			TrainArgs: []int64{3},
+		},
+		{
+			Name:        "parser",
+			Description: "link parser: tokenizer plus binary-search dictionary lookup with rare error path",
+			Source: `
+array ptext[1024];
+array dict[128];
+func lookup(w) {
+  var lo = 0;
+  var hi = 127;
+  while (lo < hi) {
+    var mid = (lo + hi) / 2;
+    if (dict[mid] < w) { lo = mid + 1; } else { hi = mid; }
+  }
+  if (dict[lo] == w) { return lo; }
+  return -1;
+}
+func main(n) {
+  for (var i = 0; i < 128; i = i + 1) { dict[i] = i * 8; }
+  for (var j = 0; j < 1024; j = j + 1) { ptext[j] = (j * 37) % 1024; }
+  var t = 0;
+  var hits = 0;
+  var misses = 0;
+  while (t < n) {
+    var w = ptext[t % 1024];
+    var r = lookup(w);
+    if (r >= 0) {
+      hits = hits + 1;
+    } else if (w > 1016) {
+      // Rare overflow path.
+      misses = misses + w % 13 + 7;
+    } else {
+      misses = misses + 1;
+    }
+    t = t + 1;
+  }
+  print(hits * 2 + misses);
+  return hits * 2 + misses;
+}`,
+			Args:      []int64{700},
+			TrainArgs: []int64{140},
+		},
+		{
+			Name:        "sixtrack",
+			Description: "particle tracking: fixed-point phase rotations with aperture checks",
+			Source: `
+array px2[128];
+array py2[128];
+func main(n) {
+  for (var i = 0; i < 128; i = i + 1) {
+    px2[i] = ((i * 31) % 200) - 100;
+    py2[i] = ((i * 47) % 200) - 100;
+  }
+  var t = 0;
+  var alive = 0;
+  while (t < n) {
+    alive = 0;
+    for (var p = 0; p < 128; p = p + 1) {
+      // Rotate by ~ 30 degrees in fixed point (Q6: cos=55, sin=32).
+      var x = px2[p];
+      var y = py2[p];
+      var nx = (x * 55 - y * 32) / 64;
+      var ny = (x * 32 + y * 55) / 64;
+      // Sextupole kick.
+      nx = nx + (ny * ny) / 256;
+      if (nx > 120 || nx < -120 || ny > 120 || ny < -120) {
+        nx = 0; ny = 0;
+      } else {
+        alive = alive + 1;
+      }
+      px2[p] = nx;
+      py2[p] = ny;
+    }
+    t = t + 1;
+  }
+  print(alive);
+  return alive;
+}`,
+			Args:      []int64{40},
+			TrainArgs: []int64{8},
+		},
+		{
+			Name:        "swim",
+			Description: "shallow water: 2D stencil sweeps over three fields",
+			Source: `
+array su[256];
+array sv[256];
+array sp[256];
+func main(n) {
+  for (var i = 0; i < 256; i = i + 1) {
+    su[i] = (i * 13) % 50;
+    sv[i] = (i * 29) % 50;
+    sp[i] = 100 + (i * 7) % 50;
+  }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    for (var y = 1; y < 15; y = y + 1) {
+      for (var x = 1; x < 15; x = x + 1) {
+        var idx = y * 16 + x;
+        su[idx] = su[idx] - (sp[idx + 1] - sp[idx - 1]) / 8;
+        sv[idx] = sv[idx] - (sp[idx + 16] - sp[idx - 16]) / 8;
+      }
+    }
+    for (var y2 = 1; y2 < 15; y2 = y2 + 1) {
+      for (var x2 = 1; x2 < 15; x2 = x2 + 1) {
+        var id2 = y2 * 16 + x2;
+        sp[id2] = sp[id2] - (su[id2 + 1] - su[id2 - 1] + sv[id2 + 16] - sv[id2 - 16]) / 16;
+      }
+    }
+    chk = chk + sp[(t * 19) % 256];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{25},
+			TrainArgs: []int64{5},
+		},
+		{
+			Name:        "twolf",
+			Description: "placement: swap-cost evaluation plus bounding-box updates",
+			Source: `
+array tcx[128];
+array tcy[128];
+array tw2[128];
+func main(n) {
+  for (var i = 0; i < 128; i = i + 1) {
+    tcx[i] = (i * 37) % 200;
+    tcy[i] = (i * 53) % 200;
+    tw2[i] = 1 + (i % 4);
+  }
+  var t = 0;
+  var cost = 0;
+  while (t < n) {
+    var a = t % 128;
+    var b = (t * 11 + 7) % 128;
+    var dx = tcx[a] - tcx[b];
+    if (dx < 0) { dx = -dx; }
+    var dy = tcy[a] - tcy[b];
+    if (dy < 0) { dy = -dy; }
+    var delta = (dx + dy) * tw2[a] - dx * tw2[b];
+    if (delta < 0) {
+      var tx = tcx[a]; tcx[a] = tcx[b]; tcx[b] = tx;
+      var ty = tcy[a]; tcy[a] = tcy[b]; tcy[b] = ty;
+      cost = cost + delta;
+    } else if (delta < 8) {
+      cost = cost + 1;
+    } else {
+      cost = cost + 2;
+    }
+    t = t + 1;
+  }
+  print(cost);
+  return cost;
+}`,
+			Args:      []int64{2500},
+			TrainArgs: []int64{500},
+		},
+		{
+			Name:        "vortex",
+			Description: "object database: hash-table insert/lookup/delete with chain walks",
+			Source: `
+array hkey[512];
+array hval[512];
+func main(n) {
+  for (var i = 0; i < 512; i = i + 1) { hkey[i] = -1; hval[i] = 0; }
+  var t = 0;
+  var found = 0;
+  while (t < n) {
+    var key = (t * 2654435761) % 4096;
+    if (key < 0) { key = -key; }
+    var slot = key % 512;
+    var probes = 0;
+    while (hkey[slot] != -1 && hkey[slot] != key && probes < 8) {
+      slot = (slot + 1) % 512;
+      probes = probes + 1;
+    }
+    if (t % 3 == 0) {
+      hkey[slot] = key;
+      hval[slot] = t;
+    } else if (t % 3 == 1) {
+      if (hkey[slot] == key) { found = found + hval[slot] % 97; }
+    } else {
+      if (hkey[slot] == key) { hkey[slot] = -2; }
+    }
+    t = t + 1;
+  }
+  print(found);
+  return found;
+}`,
+			Args:      []int64{1500},
+			TrainArgs: []int64{300},
+		},
+		{
+			Name:        "vpr",
+			Description: "FPGA routing: grid wave expansion with min-cost neighbor search",
+			Source: `
+array gcost[256];
+array gseen[256];
+func main(n) {
+  var t = 0;
+  var total = 0;
+  while (t < n) {
+    for (var i = 0; i < 256; i = i + 1) {
+      gcost[i] = ((i + t) * 29) % 50 + 1;
+      gseen[i] = 0;
+    }
+    var cur = (t * 7) % 256;
+    var goal = (t * 113 + 59) % 256;
+    var steps = 0;
+    var path = 0;
+    while (cur != goal && steps < 48) {
+      gseen[cur] = 1;
+      var bestn = cur;
+      var bestc = 100000;
+      var cx = cur % 16;
+      var cy = cur / 16;
+      if (cx > 0 && gseen[cur - 1] == 0 && gcost[cur - 1] < bestc) { bestc = gcost[cur - 1]; bestn = cur - 1; }
+      if (cx < 15 && gseen[cur + 1] == 0 && gcost[cur + 1] < bestc) { bestc = gcost[cur + 1]; bestn = cur + 1; }
+      if (cy > 0 && gseen[cur - 16] == 0 && gcost[cur - 16] < bestc) { bestc = gcost[cur - 16]; bestn = cur - 16; }
+      if (cy < 15 && gseen[cur + 16] == 0 && gcost[cur + 16] < bestc) { bestc = gcost[cur + 16]; bestn = cur + 16; }
+      if (bestn == cur) { steps = 48; } else { cur = bestn; path = path + bestc; }
+      steps = steps + 1;
+    }
+    total = total + path;
+    t = t + 1;
+  }
+  print(total);
+  return total;
+}`,
+			Args:      []int64{120},
+			TrainArgs: []int64{24},
+		},
+		{
+			Name:        "wupwise",
+			Description: "lattice QCD: fixed-point complex matrix-vector products",
+			Source: `
+array wre[288];
+array wim[288];
+array vre[96];
+array vim[96];
+array ore[96];
+array oim[96];
+func main(n) {
+  for (var i = 0; i < 288; i = i + 1) {
+    wre[i] = ((i * 23) % 127) - 63;
+    wim[i] = ((i * 41) % 127) - 63;
+  }
+  for (var j = 0; j < 96; j = j + 1) {
+    vre[j] = ((j * 17) % 127) - 63;
+    vim[j] = ((j * 37) % 127) - 63;
+  }
+  var t = 0;
+  var chk = 0;
+  while (t < n) {
+    // 32 sites, each a 3x3 complex matrix times 3-vector.
+    for (var s = 0; s < 32; s = s + 1) {
+      for (var r = 0; r < 3; r = r + 1) {
+        var accr = 0;
+        var acci = 0;
+        for (var c = 0; c < 3; c = c + 1) {
+          var mr = wre[s * 9 + r * 3 + c];
+          var mi = wim[s * 9 + r * 3 + c];
+          var xr = vre[s * 3 + c];
+          var xi = vim[s * 3 + c];
+          accr = accr + (mr * xr - mi * xi) / 64;
+          acci = acci + (mr * xi + mi * xr) / 64;
+        }
+        ore[s * 3 + r] = accr;
+        oim[s * 3 + r] = acci;
+      }
+    }
+    for (var u = 0; u < 96; u = u + 1) {
+      vre[u] = (vre[u] + ore[u]) / 2;
+      vim[u] = (vim[u] + oim[u]) / 2;
+    }
+    chk = chk + vre[(t * 7) % 96] + vim[(t * 13) % 96];
+    t = t + 1;
+  }
+  print(chk);
+  return chk;
+}`,
+			Args:      []int64{20},
+			TrainArgs: []int64{4},
+		},
+	}
+}

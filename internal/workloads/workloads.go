@@ -1,0 +1,55 @@
+// Package workloads defines the benchmark programs used by the
+// experiment harness, written in tl:
+//
+//   - Micro: the 24 microbenchmarks of the paper's Tables 1 and 2 —
+//     loops and procedures re-derived from SPEC2000 plus GMTI radar
+//     kernels, a 10x10 matrix multiply, sieve, and Dhrystone, each
+//     rebuilt with the control-flow structure the paper attributes to
+//     it (e.g. ammp's low-trip-count while loops, bzip2_3's
+//     rarely-taken block ahead of the induction update, parser_1's
+//     rarely-taken error paths).
+//   - Spec: 19 SPEC2000 proxy programs (Table 3) — larger synthetic
+//     programs in tl whose CFG shapes (loop nests, trip counts,
+//     branch biases, call structure) stand in for the originals at
+//     MinneSPEC-like reduced scale.
+//
+// Fractional arithmetic uses fixed point (tl is integer-only); the
+// paper's transformations are control-flow transformations, so value
+// representation does not affect what is being measured.
+package workloads
+
+import "fmt"
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the paper's benchmark naming (e.g. "ammp_1").
+	Name string
+	// Source is the tl program; its entry function is always main.
+	Source string
+	// Args are the measurement-run arguments.
+	Args []int64
+	// TrainArgs are the (smaller) profiling-run arguments.
+	TrainArgs []int64
+	// Description says what the kernel does and which control-flow
+	// feature makes it interesting.
+	Description string
+}
+
+// ByName finds a workload in the given set.
+func ByName(set []Workload, name string) (*Workload, error) {
+	for i := range set {
+		if set[i].Name == name {
+			return &set[i], nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: no workload %q", name)
+}
+
+// Names lists the workload names in order.
+func Names(set []Workload) []string {
+	out := make([]string, len(set))
+	for i := range set {
+		out[i] = set[i].Name
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+)
+
+func TestSuitesComplete(t *testing.T) {
+	micro := Micro()
+	if len(micro) != 24 {
+		t.Fatalf("micro suite has %d benchmarks, want 24", len(micro))
+	}
+	spec := Spec()
+	if len(spec) != 19 {
+		t.Fatalf("spec suite has %d benchmarks, want 19", len(spec))
+	}
+	seen := map[string]bool{}
+	for _, w := range append(micro, spec...) {
+		if w.Name == "" || w.Source == "" || len(w.Args) == 0 || len(w.TrainArgs) == 0 || w.Description == "" {
+			t.Errorf("workload %q incomplete", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName(Micro(), "sieve")
+	if err != nil || w.Name != "sieve" {
+		t.Fatalf("ByName(sieve) = %v, %v", w, err)
+	}
+	if _, err := ByName(Micro(), "nonesuch"); err == nil {
+		t.Fatal("missing workload must error")
+	}
+	names := Names(Micro())
+	if len(names) != 24 || names[0] != "ammp_1" {
+		t.Fatalf("Names wrong: %v", names[:3])
+	}
+}
+
+// TestAllWorkloadsCompileAndRun checks that every workload parses,
+// lowers, and executes on its training input.
+func TestAllWorkloadsCompileAndRun(t *testing.T) {
+	for _, w := range append(Micro(), Spec()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := functional.New(prog)
+			m.MaxSteps = 50_000_000
+			if _, err := m.Run("main", w.TrainArgs...); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(m.Output) == 0 {
+				t.Fatal("workload produced no observable output")
+			}
+			if m.Stats.Blocks < 50 {
+				t.Fatalf("suspiciously small dynamic footprint: %d blocks", m.Stats.Blocks)
+			}
+		})
+	}
+}
+
+// TestWorkloadsSurviveEveryOrdering is the suite-wide semantic
+// preservation check: every workload run through every phase ordering
+// produces the baseline's output.
+func TestWorkloadsSurviveEveryOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: full suite x orderings")
+	}
+	for _, w := range append(Micro(), Spec()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", w.TrainArgs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ord := range compiler.Orderings {
+				res, err := compiler.Compile(w.Source, compiler.Options{
+					Ordering:    ord,
+					ProfileFn:   "main",
+					ProfileArgs: w.TrainArgs,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", ord, err)
+				}
+				gotV, gotOut, _, err := functional.RunProgram(res.Prog, "main", w.TrainArgs...)
+				if err != nil {
+					t.Fatalf("%s: %v", ord, err)
+				}
+				if gotV != wantV {
+					t.Fatalf("%s: result %d, want %d", ord, gotV, wantV)
+				}
+				if len(gotOut) != len(wantOut) {
+					t.Fatalf("%s: output %v, want %v", ord, gotOut, wantOut)
+				}
+				for i := range wantOut {
+					if gotOut[i] != wantOut[i] {
+						t.Fatalf("%s: output[%d] = %d, want %d", ord, i, gotOut[i], wantOut[i])
+					}
+				}
+			}
+		})
+	}
+}

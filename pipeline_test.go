@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sched"
+	"repro/internal/sim/functional"
+	"repro/internal/workloads"
+)
+
+// TestFullPipelineEndToEnd drives representative workloads through
+// the complete flow of the paper's Figure 6 — front end, convergent
+// hyperblock formation, register allocation with reverse
+// if-conversion, fanout insertion, and grid placement — and checks
+// that the program still computes the baseline's observable output at
+// every stage.
+func TestFullPipelineEndToEnd(t *testing.T) {
+	names := []string{"sieve", "matrix_1", "twolf_1", "gzip_1", "dhry"}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workloads.ByName(workloads.Micro(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantV, wantOut, _, err := functional.RunProgram(ir.CloneProgram(base), "main", w.TrainArgs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			res, err := compiler.Compile(w.Source, compiler.Options{
+				Ordering:    compiler.OrderIUPO1,
+				ProfileFn:   "main",
+				ProfileArgs: w.TrainArgs,
+				RegAlloc:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fn, aerr := range res.AllocErrs {
+				t.Fatalf("regalloc %s: %v", fn, aerr)
+			}
+			check := func(stage string) {
+				t.Helper()
+				if err := ir.VerifyProgram(res.Prog); err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				gotV, gotOut, _, err := functional.RunProgram(ir.CloneProgram(res.Prog), "main", w.TrainArgs...)
+				if err != nil {
+					t.Fatalf("%s: %v", stage, err)
+				}
+				if gotV != wantV {
+					t.Fatalf("%s: result %d, want %d", stage, gotV, wantV)
+				}
+				if len(gotOut) != len(wantOut) {
+					t.Fatalf("%s: output length %d, want %d", stage, len(gotOut), len(wantOut))
+				}
+				for i := range wantOut {
+					if gotOut[i] != wantOut[i] {
+						t.Fatalf("%s: output[%d] = %d, want %d", stage, i, gotOut[i], wantOut[i])
+					}
+				}
+			}
+			check("after formation+regalloc")
+
+			// Back end: fanout insertion and placement mutate the IR
+			// (fanout movs, capacity splits); semantics must hold.
+			sc := sched.New(sched.DefaultGrid())
+			for _, f := range res.Prog.OrderedFuncs() {
+				scheds, err := sc.ScheduleFunction(f)
+				if err != nil {
+					t.Fatalf("sched %s: %v", f.Name, err)
+				}
+				// Every block placed within grid capacity.
+				for _, bs := range scheds {
+					if len(bs.Block.Instrs) > sched.DefaultGrid().Slots() {
+						t.Fatalf("block %s over capacity after scheduling", bs.Block)
+					}
+				}
+				// Assembly emission must cover every block.
+				asm := sched.EmitAssembly(f, scheds, nil)
+				if len(asm) == 0 {
+					t.Fatalf("no assembly for %s", f.Name)
+				}
+			}
+			check("after fanout+placement")
+		})
+	}
+}

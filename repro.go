@@ -1,0 +1,118 @@
+// Package repro is the public facade of this repository: a
+// from-scratch Go reproduction of "Merging Head and Tail Duplication
+// for Convergent Hyperblock Formation" (Maher, Smith, Burger,
+// McKinley — MICRO 2006).
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - Compile runs the full compiler pipeline (tl front end, phase
+//     ordering, convergent hyperblock formation, optional register
+//     allocation) — see the Ordering constants for the paper's
+//     configurations and the policy constructors for its
+//     block-selection heuristics;
+//   - RunCycles and RunBlocks simulate a compiled program on the
+//     cycle-level EDGE core model or the fast functional simulator;
+//   - Micro and Spec return the paper's benchmark suites, and the
+//     Table1/Table2/Table3/Figure7 helpers regenerate its evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/policy"
+	"repro/internal/sim/functional"
+	"repro/internal/sim/timing"
+	"repro/internal/workloads"
+)
+
+// Options configures a compilation; the zero value compiles with the
+// fully convergent (IUPO) ordering, the breadth-first policy, TRIPS
+// constraints, and front-end unroll factor 4.
+type Options = compiler.Options
+
+// Result is a finished compilation.
+type Result = compiler.Result
+
+// Ordering names one of the paper's phase orderings.
+type Ordering = compiler.Ordering
+
+// The evaluated phase orderings (Table 1).
+const (
+	BB     = compiler.OrderBB
+	UPIO   = compiler.OrderUPIO
+	IUPO   = compiler.OrderIUPO
+	IUPthO = compiler.OrderIUPthenO // (IUP)O
+	IUPO1  = compiler.OrderIUPO1    // (IUPO)
+)
+
+// Orderings lists the configurations in the paper's column order.
+var Orderings = compiler.Orderings
+
+// Program is a compiled IR program.
+type Program = ir.Program
+
+// Workload is a benchmark program (source, arguments, description).
+type Workload = workloads.Workload
+
+// Compile runs the full pipeline on tl source.
+func Compile(src string, opts Options) (*Result, error) {
+	return compiler.Compile(src, opts)
+}
+
+// BreadthFirst returns the paper's best EDGE block-selection policy.
+func BreadthFirst() core.Policy { return policy.BreadthFirst{} }
+
+// DepthFirst returns the most-frequent-path policy.
+func DepthFirst() core.Policy { return policy.DepthFirst{} }
+
+// VLIW returns the Mahlke-style path-based policy.
+func VLIW() core.Policy { return &policy.VLIW{} }
+
+// CycleStats are the timing simulator's counters.
+type CycleStats = timing.Stats
+
+// RunCycles simulates fn on the cycle-level EDGE core model and
+// returns (result, stats).
+func RunCycles(p *Program, fn string, args ...int64) (int64, CycleStats, error) {
+	return timing.RunProgram(p, fn, args...)
+}
+
+// BlockStats are the functional simulator's counters.
+type BlockStats = functional.Stats
+
+// RunBlocks executes fn on the functional simulator and returns
+// (result, print output, stats).
+func RunBlocks(p *Program, fn string, args ...int64) (int64, []int64, BlockStats, error) {
+	return functional.RunProgram(p, fn, args...)
+}
+
+// Micro returns the paper's 24 microbenchmarks (Tables 1 and 2).
+func Micro() []Workload { return workloads.Micro() }
+
+// Spec returns the paper's 19 SPEC2000 proxies (Table 3).
+func Spec() []Workload { return workloads.Spec() }
+
+// Table1 regenerates the paper's Table 1 over the given workloads.
+func Table1(ws []Workload) (*experiments.Table1Result, error) {
+	return experiments.Table1(ws)
+}
+
+// Table2 regenerates the paper's Table 2 over the given workloads.
+func Table2(ws []Workload) (*experiments.Table2Result, error) {
+	return experiments.Table2(ws)
+}
+
+// Table3 regenerates the paper's Table 3 over the given workloads.
+func Table3(ws []Workload) (*experiments.Table3Result, error) {
+	return experiments.Table3(ws)
+}
+
+// Figure7 derives the paper's Figure 7 from Table 1 results.
+func Figure7(t1 *experiments.Table1Result) *experiments.Figure7Result {
+	return experiments.Figure7(t1)
+}

@@ -1,0 +1,81 @@
+package repro
+
+import "testing"
+
+const facadeSrc = `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if ((i & 3) == 0) { s = s + i; } else { s = s - 1; }
+  }
+  print(s);
+  return s;
+}`
+
+func TestFacadeCompileAndSimulate(t *testing.T) {
+	res, err := Compile(facadeSrc, Options{
+		Ordering:    IUPO1,
+		Policy:      BreadthFirst(),
+		ProfileFn:   "main",
+		ProfileArgs: []int64{32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FormStats.Merges == 0 {
+		t.Fatal("no formation happened")
+	}
+	v1, cs, err := RunCycles(res.Prog, "main", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cycles <= 0 || cs.Blocks <= 0 {
+		t.Fatalf("bad cycle stats: %+v", cs)
+	}
+	v2, out, bs, err := RunBlocks(res.Prog, "main", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("simulators disagree: %d vs %d", v1, v2)
+	}
+	if len(out) != 1 || out[0] != v1 {
+		t.Fatalf("output stream wrong: %v", out)
+	}
+	if bs.Blocks != cs.Blocks {
+		t.Fatalf("block counts disagree: %d vs %d", bs.Blocks, cs.Blocks)
+	}
+}
+
+func TestFacadeOrderingsAgree(t *testing.T) {
+	var want int64
+	for i, ord := range Orderings {
+		res, err := Compile(facadeSrc, Options{Ordering: ord, ProfileFn: "main", ProfileArgs: []int64{16}})
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		got, _, _, err := RunBlocks(res.Prog, "main", 100)
+		if err != nil {
+			t.Fatalf("%s: %v", ord, err)
+		}
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("%s: result %d, want %d", ord, got, want)
+		}
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(Micro()) != 24 || len(Spec()) != 19 {
+		t.Fatal("suite sizes wrong")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	for _, p := range []interface{ Name() string }{BreadthFirst(), DepthFirst(), VLIW()} {
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}
