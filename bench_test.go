@@ -1,9 +1,11 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/compiler"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/lang"
@@ -31,12 +33,16 @@ func subset(b *testing.B, names []string) []workloads.Workload {
 	return ws
 }
 
-// BenchmarkTable1 regenerates Table 1 (phase orderings, cycle counts)
-// on the benchmark subset. One iteration = the full table.
-func BenchmarkTable1(b *testing.B) {
+// benchTable1 regenerates Table 1 (phase orderings, cycle counts) on
+// the benchmark subset through an engine with the given worker count.
+// One iteration = the full table on a fresh engine (cold cache), so
+// comparing Serial and Parallel isolates the worker-pool speedup.
+func benchTable1(b *testing.B, workers int) {
+	b.Helper()
 	ws := subset(b, benchSubset)
 	for i := 0; i < b.N; i++ {
-		t1, err := experiments.Table1(ws)
+		eng := engine.New(engine.Config{Workers: workers})
+		t1, err := experiments.Table1Engine(eng, ws)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,12 +53,42 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1 runs the table at full parallelism (the engine's
+// default -j).
+func BenchmarkTable1(b *testing.B) { benchTable1(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkTable1Serial is the -j 1 baseline for the speedup
+// comparison.
+func BenchmarkTable1Serial(b *testing.B) { benchTable1(b, 1) }
+
+// BenchmarkTable1Cached measures the warm-cache path: every iteration
+// after the first is pure cache hits on a shared engine.
+func BenchmarkTable1Cached(b *testing.B) {
+	ws := subset(b, benchSubset)
+	eng := engine.Default()
+	if _, err := experiments.Table1Engine(eng, ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.Table1Engine(eng, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t1.Rows) != len(ws) {
+			b.Fatal("incomplete table")
+		}
+	}
+	st := eng.Cache().Stats()
+	b.ReportMetric(float64(st.Hits), "cache-hits")
+}
+
 // BenchmarkTable2 regenerates Table 2 (block-selection heuristics) on
-// the benchmark subset.
+// the benchmark subset through a fresh engine per iteration.
 func BenchmarkTable2(b *testing.B) {
 	ws := subset(b, benchSubset)
 	for i := 0; i < b.N; i++ {
-		t2, err := experiments.Table2(ws)
+		t2, err := experiments.Table2Engine(engine.Default(), ws)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +109,7 @@ func BenchmarkTable3(b *testing.B) {
 		ws = append(ws, *w)
 	}
 	for i := 0; i < b.N; i++ {
-		t3, err := experiments.Table3(ws)
+		t3, err := experiments.Table3Engine(engine.Default(), ws)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +122,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	ws := subset(b, benchSubset)
 	for i := 0; i < b.N; i++ {
-		t1, err := experiments.Table1(ws)
+		t1, err := experiments.Table1Engine(engine.Default(), ws)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,13 +8,28 @@
 //	experiments -all          # everything
 //
 // Use -quick to run a 6-benchmark subset of the microbenchmarks.
+//
+// Every table cell is an independent compile+simulate job executed by
+// internal/engine:
+//
+//	-j N            run N jobs concurrently (default GOMAXPROCS)
+//	-cache-dir DIR  persist the content-addressed result cache to DIR
+//	-trace FILE     write a machine-readable JSON execution trace
+//	-timeout D      per-job deadline (e.g. 30s; 0 disables)
+//
+// Table output on stdout is byte-identical to a serial run; the
+// engine's human summary goes to stderr. Per-cell failures drop that
+// benchmark's row and are reported at the end instead of aborting the
+// whole table.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
 )
@@ -24,7 +39,25 @@ func main() {
 	figure := flag.Int("figure", 0, "figure to regenerate (7)")
 	all := flag.Bool("all", false, "run every table and figure")
 	quick := flag.Bool("quick", false, "use a small benchmark subset")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent compile+simulate jobs")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory")
+	traceOut := flag.String("trace", "", "write a JSON execution trace to this file")
+	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none)")
 	flag.Parse()
+
+	cache := engine.NewCache()
+	if *cacheDir != "" {
+		var err error
+		cache, err = engine.NewDiskCache(*cacheDir)
+		fail(err)
+	}
+	tracer := engine.NewTracer()
+	eng := engine.New(engine.Config{
+		Workers: *jobs,
+		Cache:   cache,
+		Timeout: *timeout,
+		Tracer:  tracer,
+	})
 
 	micro := workloads.Micro()
 	if *quick {
@@ -32,12 +65,21 @@ func main() {
 	}
 	spec := workloads.Spec()
 
+	// Per-cell errors are collected here and reported at the end; the
+	// successfully measured rows still print.
+	var cellErrs []error
+	note := func(err error) {
+		if err != nil {
+			cellErrs = append(cellErrs, err)
+		}
+	}
+
 	ran := false
 	var t1 *experiments.Table1Result
 	runT1 := func() {
 		var err error
-		t1, err = experiments.Table1(micro)
-		fail(err)
+		t1, err = experiments.Table1Engine(eng, micro)
+		note(err)
 		fmt.Println("Table 1: % cycle improvement over basic blocks, by phase ordering")
 		fmt.Println("(m/t/u/p = blocks merged / tail duplicated / unrolled / peeled)")
 		fmt.Print(t1.Format())
@@ -49,16 +91,16 @@ func main() {
 		ran = true
 	}
 	if *all || *table == 2 {
-		t2, err := experiments.Table2(micro)
-		fail(err)
+		t2, err := experiments.Table2Engine(eng, micro)
+		note(err)
 		fmt.Println("Table 2: % cycle improvement over basic blocks, by heuristic")
 		fmt.Print(t2.Format())
 		fmt.Println()
 		ran = true
 	}
 	if *all || *table == 3 {
-		t3, err := experiments.Table3(spec)
-		fail(err)
+		t3, err := experiments.Table3Engine(eng, spec)
+		note(err)
 		fmt.Println("Table 3: % block-count improvement over basic blocks (SPEC proxies)")
 		fmt.Print(t3.Format())
 		fmt.Println()
@@ -76,6 +118,20 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(tracer.WriteJSON(f))
+		fail(f.Close())
+	}
+	fmt.Fprintln(os.Stderr, tracer.Summary().Format())
+	if len(cellErrs) > 0 {
+		for _, err := range cellErrs {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		os.Exit(1)
 	}
 }
 

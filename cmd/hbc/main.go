@@ -4,19 +4,27 @@
 // formation and block statistics.
 //
 //	hbc [-ordering '(IUPO)'] [-policy bf|df|vliw] [-unroll 4]
-//	    [-train 'args'] [-regalloc] [-stats] file.tl
+//	    [-train 'args'] [-regalloc] [-stats] [-json] file.tl
+//
+// -json emits the compile statistics as a single JSON object on
+// stdout (the experiment engine's metrics schema) instead of the
+// listing and comment lines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/policy"
 	"repro/internal/profile"
@@ -35,6 +43,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-block resource statistics")
 	asm := flag.Bool("asm", false, "emit placed TRIPS-like assembly (fanout insertion + grid placement)")
 	quiet := flag.Bool("quiet", false, "suppress the IR listing")
+	jsonOut := flag.Bool("json", false, "emit the compile stats as a single JSON object on stdout")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -81,8 +90,24 @@ func main() {
 		opts.Profile = prof
 	}
 
+	t0 := time.Now()
 	res, err := compiler.Compile(string(src), opts)
+	compileNS := time.Since(t0).Nanoseconds()
 	fail(err)
+
+	if *jsonOut {
+		m := engine.Metrics{
+			Workload:  filepath.Base(flag.Arg(0)),
+			Config:    *ordering,
+			Form:      res.FormStats,
+			UP:        res.UPStats,
+			CompileNS: compileNS,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(m))
+		return
+	}
 
 	if *profileSave != "" && res.Profile != nil {
 		pf, err := os.Create(*profileSave)

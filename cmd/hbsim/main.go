@@ -1,23 +1,25 @@
 // Command hbsim compiles a tl source file and simulates it:
 //
 //	hbsim [-ordering '(IUPO)'] [-mode cycle|functional] [-args '10,20']
-//	      [-train '5'] file.tl
+//	      [-train '5'] [-json] file.tl
 //
 // The cycle mode reports the timing model's statistics; the
 // functional mode reports dynamic block counts (the paper's SPEC
-// metric).
+// metric). -json emits the run's metrics as a single JSON object on
+// stdout (the experiment engine's metrics schema).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/compiler"
-	"repro/internal/sim/functional"
-	"repro/internal/sim/timing"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	argsFlag := flag.String("args", "", "comma-separated int arguments for main")
 	train := flag.String("train", "", "comma-separated profiling args for main")
 	unroll := flag.Int("unroll", 4, "front-end for-loop unroll factor")
+	jsonOut := flag.Bool("json", false, "emit the metrics as a single JSON object on stdout")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -44,34 +47,46 @@ func main() {
 		opts.ProfileFn = "main"
 		opts.ProfileArgs = parseArgs(*train)
 	}
-	res, err := compiler.Compile(string(src), opts)
-	fail(err)
 
-	args := parseArgs(*argsFlag)
+	var sim engine.SimKind
 	switch *mode {
 	case "cycle":
-		m := timing.New(res.Prog, timing.DefaultConfig())
-		v, err := m.Run("main", args...)
-		fail(err)
-		s := m.Stats
-		fmt.Printf("result: %d\n", v)
-		printOutput(m.Output)
-		fmt.Printf("cycles: %d\nblocks: %d\nexecuted: %d\nfetched: %d\n",
-			s.Cycles, s.Blocks, s.Executed, s.Fetched)
-		fmt.Printf("exit lookups: %d, mispredicts: %d (%.2f%%), flushes: %d\n",
-			s.ExitLookups, s.Mispredicts, 100*s.MispredictRate(), s.Flushes)
-		fmt.Printf("cache: %d accesses, %d misses\n", s.CacheAccesses, s.CacheMisses)
+		sim = engine.SimTiming
 	case "functional":
-		m := functional.New(res.Prog)
-		v, err := m.Run("main", args...)
-		fail(err)
-		s := m.Stats
-		fmt.Printf("result: %d\n", v)
-		printOutput(m.Output)
-		fmt.Printf("blocks: %d\nexecuted: %d\nfetched: %d\nbranches: %d\nloads: %d\nstores: %d\n",
-			s.Blocks, s.Executed, s.Fetched, s.Branches, s.Loads, s.Stores)
+		sim = engine.SimFunctional
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	m, err := engine.RunJob(engine.Job{
+		Workload: filepath.Base(flag.Arg(0)),
+		Config:   *ordering,
+		Source:   string(src),
+		Opts:     opts,
+		Sim:      sim,
+		Args:     parseArgs(*argsFlag),
+	})
+	fail(err)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(m))
+		return
+	}
+
+	fmt.Printf("result: %d\n", m.Result)
+	printOutput(m.Output)
+	switch sim {
+	case engine.SimTiming:
+		fmt.Printf("cycles: %d\nblocks: %d\nexecuted: %d\nfetched: %d\n",
+			m.Cycles, m.Blocks, m.Executed, m.Fetched)
+		fmt.Printf("exit lookups: %d, mispredicts: %d (%.2f%%), flushes: %d\n",
+			m.ExitLookups, m.Mispredicts, 100*m.MispredictRate(), m.Flushes)
+		fmt.Printf("cache: %d accesses, %d misses\n", m.CacheAccesses, m.CacheMisses)
+	case engine.SimFunctional:
+		fmt.Printf("blocks: %d\nexecuted: %d\nfetched: %d\nbranches: %d\nloads: %d\nstores: %d\n",
+			m.Blocks, m.Executed, m.Fetched, m.Branches, m.Loads, m.Stores)
 	}
 }
 

@@ -88,6 +88,11 @@ type CoreTweaks struct {
 	SplitOversize bool
 }
 
+// Canonical returns o with defaults filled in, so that two Options
+// requesting the same compilation compare (and hash) equal. The
+// experiment engine uses it to build content-addressed cache keys.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Ordering == "" {
 		o.Ordering = OrderIUPO1

@@ -179,7 +179,17 @@ func transformLoop(f *ir.Function, l *analysis.Loop, prof *profile.FuncProfile, 
 // rewires back edges as needed).
 func cloneLoop(f *ir.Function, l *analysis.Loop, tag string) map[*ir.Block]*ir.Block {
 	m := map[*ir.Block]*ir.Block{}
-	for b := range l.Blocks {
+	// Walk f.Blocks rather than the l.Blocks set so clones are
+	// adopted (and thus laid out) in a deterministic order; map
+	// iteration order here used to leak into block layout and from
+	// there into cycle counts.
+	members := make([]*ir.Block, 0, len(l.Blocks))
+	for _, b := range f.Blocks {
+		if l.Blocks[b] {
+			members = append(members, b)
+		}
+	}
+	for _, b := range members {
 		nb := b.Clone(fmt.Sprintf("%s.%s", b.Name, tag))
 		f.AdoptBlock(nb)
 		m[b] = nb

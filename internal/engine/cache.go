@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/regalloc"
+	"repro/internal/sim/timing"
+	"repro/internal/trips"
+)
+
+// keySchema versions the cache-key layout; bump it whenever the
+// payload below or the semantics of a hashed field change, so stale
+// on-disk entries from older builds can never be returned.
+const keySchema = 1
+
+// keyPayload is the canonical serialization hashed into a job's cache
+// key: everything that determines the job's Metrics, and nothing that
+// doesn't (display labels and timeouts are excluded). Struct-field
+// JSON marshaling is deterministic (fields in declaration order), so
+// equal payloads produce equal bytes.
+type keyPayload struct {
+	Schema      int                        `json:"schema"`
+	Source      string                     `json:"source"`
+	Ordering    compiler.Ordering          `json:"ordering"`
+	Policy      string                     `json:"policy"`
+	PolicyOpts  json.RawMessage            `json:"policy_opts,omitempty"`
+	Cons        trips.Constraints          `json:"cons"`
+	ProfileFn   string                     `json:"profile_fn"`
+	ProfileArgs []int64                    `json:"profile_args"`
+	Profile     string                     `json:"profile,omitempty"`
+	FrontUnroll int                        `json:"front_unroll"`
+	UnrollPeel  compiler.UnrollPeelOptions `json:"unroll_peel"`
+	RegAlloc    bool                       `json:"regalloc"`
+	RegAllocOps regalloc.Options           `json:"regalloc_opts"`
+	CoreTweaks  compiler.CoreTweaks        `json:"core_tweaks"`
+	Sim         SimKind                    `json:"sim"`
+	SimConfig   *timing.Config             `json:"sim_config,omitempty"`
+	Entry       string                     `json:"entry"`
+	Args        []int64                    `json:"args"`
+}
+
+// Key returns the job's content-addressed cache key: the SHA-256 of
+// the canonicalized (source, compiler options, simulator
+// configuration, arguments) tuple. Jobs with a custom Fn body have no
+// content address and return an error.
+func Key(j Job) (string, error) {
+	if j.Fn != nil {
+		return "", fmt.Errorf("engine: custom-body job %s/%s is not cacheable", j.Workload, j.Config)
+	}
+	opts := j.Opts.Canonical()
+	p := keyPayload{
+		Schema:      keySchema,
+		Source:      j.Source,
+		Ordering:    opts.Ordering,
+		Cons:        opts.Cons,
+		ProfileFn:   opts.ProfileFn,
+		ProfileArgs: opts.ProfileArgs,
+		FrontUnroll: opts.FrontUnroll,
+		UnrollPeel:  opts.UnrollPeel,
+		RegAlloc:    opts.RegAlloc,
+		RegAllocOps: opts.RegAllocOpts,
+		CoreTweaks:  opts.CoreTweaks,
+		Sim:         j.Sim,
+		Entry:       j.entry(),
+		Args:        j.Args,
+	}
+	if opts.Policy != nil {
+		p.Policy = opts.Policy.Name()
+		// Policies carry tuning fields (e.g. the VLIW priority
+		// exponents); their exported fields join the hash.
+		raw, err := json.Marshal(opts.Policy)
+		if err != nil {
+			return "", fmt.Errorf("engine: hashing policy %s: %w", p.Policy, err)
+		}
+		p.PolicyOpts = raw
+	}
+	if opts.Profile != nil {
+		var sb strings.Builder
+		if err := opts.Profile.Save(&sb); err != nil {
+			return "", fmt.Errorf("engine: hashing preloaded profile: %w", err)
+		}
+		p.Profile = sb.String()
+	}
+	if j.Sim == SimTiming {
+		cfg := j.simConfig()
+		p.SimConfig = &cfg
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CacheStats are the cache's hit/miss counters.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	DiskHits int64 `json:"disk_hits"`
+}
+
+// Cache is a content-addressed Metrics store with an in-memory layer
+// and optional on-disk persistence. All methods are safe for
+// concurrent use.
+type Cache struct {
+	dir string
+
+	mu  sync.RWMutex
+	mem map[string]Metrics
+
+	hits, misses, diskHits atomic.Int64
+}
+
+// NewCache returns an in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: map[string]Metrics{}}
+}
+
+// NewDiskCache returns a cache that persists entries under dir (one
+// JSON file per key) in addition to the in-memory layer, so results
+// survive across runs.
+func NewDiskCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: cache dir: %w", err)
+	}
+	return &Cache{dir: dir, mem: map[string]Metrics{}}, nil
+}
+
+// Get looks the key up in memory and then on disk. Disk hits are
+// promoted into memory.
+func (c *Cache) Get(key string) (Metrics, bool) {
+	c.mu.RLock()
+	m, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return m, true
+	}
+	if c.dir != "" {
+		raw, err := os.ReadFile(c.path(key))
+		if err == nil && json.Unmarshal(raw, &m) == nil {
+			c.mu.Lock()
+			c.mem[key] = m
+			c.mu.Unlock()
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			return m, true
+		}
+	}
+	c.misses.Add(1)
+	return Metrics{}, false
+}
+
+// Put stores the metrics under key, writing through to disk when
+// persistence is enabled. Disk writes are atomic (temp file + rename)
+// so a concurrent reader never sees a torn entry.
+func (c *Cache) Put(key string, m Metrics) {
+	c.mu.Lock()
+	c.mem[key] = m
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}
+
+// Stats returns the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		DiskHits: c.diskHits.Load(),
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrTimeout reports that a job exceeded its deadline. The job's
+// goroutine is abandoned (the compiler and simulators are not
+// preemptible), so a diverging convergence loop costs one worker slot
+// of CPU but never wedges the table.
+var ErrTimeout = errors.New("engine: job timed out")
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers bounds concurrent jobs (<= 0: runtime.GOMAXPROCS(0)).
+	Workers int
+	// Cache is the result cache (nil: a fresh in-memory cache).
+	Cache *Cache
+	// Timeout is the default per-job deadline (0: none).
+	Timeout time.Duration
+	// Tracer, when non-nil, records per-job events and counters.
+	Tracer *Tracer
+}
+
+// Engine runs compile+simulate jobs on a bounded worker pool with
+// content-addressed caching, panic isolation, and deadlines.
+type Engine struct {
+	workers int
+	cache   *Cache
+	timeout time.Duration
+	tracer  *Tracer
+}
+
+// New builds an engine. The zero Config is valid: GOMAXPROCS workers,
+// fresh in-memory cache, no timeout, no tracer.
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = NewCache()
+	}
+	return &Engine{workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer}
+}
+
+// Default returns an engine with the zero configuration.
+func Default() *Engine { return New(Config{}) }
+
+// Cache exposes the engine's result cache (e.g. for hit-rate
+// reporting).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Result is one finished job.
+type Result struct {
+	// Job echoes the submitted job; Index is its position in the
+	// submitted slice.
+	Job   Job
+	Index int
+	// Key is the content-addressed cache key ("" for uncacheable
+	// jobs); CacheHit reports that Metrics came from the cache.
+	Key      string
+	CacheHit bool
+	// Metrics and Err are the job's outcome. Err is non-nil for
+	// compile/sim failures, panics (wrapped with the stack), and
+	// timeouts (errors.Is(err, ErrTimeout)).
+	Metrics Metrics
+	Err     error
+	// WallNS is the job's wall-clock time in this run (near zero on
+	// a cache hit).
+	WallNS int64
+}
+
+// Run executes the jobs with bounded parallelism and returns results
+// in submission order: results[i] corresponds to jobs[i] no matter
+// how the pool scheduled them, so aggregation over results is
+// deterministic. Per-job failures land in Result.Err; Run itself
+// never fails.
+func (e *Engine) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runOne(i, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if e.tracer != nil {
+		for i := range results {
+			e.tracer.observe(&results[i])
+		}
+	}
+	return results
+}
+
+// RunJob is the one-shot convenience for single-job clients
+// (cmd/hbsim): no pool, no shared cache.
+func RunJob(j Job) (Metrics, error) {
+	r := New(Config{Workers: 1}).Run([]Job{j})[0]
+	return r.Metrics, r.Err
+}
+
+func (e *Engine) runOne(i int, j Job) Result {
+	r := Result{Job: j, Index: i}
+	start := time.Now()
+	key, kerr := Key(j)
+	if kerr == nil {
+		r.Key = key
+		if m, ok := e.cache.Get(key); ok {
+			// Labels are display-only and excluded from the key, so
+			// restamp them from this job rather than trusting the
+			// entry's provenance.
+			m.Workload, m.Config, m.Sim = j.Workload, j.Config, j.Sim
+			r.Metrics = m
+			r.CacheHit = true
+			r.WallNS = time.Since(start).Nanoseconds()
+			return r
+		}
+	}
+	timeout := j.Timeout
+	if timeout == 0 {
+		timeout = e.timeout
+	}
+	r.Metrics, r.Err = runIsolated(j, timeout)
+	if r.Err == nil && kerr == nil {
+		e.cache.Put(key, r.Metrics)
+	}
+	r.WallNS = time.Since(start).Nanoseconds()
+	return r
+}
+
+// runIsolated executes the job body in its own goroutine so that a
+// panic is converted to an error and a deadline can be enforced,
+// keeping one bad cell from taking down the whole table.
+func runIsolated(j Job, timeout time.Duration) (Metrics, error) {
+	type outcome struct {
+		m   Metrics
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				done <- outcome{err: fmt.Errorf("engine: job %s/%s panicked: %v\n%s",
+					j.Workload, j.Config, rec, debug.Stack())}
+			}
+		}()
+		m, err := j.execute()
+		done <- outcome{m, err}
+	}()
+	if timeout <= 0 {
+		o := <-done
+		return o.m, o.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.m, o.err
+	case <-timer.C:
+		return Metrics{}, fmt.Errorf("engine: job %s/%s exceeded %s: %w",
+			j.Workload, j.Config, timeout, ErrTimeout)
+	}
+}

@@ -1,0 +1,296 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/sim/timing"
+	"repro/internal/workloads"
+)
+
+// testJob builds a fast compile+simulate job from a microbenchmark,
+// using the training arguments for the measurement run (as the
+// package tests do) to keep simulation cheap.
+func testJob(t testing.TB, name string, ord compiler.Ordering, sim engine.SimKind) engine.Job {
+	t.Helper()
+	w, err := workloads.ByName(workloads.Micro(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.Job{
+		Workload: w.Name,
+		Config:   string(ord),
+		Source:   w.Source,
+		Opts: compiler.Options{
+			Ordering:    ord,
+			ProfileFn:   "main",
+			ProfileArgs: w.TrainArgs,
+		},
+		Sim:  sim,
+		Args: w.TrainArgs,
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	base := testJob(t, "vadd", compiler.OrderIUPO1, engine.SimTiming)
+	k1, err := engine.Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := engine.Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same job hashed differently: %s vs %s", k1, k2)
+	}
+
+	// Labels and timeouts are display/scheduling concerns, not
+	// content: they must not change the key.
+	relabeled := base
+	relabeled.Workload, relabeled.Config = "other", "other"
+	relabeled.Timeout = time.Minute
+	if k, _ := engine.Key(relabeled); k != k1 {
+		t.Error("labels/timeout changed the key")
+	}
+
+	// Default canonicalization: explicitly spelling out the defaults
+	// hashes the same as leaving them zero.
+	canon := base
+	canon.Opts = canon.Opts.Canonical()
+	canon.Entry = "main"
+	if k, _ := engine.Key(canon); k != k1 {
+		t.Error("canonicalized defaults changed the key")
+	}
+
+	// Every content dimension must change the key.
+	variants := map[string]func(j *engine.Job){
+		"source":       func(j *engine.Job) { j.Source += "\n" },
+		"ordering":     func(j *engine.Job) { j.Opts.Ordering = compiler.OrderUPIO },
+		"policy":       func(j *engine.Job) { j.Opts.Policy = policy.DepthFirst{} },
+		"policy-opts":  func(j *engine.Job) { j.Opts.Policy = &policy.VLIW{MaxPaths: 7} },
+		"front-unroll": func(j *engine.Job) { j.Opts.FrontUnroll = 2 },
+		"unroll-peel":  func(j *engine.Job) { j.Opts.UnrollPeel.MaxPeel = 1 },
+		"regalloc":     func(j *engine.Job) { j.Opts.RegAlloc = true },
+		"core-tweaks":  func(j *engine.Job) { j.Opts.CoreTweaks.NoHeadDup = true },
+		"profile-args": func(j *engine.Job) { j.Opts.ProfileArgs = []int64{999} },
+		"sim-kind":     func(j *engine.Job) { j.Sim = engine.SimFunctional },
+		"sim-config":   func(j *engine.Job) { j.SimConfig = timing.DefaultConfig(); j.SimConfig.FetchCycles = 1 },
+		"entry":        func(j *engine.Job) { j.Entry = "helper" },
+		"args":         func(j *engine.Job) { j.Args = []int64{1, 2, 3} },
+	}
+	seen := map[string]string{k1: "base"}
+	for name, mutate := range variants {
+		j := base
+		mutate(&j)
+		k, err := engine.Key(j)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// VLIW policies with different tuning must hash differently even
+	// though Name() is identical.
+	v1, v2 := base, base
+	v1.Opts.Policy = &policy.VLIW{MaxPaths: 16}
+	v2.Opts.Policy = &policy.VLIW{MaxPaths: 32}
+	kv1, _ := engine.Key(v1)
+	kv2, _ := engine.Key(v2)
+	if kv1 == kv2 {
+		t.Error("policy tuning fields not hashed")
+	}
+
+	if _, err := engine.Key(engine.Job{Fn: func() (engine.Metrics, error) { return engine.Metrics{}, nil }}); err == nil {
+		t.Error("custom-body job unexpectedly cacheable")
+	}
+}
+
+// stripTimes zeroes the wall-time fields, which legitimately vary
+// between runs.
+func stripTimes(rs []engine.Result) []engine.Metrics {
+	out := make([]engine.Metrics, len(rs))
+	for i, r := range rs {
+		m := r.Metrics
+		m.CompileNS, m.SimNS = 0, 0
+		out[i] = m
+	}
+	return out
+}
+
+func TestDeterminismParallel(t *testing.T) {
+	var jobs []engine.Job
+	for _, name := range []string{"vadd", "sieve"} {
+		for _, ord := range []compiler.Ordering{compiler.OrderBB, compiler.OrderIUPO, compiler.OrderIUPO1} {
+			jobs = append(jobs, testJob(t, name, ord, engine.SimTiming))
+		}
+	}
+	serial := engine.New(engine.Config{Workers: 1}).Run(jobs)
+	parallel := engine.New(engine.Config{Workers: 8}).Run(jobs)
+	for _, r := range append(serial, parallel...) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if !reflect.DeepEqual(stripTimes(serial), stripTimes(parallel)) {
+		t.Fatal("parallel run (-j 8) differs from serial run (-j 1)")
+	}
+	for i, r := range parallel {
+		if r.Index != i || r.Job.Workload != jobs[i].Workload || r.Job.Config != jobs[i].Config {
+			t.Fatalf("result %d out of submission order", i)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	ok := func() (engine.Metrics, error) { return engine.Metrics{Result: 42}, nil }
+	jobs := []engine.Job{
+		{Workload: "good1", Fn: ok},
+		{Workload: "boom", Fn: func() (engine.Metrics, error) { panic("kaboom") }},
+		{Workload: "good2", Fn: ok},
+	}
+	rs := engine.New(engine.Config{Workers: 2}).Run(jobs)
+	if rs[0].Err != nil || rs[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v, %v", rs[0].Err, rs[2].Err)
+	}
+	if rs[0].Metrics.Result != 42 || rs[2].Metrics.Result != 42 {
+		t.Fatal("healthy job metrics lost")
+	}
+	if rs[1].Err == nil || !strings.Contains(rs[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", rs[1].Err)
+	}
+}
+
+func TestTimeoutCancellation(t *testing.T) {
+	hung := make(chan struct{})
+	jobs := []engine.Job{
+		{Workload: "hang", Fn: func() (engine.Metrics, error) { <-hung; return engine.Metrics{}, nil }},
+		{Workload: "fast", Fn: func() (engine.Metrics, error) { return engine.Metrics{Result: 1}, nil }},
+	}
+	start := time.Now()
+	rs := engine.New(engine.Config{Workers: 2, Timeout: 50 * time.Millisecond}).Run(jobs)
+	close(hung)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the run: %s", elapsed)
+	}
+	if !errors.Is(rs[0].Err, engine.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", rs[0].Err)
+	}
+	if rs[1].Err != nil || rs[1].Metrics.Result != 1 {
+		t.Fatalf("sibling job affected: %+v", rs[1])
+	}
+
+	// A per-job timeout overrides the engine default.
+	r := engine.New(engine.Config{Workers: 1}).Run([]engine.Job{{
+		Workload: "hang2",
+		Timeout:  50 * time.Millisecond,
+		Fn: func() (engine.Metrics, error) {
+			time.Sleep(10 * time.Second)
+			return engine.Metrics{}, nil
+		},
+	}})[0]
+	if !errors.Is(r.Err, engine.ErrTimeout) {
+		t.Fatalf("per-job timeout ignored: %v", r.Err)
+	}
+}
+
+func TestCacheHitsAndDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	job := testJob(t, "vadd", compiler.OrderIUPO1, engine.SimTiming)
+
+	c1, err := engine.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := engine.New(engine.Config{Workers: 2, Cache: c1})
+	first := e1.Run([]engine.Job{job})[0]
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.CacheHit {
+		t.Fatal("first run unexpectedly hit")
+	}
+	again := e1.Run([]engine.Job{job})[0]
+	if !again.CacheHit {
+		t.Fatal("second run missed the in-memory cache")
+	}
+	if !reflect.DeepEqual(again.Metrics, first.Metrics) {
+		t.Fatal("cached metrics differ from computed metrics")
+	}
+
+	// A fresh cache over the same directory serves the result from
+	// disk.
+	c2, err := engine.NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := engine.New(engine.Config{Workers: 2, Cache: c2})
+	persisted := e2.Run([]engine.Job{job})[0]
+	if persisted.Err != nil {
+		t.Fatal(persisted.Err)
+	}
+	if !persisted.CacheHit {
+		t.Fatal("persisted entry not served from disk")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st.DiskHits)
+	}
+	if !reflect.DeepEqual(persisted.Metrics, first.Metrics) {
+		t.Fatal("disk round-trip changed the metrics")
+	}
+
+	// A different configuration must miss.
+	other := testJob(t, "vadd", compiler.OrderBB, engine.SimTiming)
+	if r := e2.Run([]engine.Job{other})[0]; r.CacheHit {
+		t.Fatal("different ordering hit the cache")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	tracer := engine.NewTracer()
+	cache := engine.NewCache()
+	eng := engine.New(engine.Config{Workers: 2, Cache: cache, Tracer: tracer})
+	job := testJob(t, "vadd", compiler.OrderBB, engine.SimTiming)
+	eng.Run([]engine.Job{job})
+	eng.Run([]engine.Job{job}) // second run hits
+
+	s := tracer.Summary()
+	if s.Jobs != 2 || s.Errors != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.CacheHits != 1 || s.CacheMisses != 1 || s.HitRate != 0.5 {
+		t.Fatalf("cache counters wrong: %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Summary engine.Summary `json:"summary"`
+		Jobs    []engine.Event `json:"jobs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.Jobs) != 2 || doc.Summary.Jobs != 2 {
+		t.Fatalf("trace shape wrong: %d jobs", len(doc.Jobs))
+	}
+	if doc.Jobs[0].Workload != "vadd" || doc.Jobs[0].Key == "" {
+		t.Fatalf("event missing fields: %+v", doc.Jobs[0])
+	}
+	if !strings.Contains(s.Format(), "cache 1 hit / 1 miss") {
+		t.Errorf("summary format: %s", s.Format())
+	}
+}

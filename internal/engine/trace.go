@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one job's trace record.
+type Event struct {
+	Index    int     `json:"index"`
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Sim      SimKind `json:"sim,omitempty"`
+	Key      string  `json:"key,omitempty"`
+	CacheHit bool    `json:"cache_hit"`
+	Error    string  `json:"error,omitempty"`
+	// Wall/Compile/SimMS are this run's per-phase wall times in
+	// milliseconds (compile and sim are near zero on a cache hit).
+	WallMS    float64 `json:"wall_ms"`
+	CompileMS float64 `json:"compile_ms"`
+	SimMS     float64 `json:"sim_ms"`
+	// Headline measurements for quick scanning.
+	Cycles int64  `json:"cycles,omitempty"`
+	Blocks int64  `json:"blocks,omitempty"`
+	MTUP   string `json:"mtup,omitempty"`
+}
+
+// Summary aggregates a run's events.
+type Summary struct {
+	Jobs        int     `json:"jobs"`
+	Errors      int     `json:"errors"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	// WallMS sums per-job wall time (i.e. aggregate work, not
+	// elapsed time — with J workers elapsed is roughly WallMS/J).
+	WallMS    float64 `json:"wall_ms"`
+	CompileMS float64 `json:"compile_ms"`
+	SimMS     float64 `json:"sim_ms"`
+}
+
+// Tracer accumulates events across one or more Engine.Run calls. Safe
+// for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// observe appends the result's event. Called by the engine in
+// submission order, so traces are deterministic per run.
+func (t *Tracer) observe(r *Result) {
+	m := r.Metrics
+	ev := Event{
+		Index:     r.Index,
+		Workload:  r.Job.Workload,
+		Config:    r.Job.Config,
+		Sim:       r.Job.Sim,
+		Key:       r.Key,
+		CacheHit:  r.CacheHit,
+		WallMS:    float64(r.WallNS) / 1e6,
+		CompileMS: float64(m.CompileNS) / 1e6,
+		SimMS:     float64(m.SimNS) / 1e6,
+		Cycles:    m.Cycles,
+		Blocks:    m.Blocks,
+	}
+	if r.CacheHit {
+		// A hit did not pay the entry's recorded phase times.
+		ev.CompileMS, ev.SimMS = 0, 0
+	}
+	if r.Err != nil {
+		ev.Error = r.Err.Error()
+	} else {
+		ev.MTUP = fmt.Sprintf("%d/%d/%d/%d", m.Form.Merges, m.Form.TailDups, m.Form.Unrolls, m.Form.Peels)
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by index.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// Summary aggregates the recorded events.
+func (t *Tracer) Summary() Summary {
+	var s Summary
+	for _, ev := range t.Events() {
+		s.Jobs++
+		if ev.Error != "" {
+			s.Errors++
+		}
+		if ev.CacheHit {
+			s.CacheHits++
+		} else {
+			s.CacheMisses++
+		}
+		s.WallMS += ev.WallMS
+		s.CompileMS += ev.CompileMS
+		s.SimMS += ev.SimMS
+	}
+	if s.Jobs > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(s.Jobs)
+	}
+	return s
+}
+
+// trace is the JSON document written by WriteJSON.
+type trace struct {
+	Summary Summary `json:"summary"`
+	Jobs    []Event `json:"jobs"`
+}
+
+// WriteJSON emits the machine-readable trace: a summary object plus
+// one event per job in submission order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trace{Summary: t.Summary(), Jobs: t.Events()})
+}
+
+// Format renders the human-readable run summary.
+func (s Summary) Format() string {
+	return fmt.Sprintf(
+		"engine: %d jobs (%d errors), cache %d hit / %d miss (%.0f%%), work %.1fs (compile %.1fs, sim %.1fs)",
+		s.Jobs, s.Errors, s.CacheHits, s.CacheMisses, 100*s.HitRate,
+		s.WallMS/1e3, s.CompileMS/1e3, s.SimMS/1e3)
+}

@@ -3,18 +3,26 @@
 // selection heuristics), Table 3 (SPEC block counts), and Figure 7
 // (cycle-count reduction vs block-count reduction with a linear fit).
 //
+// Every table cell is an independent (workload, configuration)
+// compile+simulate job; the tables build a flat job list and submit
+// it to internal/engine, which runs the cells concurrently with
+// caching and returns them in submission order, so table output is
+// identical to a serial run. Per-cell failures are aggregated: a
+// failing cell drops its benchmark's row and joins the returned
+// error, instead of aborting the whole table.
+//
 // Absolute numbers come from this repository's simulators, not the
 // authors' RTL-validated TRIPS simulator, so only the relative shapes
 // are comparable with the paper (see EXPERIMENTS.md).
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
-	"repro/internal/sim/functional"
-	"repro/internal/sim/timing"
+	"repro/internal/engine"
 	"repro/internal/workloads"
 )
 
@@ -43,49 +51,48 @@ func Improvement(base, v int64) float64 {
 	return 100 * float64(base-v) / float64(base)
 }
 
-// runTiming compiles w under the given options and measures it on the
-// cycle-level simulator.
-func runTiming(w *workloads.Workload, opts compiler.Options) (Measurement, error) {
+// NewJob is the tables' shared job constructor: compile w under opts
+// (profiling main on the training arguments, as every configuration
+// in the paper does) and measure it on the simulator sim selects —
+// the cycle-level model for Tables 1 and 2, the fast functional one
+// for Table 3.
+func NewJob(w *workloads.Workload, opts compiler.Options, sim engine.SimKind) engine.Job {
 	opts.ProfileFn = "main"
 	opts.ProfileArgs = w.TrainArgs
-	res, err := compiler.Compile(w.Source, opts)
-	if err != nil {
-		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
-	}
-	m := timing.New(res.Prog, timing.DefaultConfig())
-	if _, err := m.Run("main", w.Args...); err != nil {
-		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
-	}
-	return Measurement{
-		Workload:    w.Name,
-		Config:      string(opts.Ordering),
-		Cycles:      m.Stats.Cycles,
-		Blocks:      m.Stats.Blocks,
-		Form:        res.FormStats,
-		Mispredicts: m.Stats.Mispredicts,
-		ExitLookups: m.Stats.ExitLookups,
-	}, nil
-}
-
-// runFunctional compiles w under the given options and measures
-// dynamic block counts on the functional simulator.
-func runFunctional(w *workloads.Workload, opts compiler.Options) (Measurement, error) {
-	opts.ProfileFn = "main"
-	opts.ProfileArgs = w.TrainArgs
-	res, err := compiler.Compile(w.Source, opts)
-	if err != nil {
-		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
-	}
-	m := functional.New(res.Prog)
-	if _, err := m.Run("main", w.Args...); err != nil {
-		return Measurement{}, fmt.Errorf("%s/%s: %w", w.Name, opts.Ordering, err)
-	}
-	return Measurement{
+	return engine.Job{
 		Workload: w.Name,
 		Config:   string(opts.Ordering),
-		Blocks:   m.Stats.Blocks,
-		Form:     res.FormStats,
-	}, nil
+		Source:   w.Source,
+		Opts:     opts,
+		Sim:      sim,
+		Args:     w.Args,
+	}
+}
+
+// toMeasurement projects an engine result onto the tables' data
+// point.
+func toMeasurement(r engine.Result) Measurement {
+	m := r.Metrics
+	return Measurement{
+		Workload:    m.Workload,
+		Config:      m.Config,
+		Cycles:      m.Cycles,
+		Blocks:      m.Blocks,
+		Form:        m.Form,
+		Mispredicts: m.Mispredicts,
+		ExitLookups: m.ExitLookups,
+	}
+}
+
+// rowErr joins the failures among one benchmark's cells.
+func rowErr(cells []engine.Result) error {
+	var errs []error
+	for _, c := range cells {
+		if c.Err != nil {
+			errs = append(errs, c.Err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // FormatMTUP renders the paper's m/t/u/p static statistics column.

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/workloads"
 )
 
@@ -110,6 +112,59 @@ func TestFigure7FromTable1(t *testing.T) {
 	}
 	if !strings.Contains(f7.Format(), "linear fit") {
 		t.Error("Format missing fit line")
+	}
+}
+
+// TestTableParallelDeterminism checks the engine contract the tables
+// rely on: a parallel run yields Measurements identical to a serial
+// run, cell for cell.
+func TestTableParallelDeterminism(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd", "sieve")
+	serial, err := Table1Engine(engine.New(engine.Config{Workers: 1}), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1Engine(engine.New(engine.Config{Workers: 8}), ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("-j 8 table differs from -j 1 table:\n%s\nvs\n%s",
+			parallel.Format(), serial.Format())
+	}
+
+	spec := pick(t, workloads.Spec(), "gap")
+	s3, err := Table3Engine(engine.New(engine.Config{Workers: 1}), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Table3Engine(engine.New(engine.Config{Workers: 8}), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s3, p3) {
+		t.Fatal("-j 8 Table 3 differs from -j 1")
+	}
+}
+
+// TestTableSharedEngineCache checks that re-running a table on the
+// same engine is served from the cache and produces the same result.
+func TestTableSharedEngineCache(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd")
+	eng := engine.Default()
+	first, err := Table1Engine(eng, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Table1Engine(eng, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached rerun changed the table")
+	}
+	if st := eng.Cache().Stats(); st.Hits == 0 {
+		t.Fatalf("rerun did not hit the cache: %+v", st)
 	}
 }
 

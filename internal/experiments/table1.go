@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/compiler"
+	"repro/internal/engine"
 	"repro/internal/workloads"
 )
 
@@ -32,39 +34,59 @@ var Table1Configs = []compiler.Ordering{
 // Table1 reproduces the paper's Table 1: percent improvement in cycle
 // counts of hyperblocks over basic blocks under four phase orderings,
 // with m/t/u/p static formation statistics, using the greedy
-// breadth-first policy throughout (as in the paper).
+// breadth-first policy throughout (as in the paper). It runs on a
+// fresh default engine; use Table1Engine to share a configured one.
 func Table1(ws []workloads.Workload) (*Table1Result, error) {
+	return Table1Engine(engine.Default(), ws)
+}
+
+// Table1Engine runs Table 1's cells through eng. A failing cell drops
+// its benchmark's row and joins the returned error; the remaining
+// rows are still tabulated.
+func Table1Engine(eng *engine.Engine, ws []workloads.Workload) (*Table1Result, error) {
 	res := &Table1Result{Averages: map[string]float64{}}
 	for _, ord := range Table1Configs {
 		res.Configs = append(res.Configs, string(ord))
 	}
-	sums := map[string]float64{}
+	perRow := 1 + len(Table1Configs)
+	jobs := make([]engine.Job, 0, len(ws)*perRow)
 	for i := range ws {
 		w := &ws[i]
-		base, err := runTiming(w, compiler.Options{Ordering: compiler.OrderBB})
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, NewJob(w, compiler.Options{Ordering: compiler.OrderBB}, engine.SimTiming))
+		for _, ord := range Table1Configs {
+			jobs = append(jobs, NewJob(w, compiler.Options{Ordering: ord}, engine.SimTiming))
 		}
+	}
+	results := eng.Run(jobs)
+
+	sums := map[string]float64{}
+	var errs []error
+	for i := range ws {
+		cells := results[i*perRow : (i+1)*perRow]
+		if err := rowErr(cells); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		base := toMeasurement(cells[0])
 		row := Table1Row{
-			Name:      w.Name,
+			Name:      ws[i].Name,
 			BBCycles:  base.Cycles,
 			BBBlocks:  base.Blocks,
 			PerConfig: map[string]Measurement{},
 		}
-		for _, ord := range Table1Configs {
-			m, err := runTiming(w, compiler.Options{Ordering: ord})
-			if err != nil {
-				return nil, err
-			}
+		for k, ord := range Table1Configs {
+			m := toMeasurement(cells[k+1])
 			row.PerConfig[string(ord)] = m
 			sums[string(ord)] += Improvement(base.Cycles, m.Cycles)
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	for _, c := range res.Configs {
-		res.Averages[c] = sums[c] / float64(len(res.Rows))
+	if len(res.Rows) > 0 {
+		for _, c := range res.Configs {
+			res.Averages[c] = sums[c] / float64(len(res.Rows))
+		}
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }
 
 // Format renders the table in the paper's layout.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/workloads"
 )
@@ -53,37 +55,57 @@ type Table2Result struct {
 // Table2 reproduces the paper's Table 2: percent improvement in cycle
 // count over basic blocks for the VLIW heuristic (without and with
 // iterative optimization) and the depth-first and breadth-first EDGE
-// heuristics.
+// heuristics. It runs on a fresh default engine; use Table2Engine to
+// share a configured one.
 func Table2(ws []workloads.Workload) (*Table2Result, error) {
+	return Table2Engine(engine.Default(), ws)
+}
+
+// Table2Engine runs Table 2's cells through eng. A failing cell drops
+// its benchmark's row and joins the returned error.
+func Table2Engine(eng *engine.Engine, ws []workloads.Workload) (*Table2Result, error) {
 	hs := Table2Heuristics()
 	res := &Table2Result{Averages: map[string]float64{}}
 	for _, h := range hs {
 		res.Heuristics = append(res.Heuristics, h.Name)
 	}
-	sums := map[string]float64{}
+	perRow := 1 + len(hs)
+	jobs := make([]engine.Job, 0, len(ws)*perRow)
 	for i := range ws {
 		w := &ws[i]
-		base, err := runTiming(w, compiler.Options{Ordering: compiler.OrderBB})
-		if err != nil {
-			return nil, err
-		}
-		row := Table2Row{Name: w.Name, BBCycles: base.Cycles,
-			PerHeuristic: map[string]Measurement{}}
+		jobs = append(jobs, NewJob(w, compiler.Options{Ordering: compiler.OrderBB}, engine.SimTiming))
 		for _, h := range hs {
-			m, err := runTiming(w, compiler.Options{Ordering: h.Ordering, Policy: h.Policy()})
-			if err != nil {
-				return nil, err
-			}
-			m.Config = h.Name
+			j := NewJob(w, compiler.Options{Ordering: h.Ordering, Policy: h.Policy()}, engine.SimTiming)
+			j.Config = h.Name
+			jobs = append(jobs, j)
+		}
+	}
+	results := eng.Run(jobs)
+
+	sums := map[string]float64{}
+	var errs []error
+	for i := range ws {
+		cells := results[i*perRow : (i+1)*perRow]
+		if err := rowErr(cells); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		base := toMeasurement(cells[0])
+		row := Table2Row{Name: ws[i].Name, BBCycles: base.Cycles,
+			PerHeuristic: map[string]Measurement{}}
+		for k, h := range hs {
+			m := toMeasurement(cells[k+1])
 			row.PerHeuristic[h.Name] = m
 			sums[h.Name] += Improvement(base.Cycles, m.Cycles)
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	for _, h := range res.Heuristics {
-		res.Averages[h] = sums[h] / float64(len(res.Rows))
+	if len(res.Rows) > 0 {
+		for _, h := range res.Heuristics {
+			res.Averages[h] = sums[h] / float64(len(res.Rows))
+		}
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }
 
 // Format renders the table in the paper's layout.

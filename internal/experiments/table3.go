@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/compiler"
+	"repro/internal/engine"
 	"repro/internal/workloads"
 )
 
@@ -31,33 +33,52 @@ type Table3Result struct {
 // simulator (the cycle simulator being too slow for whole programs —
 // same rationale as the paper's §7.3).
 func Table3(ws []workloads.Workload) (*Table3Result, error) {
+	return Table3Engine(engine.Default(), ws)
+}
+
+// Table3Engine runs Table 3's cells through eng on the functional
+// simulator. A failing cell drops its benchmark's row and joins the
+// returned error.
+func Table3Engine(eng *engine.Engine, ws []workloads.Workload) (*Table3Result, error) {
 	res := &Table3Result{Averages: map[string]float64{}}
 	for _, ord := range Table1Configs {
 		res.Configs = append(res.Configs, string(ord))
 	}
-	sums := map[string]float64{}
+	perRow := 1 + len(Table1Configs)
+	jobs := make([]engine.Job, 0, len(ws)*perRow)
 	for i := range ws {
 		w := &ws[i]
-		base, err := runFunctional(w, compiler.Options{Ordering: compiler.OrderBB})
-		if err != nil {
-			return nil, err
-		}
-		row := Table3Row{Name: w.Name, BBBlocks: base.Blocks,
-			PerConfig: map[string]Measurement{}}
+		jobs = append(jobs, NewJob(w, compiler.Options{Ordering: compiler.OrderBB}, engine.SimFunctional))
 		for _, ord := range Table1Configs {
-			m, err := runFunctional(w, compiler.Options{Ordering: ord})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, NewJob(w, compiler.Options{Ordering: ord}, engine.SimFunctional))
+		}
+	}
+	results := eng.Run(jobs)
+
+	sums := map[string]float64{}
+	var errs []error
+	for i := range ws {
+		cells := results[i*perRow : (i+1)*perRow]
+		if err := rowErr(cells); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		base := toMeasurement(cells[0])
+		row := Table3Row{Name: ws[i].Name, BBBlocks: base.Blocks,
+			PerConfig: map[string]Measurement{}}
+		for k, ord := range Table1Configs {
+			m := toMeasurement(cells[k+1])
 			row.PerConfig[string(ord)] = m
 			sums[string(ord)] += Improvement(base.Blocks, m.Blocks)
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	for _, c := range res.Configs {
-		res.Averages[c] = sums[c] / float64(len(res.Rows))
+	if len(res.Rows) > 0 {
+		for _, c := range res.Configs {
+			res.Averages[c] = sums[c] / float64(len(res.Rows))
+		}
 	}
-	return res, nil
+	return res, errors.Join(errs...)
 }
 
 // Format renders the table in the paper's layout ("Phased" UPIO/IUPO
