@@ -1,0 +1,149 @@
+// Command hbfuzz runs the differential fuzzing campaign: it generates
+// seeded random tl programs, compiles each under every phase ordering
+// (plus register-allocation and head-duplication variants), runs them
+// on the functional simulator, and reports any variant whose
+// behaviour diverges from the basic-block baseline.
+//
+//	hbfuzz [-seed 1] [-n 1000] [-shrink] [-orderings all]
+//	       [-maxsteps 2000000] [-workers 0] [-v]
+//
+// On a mismatch, the failing program is minimized with the shrinker
+// (unless -shrink=false) and printed; the exit status is 1. A clean
+// campaign exits 0 with a one-line summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/fuzz"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed; program i uses seed+i")
+	n := flag.Int("n", 1000, "number of programs to generate and check")
+	shrink := flag.Bool("shrink", true, "minimize failing programs before reporting")
+	orderingsFlag := flag.String("orderings", "all",
+		"comma-separated orderings to test against BB (or 'all')")
+	maxSteps := flag.Int64("maxsteps", fuzz.DefaultMaxSteps, "functional simulator fuel per run")
+	workers := flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "log every program checked")
+	flag.Parse()
+
+	orderings, err := parseOrderings(*orderingsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbfuzz:", err)
+		os.Exit(2)
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > *n {
+		w = *n
+	}
+
+	var checked, skipped, degraded atomic.Int64
+	type failure struct {
+		seed int64
+		src  string
+		rep  fuzz.Report
+	}
+	var mu sync.Mutex
+	var failures []failure
+
+	idx := make(chan int64)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				s := *seed + i
+				src := fuzz.Generate(s, fuzz.GenConfig{})
+				rep := fuzz.Diff(src, *maxSteps, orderings)
+				checked.Add(1)
+				if rep.Skipped {
+					skipped.Add(1)
+				}
+				degraded.Add(int64(len(rep.Degraded)))
+				if rep.Failed() {
+					mu.Lock()
+					failures = append(failures, failure{s, src, rep})
+					mu.Unlock()
+				}
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "seed %d: %d bytes, skipped=%v mismatches=%d\n",
+						s, len(src), rep.Skipped, len(rep.Mismatches))
+				} else if c := checked.Load(); c%500 == 0 {
+					fmt.Fprintf(os.Stderr, "hbfuzz: %d/%d checked (%d skipped, %d failures)\n",
+						c, *n, skipped.Load(), len(failures))
+				}
+			}
+		}()
+	}
+	for i := int64(0); i < int64(*n); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if len(failures) == 0 {
+		fmt.Printf("hbfuzz: OK — %d programs, %d skipped, %d degradations, 0 mismatches (seed %d, orderings %s)\n",
+			checked.Load(), skipped.Load(), degraded.Load(), *seed, *orderingsFlag)
+		return
+	}
+
+	for _, f := range failures {
+		fmt.Printf("hbfuzz: FAILURE at seed %d:\n", f.seed)
+		for _, m := range f.rep.Mismatches {
+			fmt.Printf("  %s\n", m)
+		}
+		src := f.src
+		if *shrink {
+			src = fuzz.Shrink(src, func(s string) bool {
+				return fuzz.Diff(s, *maxSteps, orderings).Failed()
+			}, 0)
+			fmt.Printf("  shrunk reproducer (%d -> %d bytes):\n", len(f.src), len(src))
+		} else {
+			fmt.Printf("  program:\n")
+		}
+		fmt.Println(indent(src, "    "))
+	}
+	fmt.Printf("hbfuzz: %d/%d programs mismatched\n", len(failures), checked.Load())
+	os.Exit(1)
+}
+
+func parseOrderings(s string) ([]compiler.Ordering, error) {
+	if s == "all" || s == "" {
+		return compiler.Orderings, nil
+	}
+	known := map[string]compiler.Ordering{}
+	for _, o := range compiler.Orderings {
+		known[string(o)] = o
+	}
+	var out []compiler.Ordering
+	for _, part := range strings.Split(s, ",") {
+		o, ok := known[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown ordering %q (have %v)", part, compiler.Orderings)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

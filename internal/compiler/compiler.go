@@ -74,6 +74,12 @@ type Options struct {
 	// CoreTweaks forwards extension/ablation knobs to the formation
 	// algorithm.
 	CoreTweaks CoreTweaks
+	// VerifyEachPhase runs ir.VerifyProgram after every mid-end phase
+	// (scalar opt, call splitting, formation, unroll/peel,
+	// normalization) so a verifier failure names the pass that broke
+	// the IR instead of surfacing at the end of the pipeline. Debug
+	// aid; off by default.
+	VerifyEachPhase bool
 }
 
 // CoreTweaks are optional formation knobs (extensions and ablation
@@ -114,6 +120,11 @@ type Result struct {
 	UPStats   UnrollPeelStats
 	Alloc     map[string]*regalloc.Assignment
 	AllocErrs map[string]error
+	// Degraded lists functions a mid-end phase could not transform:
+	// the phase panicked or broke the IR, so the function was rolled
+	// back to its pre-phase (basic-block) form and compilation
+	// continued. Empty on a fully clean compile.
+	Degraded []core.Degradation
 }
 
 // Compile runs the full pipeline on tl source.
@@ -134,11 +145,28 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Prog: prog}
 
+	// vp localizes IR breakage to a phase when VerifyEachPhase is on.
+	vp := func(phase string) error {
+		if !opts.VerifyEachPhase {
+			return nil
+		}
+		if err := ir.VerifyProgram(prog); err != nil {
+			return fmt.Errorf("compiler: IR invalid after %s: %w", phase, err)
+		}
+		return nil
+	}
+
 	// Classical scalar optimizations (front-end level).
 	opt.OptimizeProgram(prog)
+	if err := vp("scalar opt"); err != nil {
+		return nil, err
+	}
 
 	// Calls terminate TRIPS blocks.
 	SplitCallsProgram(prog)
+	if err := vp("call splitting"); err != nil {
+		return nil, err
+	}
 
 	// Profile on the functional simulator (or reuse a preloaded
 	// profile).
@@ -152,8 +180,11 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 		res.Profile = prof
 	}
 
-	// Mid end per ordering.
-	form := func(headDup, iterOpt bool) {
+	// Mid end per ordering. Formation and unroll/peel are guarded
+	// per function: a panic or verifier failure inside either phase
+	// degrades only that function to its pre-phase form (recorded in
+	// res.Degraded) instead of aborting the compile.
+	form := func(headDup, iterOpt bool) error {
 		cfg := core.Config{
 			Cons:          opts.Cons,
 			Policy:        opts.Policy,
@@ -162,27 +193,47 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 			NoChain:       opts.CoreTweaks.NoChain,
 			SplitOversize: opts.CoreTweaks.SplitOversize,
 		}
-		res.FormStats = core.FormProgram(prog, cfg, res.Profile)
+		var deg []core.Degradation
+		res.FormStats, deg = core.FormProgram(prog, cfg, res.Profile)
+		res.Degraded = append(res.Degraded, deg...)
+		return vp("formation")
 	}
+	up := func() error {
+		var deg []core.Degradation
+		res.UPStats, deg = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
+		res.Degraded = append(res.Degraded, deg...)
+		return vp("unroll/peel")
+	}
+	midOpt := func() error {
+		opt.OptimizeProgram(prog)
+		return vp("mid-end scalar opt")
+	}
+	run := func(steps ...func() error) error {
+		for _, step := range steps {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var err error
 	switch opts.Ordering {
 	case OrderBB:
 		// Baseline: basic blocks are the TRIPS blocks.
 	case OrderUPIO:
-		res.UPStats = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
-		form(false, false)
-		opt.OptimizeProgram(prog)
+		err = run(up, func() error { return form(false, false) }, midOpt)
 	case OrderIUPO:
-		form(false, false)
-		res.UPStats = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
-		opt.OptimizeProgram(prog)
+		err = run(func() error { return form(false, false) }, up, midOpt)
 	case OrderIUPthenO:
-		form(true, false)
-		opt.OptimizeProgram(prog)
+		err = run(func() error { return form(true, false) }, midOpt)
 	case OrderIUPO1:
-		form(true, true)
-		opt.OptimizeProgram(prog)
+		err = run(func() error { return form(true, true) }, midOpt)
 	default:
 		return nil, fmt.Errorf("compiler: unknown ordering %q", opts.Ordering)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Output normalization for every block (cheap no-op for blocks

@@ -183,7 +183,7 @@ func main(n) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := UnrollPeelProgram(prog, prof, UnrollPeelOptions{})
+	st, _ := UnrollPeelProgram(prog, prof, UnrollPeelOptions{})
 	if st.Unrolled == 0 && st.Peeled == 0 {
 		t.Fatal("unroll/peel did nothing")
 	}

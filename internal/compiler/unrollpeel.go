@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/profile"
 )
@@ -210,14 +211,32 @@ func clonedOf(m map[*ir.Block]*ir.Block, b *ir.Block) bool {
 }
 
 // UnrollPeelProgram applies the discrete phase to every function.
-func UnrollPeelProgram(p *ir.Program, prof *profile.Profile, opts UnrollPeelOptions) UnrollPeelStats {
+//
+// Each function is guarded: a panic or post-phase verification
+// failure rolls that function back to its pre-phase form (reported in
+// the returned degradations) without aborting the rest of the
+// program. Degraded functions contribute nothing to the aggregate
+// stats.
+func UnrollPeelProgram(p *ir.Program, prof *profile.Profile, opts UnrollPeelOptions) (UnrollPeelStats, []core.Degradation) {
 	var total UnrollPeelStats
-	for _, f := range p.OrderedFuncs() {
+	var degraded []core.Degradation
+	for _, name := range p.FuncOrder {
 		var fp *profile.FuncProfile
 		if prof != nil {
-			fp = prof.Get(f.Name)
+			fp = prof.Get(name)
 		}
-		total = statsPlus(total, UnrollPeelFunction(f, fp, opts))
+		var st UnrollPeelStats
+		nf, deg := core.GuardFunction(p.Funcs[name], "unrollpeel", func(f *ir.Function) *ir.Function {
+			st = UnrollPeelFunction(f, fp, opts)
+			return f
+		})
+		if deg != nil {
+			degraded = append(degraded, *deg)
+			st = UnrollPeelStats{}
+		}
+		nf.Prog = p
+		p.Funcs[name] = nf
+		total = statsPlus(total, st)
 	}
-	return total
+	return total, degraded
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Degradation records one function that a mid-end phase could not
+// transform: the phase panicked or produced IR that failed
+// verification, so the function was rolled back to its pre-phase form
+// (for hyperblock formation, its basic-block form) and compilation of
+// the rest of the program continued. This is the compiler's graceful
+// degradation policy: a formation bug costs one function its
+// hyperblocks, never the whole program.
+type Degradation struct {
+	Func  string // function name
+	Phase string // phase that failed ("formation", "unrollpeel", ...)
+	Err   string // panic value or verifier error
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s: %s degraded to pre-phase form: %s", d.Func, d.Phase, d.Err)
+}
+
+// GuardFunction runs phase over fn with panic recovery and post-phase
+// verification. It returns the transformed function, or — when phase
+// panics or its result fails ir.Verify — a diagnostic and the
+// untouched snapshot taken before the phase ran. phase may mutate fn
+// freely (the snapshot is a deep clone). Shared by FormProgram and the
+// compiler's unroll/peel driver.
+func GuardFunction(fn *ir.Function, phaseName string, phase func(*ir.Function) *ir.Function) (*ir.Function, *Degradation) {
+	snapshot := ir.CloneFunction(fn)
+	nf, err := runRecovered(fn, phase)
+	if err == nil {
+		if verr := ir.Verify(nf); verr != nil {
+			err = fmt.Errorf("post-phase verify: %w", verr)
+		}
+	}
+	if err != nil {
+		return snapshot, &Degradation{Func: fn.Name, Phase: phaseName, Err: err.Error()}
+	}
+	return nf, nil
+}
+
+func runRecovered(fn *ir.Function, phase func(*ir.Function) *ir.Function) (nf *ir.Function, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return phase(fn), nil
+}

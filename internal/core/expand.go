@@ -146,17 +146,33 @@ func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
 // FormProgram applies FormFunction to every function of p, replacing
 // them in place, and returns aggregate statistics. When prof is
 // non-nil, each function's formation sees its own profile.
-func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) Stats {
+//
+// Formation of each function is guarded: if it panics or yields IR
+// that fails verification, that function alone is rolled back to its
+// basic-block (pre-formation) form and reported in the returned
+// degradations; every other function still forms normally. Degraded
+// functions contribute nothing to the aggregate stats.
+func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Degradation) {
 	var total Stats
+	var degraded []Degradation
 	for _, name := range p.FuncOrder {
 		c := cfg
 		if prof != nil {
 			c.Prof = prof.Get(name)
 		}
-		nf, st := FormFunction(p.Funcs[name], c)
+		var st Stats
+		nf, deg := GuardFunction(p.Funcs[name], "formation", func(f *ir.Function) *ir.Function {
+			var formed *ir.Function
+			formed, st = FormFunction(f, c)
+			return formed
+		})
+		if deg != nil {
+			degraded = append(degraded, *deg)
+			st = Stats{}
+		}
 		nf.Prog = p
 		p.Funcs[name] = nf
 		total.Add(st)
 	}
-	return total
+	return total, degraded
 }

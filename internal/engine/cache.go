@@ -20,7 +20,7 @@ import (
 // keySchema versions the cache-key layout; bump it whenever the
 // payload below or the semantics of a hashed field change, so stale
 // on-disk entries from older builds can never be returned.
-const keySchema = 1
+const keySchema = 2
 
 // keyPayload is the canonical serialization hashed into a job's cache
 // key: everything that determines the job's Metrics, and nothing that
@@ -42,6 +42,7 @@ type keyPayload struct {
 	RegAlloc    bool                       `json:"regalloc"`
 	RegAllocOps regalloc.Options           `json:"regalloc_opts"`
 	CoreTweaks  compiler.CoreTweaks        `json:"core_tweaks"`
+	VerifyEach  bool                       `json:"verify_each_phase"`
 	Sim         SimKind                    `json:"sim"`
 	SimConfig   *timing.Config             `json:"sim_config,omitempty"`
 	Entry       string                     `json:"entry"`
@@ -69,6 +70,7 @@ func Key(j Job) (string, error) {
 		RegAlloc:    opts.RegAlloc,
 		RegAllocOps: opts.RegAllocOpts,
 		CoreTweaks:  opts.CoreTweaks,
+		VerifyEach:  opts.VerifyEachPhase,
 		Sim:         j.Sim,
 		Entry:       j.entry(),
 		Args:        j.Args,

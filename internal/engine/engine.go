@@ -15,6 +15,10 @@ import (
 // of CPU but never wedges the table.
 var ErrTimeout = errors.New("engine: job timed out")
 
+// ErrPanic marks a job whose body panicked; the full panic value and
+// stack are in the wrapping error (errors.Is(err, ErrPanic)).
+var ErrPanic = errors.New("engine: job panicked")
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers bounds concurrent jobs (<= 0: runtime.GOMAXPROCS(0)).
@@ -25,7 +29,16 @@ type Config struct {
 	Timeout time.Duration
 	// Tracer, when non-nil, records per-job events and counters.
 	Tracer *Tracer
+	// RetryBackoff is the pause before a failed job's single retry.
+	// A job is retried once after a panic or timeout (transient-looking
+	// failures); ordinary compile/sim errors are not retried. Zero
+	// means the 50ms default; negative disables retries entirely.
+	RetryBackoff time.Duration
 }
+
+// defaultRetryBackoff is the pause before the one retry of a panicked
+// or timed-out job.
+const defaultRetryBackoff = 50 * time.Millisecond
 
 // Engine runs compile+simulate jobs on a bounded worker pool with
 // content-addressed caching, panic isolation, and deadlines.
@@ -34,6 +47,7 @@ type Engine struct {
 	cache   *Cache
 	timeout time.Duration
 	tracer  *Tracer
+	backoff time.Duration // < 0: retries disabled
 }
 
 // New builds an engine. The zero Config is valid: GOMAXPROCS workers,
@@ -47,7 +61,11 @@ func New(cfg Config) *Engine {
 	if c == nil {
 		c = NewCache()
 	}
-	return &Engine{workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer}
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = defaultRetryBackoff
+	}
+	return &Engine{workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer, backoff: backoff}
 }
 
 // Default returns an engine with the zero configuration.
@@ -75,6 +93,10 @@ type Result struct {
 	// WallNS is the job's wall-clock time in this run (near zero on
 	// a cache hit).
 	WallNS int64
+	// Retries counts re-executions after a panic or timeout (0 or 1).
+	// A flaky cell that succeeded on retry has Retries == 1, Err ==
+	// nil; the trace records it so flakiness stays visible.
+	Retries int
 }
 
 // Run executes the jobs with bounded parallelism and returns results
@@ -144,6 +166,15 @@ func (e *Engine) runOne(i int, j Job) Result {
 		timeout = e.timeout
 	}
 	r.Metrics, r.Err = runIsolated(j, timeout)
+	// Panics and timeouts may be environmental (resource pressure, a
+	// scheduling hiccup): retry once after a short backoff before
+	// giving the row up. Deterministic failures just fail again.
+	if e.backoff >= 0 && r.Err != nil &&
+		(errors.Is(r.Err, ErrTimeout) || errors.Is(r.Err, ErrPanic)) {
+		time.Sleep(e.backoff)
+		r.Retries = 1
+		r.Metrics, r.Err = runIsolated(j, timeout)
+	}
 	if r.Err == nil && kerr == nil {
 		e.cache.Put(key, r.Metrics)
 	}
@@ -163,8 +194,8 @@ func runIsolated(j Job, timeout time.Duration) (Metrics, error) {
 	go func() {
 		defer func() {
 			if rec := recover(); rec != nil {
-				done <- outcome{err: fmt.Errorf("engine: job %s/%s panicked: %v\n%s",
-					j.Workload, j.Config, rec, debug.Stack())}
+				done <- outcome{err: fmt.Errorf("%w: job %s/%s: %v\n%s",
+					ErrPanic, j.Workload, j.Config, rec, debug.Stack())}
 			}
 		}()
 		m, err := j.execute()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -292,5 +293,114 @@ func TestTracer(t *testing.T) {
 	}
 	if !strings.Contains(s.Format(), "cache 1 hit / 1 miss") {
 		t.Errorf("summary format: %s", s.Format())
+	}
+}
+
+func TestRetryAfterPanic(t *testing.T) {
+	var attempts int32
+	jobs := []engine.Job{{
+		Workload: "flaky",
+		Fn: func() (engine.Metrics, error) {
+			if atomic.AddInt32(&attempts, 1) == 1 {
+				panic("transient")
+			}
+			return engine.Metrics{Result: 7}, nil
+		},
+	}}
+	tr := engine.NewTracer()
+	rs := engine.New(engine.Config{Workers: 1, RetryBackoff: time.Millisecond, Tracer: tr}).Run(jobs)
+	if rs[0].Err != nil {
+		t.Fatalf("flaky job should recover on retry: %v", rs[0].Err)
+	}
+	if rs[0].Metrics.Result != 7 {
+		t.Fatalf("retry metrics lost: %+v", rs[0].Metrics)
+	}
+	if rs[0].Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", rs[0].Retries)
+	}
+	// The retry is visible in the trace and its summary.
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Retries != 1 || evs[0].Error != "" {
+		t.Fatalf("trace missed the retry: %+v", evs)
+	}
+	if s := tr.Summary(); s.Retries != 1 || s.Errors != 0 {
+		t.Fatalf("summary missed the retry: %+v", s)
+	}
+}
+
+func TestRetryDeterministicPanicFailsOnce(t *testing.T) {
+	var attempts int32
+	r := engine.New(engine.Config{Workers: 1, RetryBackoff: time.Millisecond}).Run([]engine.Job{{
+		Workload: "boom",
+		Fn: func() (engine.Metrics, error) {
+			atomic.AddInt32(&attempts, 1)
+			panic("always")
+		},
+	}})[0]
+	if r.Err == nil || !errors.Is(r.Err, engine.ErrPanic) {
+		t.Fatalf("want ErrPanic, got %v", r.Err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 2 {
+		t.Fatalf("attempts = %d, want exactly 2 (one retry)", got)
+	}
+	if r.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", r.Retries)
+	}
+}
+
+func TestNoRetryForOrdinaryErrors(t *testing.T) {
+	var attempts int32
+	r := engine.New(engine.Config{Workers: 1, RetryBackoff: time.Millisecond}).Run([]engine.Job{{
+		Workload: "err",
+		Fn: func() (engine.Metrics, error) {
+			atomic.AddInt32(&attempts, 1)
+			return engine.Metrics{}, errors.New("compile failed")
+		},
+	}})[0]
+	if r.Err == nil {
+		t.Fatal("error lost")
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("ordinary error retried: attempts = %d", got)
+	}
+	if r.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", r.Retries)
+	}
+}
+
+func TestRetryDisabled(t *testing.T) {
+	var attempts int32
+	r := engine.New(engine.Config{Workers: 1, RetryBackoff: -1}).Run([]engine.Job{{
+		Workload: "boom",
+		Fn: func() (engine.Metrics, error) {
+			atomic.AddInt32(&attempts, 1)
+			panic("always")
+		},
+	}})[0]
+	if r.Err == nil {
+		t.Fatal("panic error lost")
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("retry ran despite RetryBackoff < 0: attempts = %d", got)
+	}
+}
+
+func TestRetryAfterTimeout(t *testing.T) {
+	var attempts int32
+	r := engine.New(engine.Config{Workers: 1, RetryBackoff: time.Millisecond}).Run([]engine.Job{{
+		Workload: "slow-once",
+		Timeout:  30 * time.Millisecond,
+		Fn: func() (engine.Metrics, error) {
+			if atomic.AddInt32(&attempts, 1) == 1 {
+				time.Sleep(10 * time.Second)
+			}
+			return engine.Metrics{Result: 9}, nil
+		},
+	}})[0]
+	if r.Err != nil {
+		t.Fatalf("timed-out-once job should recover: %v", r.Err)
+	}
+	if r.Metrics.Result != 9 || r.Retries != 1 {
+		t.Fatalf("bad recovery: %+v", r)
 	}
 }

@@ -74,6 +74,10 @@ type Metrics struct {
 	Form core.Stats               `json:"form"`
 	UP   compiler.UnrollPeelStats `json:"up"`
 
+	// Degraded lists functions the mid end rolled back to basic-block
+	// form after a per-function phase failure (see core.Degradation).
+	Degraded []core.Degradation `json:"degraded,omitempty"`
+
 	// Result is main's return value; Output collects its prints.
 	Result int64   `json:"result"`
 	Output []int64 `json:"output,omitempty"`
@@ -143,6 +147,7 @@ func (j Job) execute() (Metrics, error) {
 	}
 	m.Form = res.FormStats
 	m.UP = res.UPStats
+	m.Degraded = res.Degraded
 
 	t1 := time.Now()
 	switch j.Sim {

@@ -17,6 +17,9 @@ type Event struct {
 	Key      string  `json:"key,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
 	Error    string  `json:"error,omitempty"`
+	// Retries counts re-executions after a panic or timeout; a flaky
+	// cell that recovered has Retries > 0 with no Error.
+	Retries int `json:"retries,omitempty"`
 	// Wall/Compile/SimMS are this run's per-phase wall times in
 	// milliseconds (compile and sim are near zero on a cache hit).
 	WallMS    float64 `json:"wall_ms"`
@@ -32,6 +35,7 @@ type Event struct {
 type Summary struct {
 	Jobs        int     `json:"jobs"`
 	Errors      int     `json:"errors"`
+	Retries     int     `json:"retries"`
 	CacheHits   int     `json:"cache_hits"`
 	CacheMisses int     `json:"cache_misses"`
 	HitRate     float64 `json:"hit_rate"`
@@ -63,6 +67,7 @@ func (t *Tracer) observe(r *Result) {
 		Sim:       r.Job.Sim,
 		Key:       r.Key,
 		CacheHit:  r.CacheHit,
+		Retries:   r.Retries,
 		WallMS:    float64(r.WallNS) / 1e6,
 		CompileMS: float64(m.CompileNS) / 1e6,
 		SimMS:     float64(m.SimNS) / 1e6,
@@ -101,6 +106,7 @@ func (t *Tracer) Summary() Summary {
 		if ev.Error != "" {
 			s.Errors++
 		}
+		s.Retries += ev.Retries
 		if ev.CacheHit {
 			s.CacheHits++
 		} else {

@@ -1,0 +1,231 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/sim/functional"
+)
+
+// DefaultMaxSteps is the functional-simulator fuel per run. Generated
+// programs always terminate well under it; arbitrary fuzz inputs that
+// exceed it are skipped, not failed.
+const DefaultMaxSteps = 2_000_000
+
+// Variant is one compilation configuration the oracle compares
+// against the BB baseline.
+type Variant struct {
+	Name string
+	Opts compiler.Options
+}
+
+// Variants enumerates the differential test matrix for the given
+// orderings: each ordering plain and with register allocation (plus
+// reverse if-conversion), and — for the convergent orderings — with
+// head duplication disabled, since head duplication is the transform
+// the paper adds on top of classical if-conversion.
+func Variants(orderings []compiler.Ordering) []Variant {
+	var vs []Variant
+	for _, ord := range orderings {
+		vs = append(vs, Variant{
+			Name: string(ord),
+			Opts: compiler.Options{Ordering: ord},
+		})
+		vs = append(vs, Variant{
+			Name: string(ord) + "+ra",
+			Opts: compiler.Options{Ordering: ord, RegAlloc: true},
+		})
+		if ord == compiler.OrderIUPthenO || ord == compiler.OrderIUPO1 {
+			vs = append(vs, Variant{
+				Name: string(ord) + "-hd",
+				Opts: compiler.Options{Ordering: ord,
+					CoreTweaks: compiler.CoreTweaks{NoHeadDup: true}},
+			})
+		}
+	}
+	return vs
+}
+
+// Mismatch is one variant that disagreed with the baseline.
+type Mismatch struct {
+	Variant string
+	Reason  string
+}
+
+func (m Mismatch) String() string { return m.Variant + ": " + m.Reason }
+
+// Report is the oracle's verdict on one program.
+type Report struct {
+	// Skipped means the input is uninteresting: the BB baseline
+	// failed to parse, compile, or run (e.g. fuel exhausted), so
+	// there is nothing to compare against.
+	Skipped    bool
+	SkipReason string
+	// Mismatches lists variants whose behaviour differed from the
+	// baseline — each one is a miscompilation (or a crash) worth
+	// shrinking. Empty on agreement.
+	Mismatches []Mismatch
+	// Degraded accumulates per-function degradations across all
+	// variants: the pipeline recovered, but a phase failed on this
+	// input and should be investigated.
+	Degraded []core.Degradation
+	// Runs counts baseline executions compared (one per arg vector).
+	Runs int
+}
+
+// Failed reports whether the program must be shrunk and investigated.
+func (r Report) Failed() bool { return len(r.Mismatches) > 0 }
+
+// argVectors are the measurement inputs; each is adapted to main's
+// arity. Small values keep loop trip counts inside the fuel budget,
+// the larger ones exercise deeper iteration.
+var argVectors = [][]int64{
+	{0, 0, 0},
+	{1, 2, 3},
+	{7, 13, 5},
+	{64, 3, 9},
+}
+
+// adaptArgs truncates or zero-pads each measurement vector to main's
+// arity.
+func adaptArgs(arity int) [][]int64 {
+	out := make([][]int64, len(argVectors))
+	for i, base := range argVectors {
+		args := make([]int64, arity)
+		copy(args, base)
+		out[i] = args
+	}
+	return out
+}
+
+type runOutcome struct {
+	result int64
+	output []int64
+	mem    []int64
+	err    error
+}
+
+// execute compiles src under opts and runs main once per arg vector.
+// A compiler panic is captured and returned as an error (the pipeline
+// degrades per function, but a panic escaping the driver is itself a
+// bug the fuzzer must surface, not crash on).
+func execute(src string, opts compiler.Options, arity int, maxSteps int64) (outs []runOutcome, degraded []core.Degradation, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("compiler panic: %v", rec)
+		}
+	}()
+	res, err := compiler.Compile(src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, args := range adaptArgs(arity) {
+		m := functional.New(res.Prog)
+		m.MaxSteps = maxSteps
+		v, rerr := m.Run("main", args...)
+		outs = append(outs, runOutcome{result: v, output: m.Output, mem: m.Mem, err: rerr})
+	}
+	return outs, res.Degraded, nil
+}
+
+// Diff runs the differential oracle on one tl program: compile under
+// the BB baseline and every variant, run each on the functional
+// simulator, and demand identical results, print output, and memory
+// (up to the baseline's memory size — register spilling appends spill
+// slots beyond it). maxSteps <= 0 selects DefaultMaxSteps; orderings
+// nil selects all five.
+func Diff(src string, maxSteps int64, orderings []compiler.Ordering) Report {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	if orderings == nil {
+		orderings = compiler.Orderings
+	}
+	var rep Report
+
+	// The input must define main; its arity sizes the arg vectors.
+	file, err := lang.Parse(src)
+	if err != nil {
+		return skip(fmt.Sprintf("parse: %v", err))
+	}
+	arity := -1
+	for _, fn := range file.Funcs {
+		if fn.Name == "main" {
+			arity = len(fn.Params)
+		}
+	}
+	if arity < 0 {
+		return skip("no main function")
+	}
+
+	base, deg, err := execute(src, compiler.Options{Ordering: compiler.OrderBB}, arity, maxSteps)
+	if err != nil {
+		return skip(fmt.Sprintf("baseline: %v", err))
+	}
+	rep.Degraded = append(rep.Degraded, deg...)
+	for _, o := range base {
+		if o.err != nil {
+			return skip(fmt.Sprintf("baseline run: %v", o.err))
+		}
+	}
+	rep.Runs = len(base)
+	baseMem := 0
+	if len(base) > 0 {
+		baseMem = len(base[0].mem)
+	}
+
+	for _, v := range Variants(orderings) {
+		if v.Opts.Ordering == compiler.OrderBB && v.Name == string(compiler.OrderBB) {
+			continue // identical to the baseline compile
+		}
+		outs, deg, err := execute(src, v.Opts, arity, maxSteps)
+		rep.Degraded = append(rep.Degraded, deg...)
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{v.Name,
+				fmt.Sprintf("compile failed where baseline succeeded: %v", err)})
+			continue
+		}
+		vectors := adaptArgs(arity)
+		for i, o := range outs {
+			if r := compare(base[i], o, baseMem); r != "" {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{v.Name,
+					fmt.Sprintf("args %v: %s", vectors[i], r)})
+				break
+			}
+		}
+	}
+	return rep
+}
+
+func skip(reason string) Report { return Report{Skipped: true, SkipReason: reason} }
+
+// compare checks one variant run against the baseline run. Memory is
+// compared only over the baseline's size: register allocation appends
+// spill slots past it, and those are private to the variant.
+func compare(want, got runOutcome, baseMem int) string {
+	if got.err != nil {
+		return fmt.Sprintf("run failed where baseline succeeded: %v", got.err)
+	}
+	if got.result != want.result {
+		return fmt.Sprintf("result %d, baseline %d", got.result, want.result)
+	}
+	if len(got.output) != len(want.output) {
+		return fmt.Sprintf("printed %d values, baseline %d", len(got.output), len(want.output))
+	}
+	for i := range want.output {
+		if got.output[i] != want.output[i] {
+			return fmt.Sprintf("output[%d] = %d, baseline %d", i, got.output[i], want.output[i])
+		}
+	}
+	if len(got.mem) < baseMem {
+		return fmt.Sprintf("memory shrank to %d words, baseline %d", len(got.mem), baseMem)
+	}
+	for i := 0; i < baseMem; i++ {
+		if got.mem[i] != want.mem[i] {
+			return fmt.Sprintf("mem[%d] = %d, baseline %d", i, got.mem[i], want.mem[i])
+		}
+	}
+	return ""
+}

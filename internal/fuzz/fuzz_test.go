@@ -1,0 +1,150 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/lang"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := Generate(seed, GenConfig{})
+		b := Generate(seed, GenConfig{})
+		if a != b {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+	if Generate(1, GenConfig{}) == Generate(2, GenConfig{}) {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := Generate(seed, GenConfig{})
+		f, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not parse: %v\n%s", seed, err, src)
+		}
+		if err := lang.Check(f); err != nil {
+			t.Fatalf("seed %d: generated program does not check: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGeneratedProgramsRoundTrip(t *testing.T) {
+	// FormatFile(Parse(FormatFile(ast))) must be stable: the shrinker
+	// re-renders after every edit and relies on this.
+	for seed := int64(0); seed < 50; seed++ {
+		src := Generate(seed, GenConfig{})
+		f, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if again := lang.FormatFile(f); again != src {
+			t.Fatalf("seed %d: format round-trip diverged:\n-- first --\n%s\n-- second --\n%s",
+				seed, src, again)
+		}
+	}
+}
+
+func TestDifferentialAgreesOnGeneratedPrograms(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < n; seed++ {
+		src := Generate(seed, GenConfig{})
+		rep := Diff(src, 0, nil)
+		if rep.Skipped {
+			t.Fatalf("seed %d: generated program skipped (%s)\n%s", seed, rep.SkipReason, src)
+		}
+		if rep.Failed() {
+			min := Shrink(src, func(s string) bool { return Diff(s, 0, nil).Failed() }, 500)
+			t.Fatalf("seed %d: differential mismatch %v\nshrunk reproducer:\n%s",
+				seed, rep.Mismatches, min)
+		}
+	}
+}
+
+func TestDiffSkipsInvalidInput(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"not a program",
+		"func f() { return 0; }",        // no main
+		"func main( { return 0; }",      // parse error
+		"func main() { return x; }",     // check error
+		"func main() { while (1) { } }", // fuel exhaustion
+	} {
+		rep := Diff(src, 100_000, nil)
+		if !rep.Skipped {
+			t.Fatalf("input %q should be skipped, got %+v", src, rep)
+		}
+		if rep.Failed() {
+			t.Fatalf("input %q produced mismatches: %v", src, rep.Mismatches)
+		}
+	}
+}
+
+func TestShrinkMinimizes(t *testing.T) {
+	src := Generate(7, GenConfig{})
+	// Artificial predicate: the program still prints something. The
+	// shrinker should strip it down while preserving a print call.
+	keep := func(s string) bool {
+		f, err := lang.Parse(s)
+		if err != nil || lang.Check(f) != nil {
+			return false
+		}
+		return strings.Contains(s, "print")
+	}
+	if !keep(src) {
+		t.Skip("seed program has no print; predicate vacuous")
+	}
+	min := Shrink(src, keep, 1500)
+	if !keep(min) {
+		t.Fatalf("shrunk program no longer satisfies the predicate:\n%s", min)
+	}
+	if len(min) > len(src) {
+		t.Fatalf("shrinker grew the program: %d -> %d bytes", len(src), len(min))
+	}
+	if len(min) > len(src)/2 {
+		t.Logf("weak shrink: %d -> %d bytes\n%s", len(src), len(min), min)
+	}
+}
+
+func TestVariantsMatrix(t *testing.T) {
+	vs := Variants(compiler.Orderings)
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"BB+ra", "UPIO", "UPIO+ra", "IUPO+ra", "(IUP)O-hd", "(IUPO)-hd"} {
+		if !names[want] {
+			t.Fatalf("variant matrix missing %q: %v", want, names)
+		}
+	}
+}
+
+// FuzzDifferential is the native fuzz target: any input that parses,
+// checks, and runs under the BB baseline must behave identically
+// under every other phase ordering. The checked-in corpus seeds it
+// with generator output.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(Generate(seed, GenConfig{}))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		rep := Diff(src, 500_000, nil)
+		if rep.Skipped {
+			t.Skip(rep.SkipReason)
+		}
+		if rep.Failed() {
+			t.Fatalf("differential mismatch: %v\nprogram:\n%s", rep.Mismatches, src)
+		}
+	})
+}

@@ -1,0 +1,366 @@
+// Package fuzz is the differential fuzzing harness for the compiler
+// pipeline: a seeded random tl program generator, an oracle that
+// compiles each program under every phase ordering and demands
+// behaviour identical to the basic-block baseline on the functional
+// simulator, and a shrinker that minimizes failing programs.
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/lang"
+)
+
+// GenConfig bounds the shape of generated programs. The zero value
+// selects the defaults.
+type GenConfig struct {
+	// MaxFuncs bounds helper functions besides main (default 2).
+	MaxFuncs int
+	// MaxArrays bounds global arrays (default 2).
+	MaxArrays int
+	// MaxDepth bounds statement nesting (default 2: loops nest two
+	// deep, which already exercises the paper's kernel shapes —
+	// deeper programs make formation cost superlinear).
+	MaxDepth int
+	// MaxStmts bounds statements per block (default 4).
+	MaxStmts int
+	// MaxExprDepth bounds expression nesting (default 3).
+	MaxExprDepth int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxFuncs == 0 {
+		c.MaxFuncs = 2
+	}
+	if c.MaxArrays == 0 {
+		c.MaxArrays = 2
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 2
+	}
+	if c.MaxStmts == 0 {
+		c.MaxStmts = 4
+	}
+	if c.MaxExprDepth == 0 {
+		c.MaxExprDepth = 3
+	}
+	return c
+}
+
+// Generate returns a deterministic random tl program for the seed:
+// same seed, same source. Programs are valid (they parse and check)
+// and always terminate: every loop is either a bounded down-counter
+// that decrements before its body runs or a counted for-loop whose
+// induction variable is never otherwise assigned, and calls only
+// reach functions defined earlier in the file (no recursion). Array
+// stores mask their index to the power-of-two array size, so no
+// generated store is out of bounds.
+func Generate(seed int64, cfg GenConfig) string {
+	cfg = cfg.withDefaults()
+	g := &generator{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	f := g.file()
+	return lang.FormatFile(f)
+}
+
+type arrayInfo struct {
+	name string
+	size int64
+}
+
+type funcInfo struct {
+	name  string
+	arity int
+}
+
+type generator struct {
+	rng *rand.Rand
+	cfg GenConfig
+
+	arrays []arrayInfo
+	funcs  []funcInfo // callable (defined earlier)
+
+	// Per-function state.
+	varCnt     int
+	vars       []string // readable in scope
+	assignable []string // assignable subset (loop counters excluded)
+	loopDepth  int
+}
+
+func (g *generator) intn(n int) int { return g.rng.Intn(n) }
+
+// chance returns true with probability num/den.
+func (g *generator) chance(num, den int) bool { return g.rng.Intn(den) < num }
+
+func (g *generator) file() *lang.File {
+	f := &lang.File{}
+	for i, n := 0, g.intn(g.cfg.MaxArrays+1); i < n; i++ {
+		size := int64(8 << g.intn(2)) // 8 or 16: power of two for index masking
+		a := &lang.ArrayDecl{Name: g.arrayName(i), Size: size}
+		if g.chance(1, 2) {
+			for j, k := 0, 1+g.intn(int(size)); j < k; j++ {
+				a.Init = append(a.Init, int64(g.intn(41)-20))
+			}
+		}
+		f.Arrays = append(f.Arrays, a)
+		g.arrays = append(g.arrays, arrayInfo{a.Name, size})
+	}
+	helpers := g.intn(g.cfg.MaxFuncs + 1)
+	for i := 0; i < helpers; i++ {
+		fn := g.function(g.funcName(i), 1+g.intn(2))
+		f.Funcs = append(f.Funcs, fn)
+		g.funcs = append(g.funcs, funcInfo{fn.Name, len(fn.Params)})
+	}
+	f.Funcs = append(f.Funcs, g.function("main", 2))
+	return f
+}
+
+func (g *generator) arrayName(i int) string { return "g" + string(rune('0'+i)) }
+func (g *generator) funcName(i int) string  { return "f" + string(rune('0'+i)) }
+
+func (g *generator) function(name string, arity int) *lang.FuncDecl {
+	g.varCnt = 0
+	g.vars = g.vars[:0]
+	g.assignable = g.assignable[:0]
+	g.loopDepth = 0
+
+	fn := &lang.FuncDecl{Name: name}
+	params := []string{"n", "m", "k"}
+	for i := 0; i < arity; i++ {
+		fn.Params = append(fn.Params, params[i])
+		g.vars = append(g.vars, params[i])
+		g.assignable = append(g.assignable, params[i])
+	}
+	fn.Body = g.block(0)
+	fn.Body.Stmts = append(fn.Body.Stmts, &lang.ReturnStmt{Value: g.expr(0)})
+	return fn
+}
+
+func (g *generator) freshVar(prefix string) string {
+	g.varCnt++
+	return prefix + itoa(g.varCnt)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// block generates a braced statement list, restoring the variable
+// scope on exit so later statements never reference block locals.
+func (g *generator) block(depth int) *lang.BlockStmt {
+	nv, na := len(g.vars), len(g.assignable)
+	b := &lang.BlockStmt{}
+	for i, n := 0, 1+g.intn(g.cfg.MaxStmts); i < n; i++ {
+		if s := g.stmt(depth); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	g.vars = g.vars[:nv]
+	g.assignable = g.assignable[:na]
+	return b
+}
+
+func (g *generator) stmt(depth int) lang.Stmt {
+	for {
+		switch g.intn(12) {
+		case 0, 1: // var declaration
+			name := g.freshVar("v")
+			s := &lang.VarStmt{Name: name, Init: g.expr(0)}
+			g.vars = append(g.vars, name)
+			g.assignable = append(g.assignable, name)
+			return s
+		case 2, 3: // scalar assignment
+			if len(g.assignable) == 0 {
+				continue
+			}
+			return &lang.AssignStmt{
+				Name:  g.assignable[g.intn(len(g.assignable))],
+				Value: g.expr(0),
+			}
+		case 4: // array store (index masked to size: never out of bounds)
+			if len(g.arrays) == 0 {
+				continue
+			}
+			a := g.arrays[g.intn(len(g.arrays))]
+			return &lang.AssignStmt{
+				Name:  a.name,
+				Index: g.maskedIndex(a.size),
+				Value: g.expr(0),
+			}
+		case 5: // print
+			return &lang.ExprStmt{X: &lang.CallExpr{
+				Name: lang.PrintBuiltin,
+				Args: []lang.Expr{g.expr(0)},
+			}}
+		case 6: // if / if-else
+			if depth >= g.cfg.MaxDepth {
+				continue
+			}
+			s := &lang.IfStmt{Cond: g.expr(0), Then: g.block(depth + 1)}
+			if g.chance(1, 2) {
+				s.Else = g.block(depth + 1)
+			}
+			return s
+		case 7: // rarely-taken side path: (expr & 31) == 0
+			if depth >= g.cfg.MaxDepth {
+				continue
+			}
+			cond := &lang.BinaryExpr{
+				Op: lang.EqEq,
+				X:  &lang.BinaryExpr{Op: lang.Amp, X: g.expr(1), Y: &lang.IntLit{Value: 31}},
+				Y:  &lang.IntLit{Value: 0},
+			}
+			return &lang.IfStmt{Cond: cond, Then: g.block(depth + 1)}
+		case 8: // bounded down-counter while loop
+			if depth >= g.cfg.MaxDepth {
+				continue
+			}
+			return g.whileLoop(depth)
+		case 9: // counted for loop (front-unroll eligible when clean)
+			if depth >= g.cfg.MaxDepth {
+				continue
+			}
+			return g.forLoop(depth)
+		case 10: // call for effect
+			if len(g.funcs) == 0 || g.loopDepth > 1 {
+				continue
+			}
+			return &lang.ExprStmt{X: g.call(1)}
+		case 11: // break/continue inside a loop (side exits)
+			if g.loopDepth == 0 || !g.chance(1, 3) {
+				continue
+			}
+			if g.chance(1, 2) {
+				return &lang.BreakStmt{}
+			}
+			return &lang.ContinueStmt{}
+		}
+	}
+}
+
+// whileLoop emits the canonical terminating shape
+//
+//	var tN = K;
+//	while (tN > 0) { tN = tN - 1; ...body... }
+//
+// The decrement comes first so a generated continue cannot skip it,
+// and tN is readable but never assignable by nested statements.
+func (g *generator) whileLoop(depth int) lang.Stmt {
+	t := g.freshVar("t")
+	bound := int64(1 + g.intn(5))
+	decl := &lang.VarStmt{Name: t, Init: &lang.IntLit{Value: bound}}
+	g.vars = append(g.vars, t) // readable, not assignable
+
+	g.loopDepth++
+	body := g.block(depth + 1)
+	g.loopDepth--
+	body.Stmts = append([]lang.Stmt{&lang.AssignStmt{
+		Name: t,
+		Value: &lang.BinaryExpr{Op: lang.Minus,
+			X: &lang.Ident{Name: t}, Y: &lang.IntLit{Value: 1}},
+	}}, body.Stmts...)
+
+	loop := &lang.WhileStmt{
+		Cond: &lang.BinaryExpr{Op: lang.Gt,
+			X: &lang.Ident{Name: t}, Y: &lang.IntLit{Value: 0}},
+		Body: body,
+	}
+	return &lang.BlockStmt{Stmts: []lang.Stmt{decl, loop}}
+}
+
+// forLoop emits for (var iN = 0; iN < K; iN = iN + 1) { body } with
+// iN protected from assignment, so the loop always terminates and is
+// front-unroll eligible when the body stays clean.
+func (g *generator) forLoop(depth int) lang.Stmt {
+	iv := g.freshVar("i")
+	bound := int64(1 + g.intn(5))
+	g.vars = append(g.vars, iv) // readable, not assignable
+
+	g.loopDepth++
+	body := g.block(depth + 1)
+	g.loopDepth--
+
+	return &lang.ForStmt{
+		Init: &lang.VarStmt{Name: iv, Init: &lang.IntLit{Value: 0}},
+		Cond: &lang.BinaryExpr{Op: lang.Lt,
+			X: &lang.Ident{Name: iv}, Y: &lang.IntLit{Value: bound}},
+		Post: &lang.AssignStmt{Name: iv,
+			Value: &lang.BinaryExpr{Op: lang.Plus,
+				X: &lang.Ident{Name: iv}, Y: &lang.IntLit{Value: 1}}},
+		Body: body,
+	}
+}
+
+// maskedIndex builds expr & (size-1); with size a power of two the
+// result is always in [0, size), so stores cannot trap.
+func (g *generator) maskedIndex(size int64) lang.Expr {
+	return &lang.BinaryExpr{Op: lang.Amp, X: g.expr(1), Y: &lang.IntLit{Value: size - 1}}
+}
+
+var binOps = []lang.Kind{
+	lang.Plus, lang.Minus, lang.Star, lang.Slash, lang.Percent,
+	lang.Amp, lang.Pipe, lang.Caret, lang.Shl, lang.Shr,
+	lang.EqEq, lang.NotEq, lang.Lt, lang.LtEq, lang.Gt, lang.GtEq,
+	lang.AndAnd, lang.OrOr,
+}
+
+var unOps = []lang.Kind{lang.Minus, lang.Not, lang.Tilde}
+
+var litPool = []int64{0, 1, 2, 3, 5, 7, 8, 15, 16, 31, 63, -1, -2, -7}
+
+func (g *generator) expr(depth int) lang.Expr {
+	if depth >= g.cfg.MaxExprDepth || g.chance(2, 5) {
+		return g.leaf()
+	}
+	switch g.intn(10) {
+	case 0, 1: // unary
+		return &lang.UnaryExpr{Op: unOps[g.intn(len(unOps))], X: g.expr(depth + 1)}
+	case 2: // call
+		if len(g.funcs) > 0 && g.loopDepth <= 1 {
+			return g.call(depth + 1)
+		}
+		fallthrough
+	default: // binary
+		return &lang.BinaryExpr{
+			Op: binOps[g.intn(len(binOps))],
+			X:  g.expr(depth + 1),
+			Y:  g.expr(depth + 1),
+		}
+	}
+}
+
+func (g *generator) leaf() lang.Expr {
+	switch g.intn(5) {
+	case 0, 1:
+		if len(g.vars) > 0 {
+			return &lang.Ident{Name: g.vars[g.intn(len(g.vars))]}
+		}
+	case 2:
+		if len(g.arrays) > 0 {
+			a := g.arrays[g.intn(len(g.arrays))]
+			return &lang.IndexExpr{Name: a.name, Index: g.maskedIndex(a.size)}
+		}
+	}
+	if g.chance(1, 4) {
+		return &lang.IntLit{Value: int64(g.intn(201) - 100)}
+	}
+	return &lang.IntLit{Value: litPool[g.intn(len(litPool))]}
+}
+
+func (g *generator) call(depth int) lang.Expr {
+	fi := g.funcs[g.intn(len(g.funcs))]
+	c := &lang.CallExpr{Name: fi.name}
+	for i := 0; i < fi.arity; i++ {
+		c.Args = append(c.Args, g.expr(depth+1))
+	}
+	return c
+}

@@ -1,0 +1,255 @@
+package fuzz
+
+import "repro/internal/lang"
+
+// Shrink greedily minimizes src while keep(candidate) stays true,
+// calling keep at most budget times (budget <= 0 selects 2000). Each
+// round enumerates single edits — drop an array, a function, or a
+// statement; replace a compound statement with its body; simplify an
+// expression to a literal or an operand — applies each to a fresh
+// clone, and accepts the first strictly smaller candidate that still
+// satisfies keep. Rounds repeat until a fixpoint or the budget runs
+// out. Invalid candidates (e.g. a deleted function something still
+// calls) are rejected by keep itself, since a program that no longer
+// compiles cannot reproduce a differential failure.
+func Shrink(src string, keep func(string) bool, budget int) string {
+	if budget <= 0 {
+		budget = 2000
+	}
+	cur := src
+	for budget > 0 {
+		improved := false
+		for target := 0; budget > 0; target++ {
+			file, err := lang.Parse(cur)
+			if err != nil {
+				return cur // shouldn't happen: cur always came from keep
+			}
+			cand, ok := applyEdit(file, target)
+			if !ok {
+				break // no edit with this index exists: round over
+			}
+			if len(cand) >= len(cur) || cand == cur {
+				continue
+			}
+			budget--
+			if keep(cand) {
+				cur = cand
+				improved = true
+				break // restart enumeration on the smaller program
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+	return cur
+}
+
+// applyEdit applies the target-th edit to file (mutating it) and
+// returns the re-rendered source. ok is false when fewer than
+// target+1 edits exist.
+func applyEdit(file *lang.File, target int) (string, bool) {
+	e := &editor{target: target}
+	e.file(file)
+	if !e.applied {
+		return "", false
+	}
+	return lang.FormatFile(file), true
+}
+
+// editor numbers edit opportunities in a deterministic DFS order and
+// applies the one whose number matches target.
+type editor struct {
+	target  int
+	next    int
+	applied bool
+}
+
+// hit reports whether the current opportunity is the chosen one.
+func (e *editor) hit() bool {
+	if e.applied {
+		return false
+	}
+	if e.next == e.target {
+		e.next++
+		e.applied = true
+		return true
+	}
+	e.next++
+	return false
+}
+
+func (e *editor) file(f *lang.File) {
+	for i := range f.Arrays {
+		if e.hit() {
+			f.Arrays = append(f.Arrays[:i], f.Arrays[i+1:]...)
+			return
+		}
+	}
+	for i := range f.Funcs {
+		if e.hit() {
+			f.Funcs = append(f.Funcs[:i], f.Funcs[i+1:]...)
+			return
+		}
+	}
+	for _, fn := range f.Funcs {
+		e.block(fn.Body)
+		if e.applied {
+			return
+		}
+	}
+}
+
+func (e *editor) block(b *lang.BlockStmt) {
+	for i := 0; i < len(b.Stmts); i++ {
+		s := b.Stmts[i]
+		// Delete the statement.
+		if e.hit() {
+			b.Stmts = append(b.Stmts[:i], b.Stmts[i+1:]...)
+			return
+		}
+		// Replace a compound statement with its body.
+		switch s := s.(type) {
+		case *lang.IfStmt:
+			if e.hit() {
+				b.Stmts = spliceBlock(b.Stmts, i, s.Then)
+				return
+			}
+			if s.Else != nil && e.hit() {
+				b.Stmts[i] = s.Else
+				return
+			}
+		case *lang.WhileStmt:
+			if e.hit() {
+				b.Stmts = spliceBlock(b.Stmts, i, s.Body)
+				return
+			}
+		case *lang.ForStmt:
+			if e.hit() {
+				repl := &lang.BlockStmt{}
+				if s.Init != nil {
+					repl.Stmts = append(repl.Stmts, s.Init)
+				}
+				repl.Stmts = append(repl.Stmts, s.Body.Stmts...)
+				b.Stmts = spliceBlock(b.Stmts, i, repl)
+				return
+			}
+		case *lang.BlockStmt:
+			if e.hit() {
+				b.Stmts = spliceBlock(b.Stmts, i, s)
+				return
+			}
+		}
+		e.stmt(s)
+		if e.applied {
+			return
+		}
+	}
+}
+
+func spliceBlock(stmts []lang.Stmt, i int, body *lang.BlockStmt) []lang.Stmt {
+	out := make([]lang.Stmt, 0, len(stmts)-1+len(body.Stmts))
+	out = append(out, stmts[:i]...)
+	out = append(out, body.Stmts...)
+	out = append(out, stmts[i+1:]...)
+	return out
+}
+
+func (e *editor) stmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		e.block(s)
+	case *lang.VarStmt:
+		if s.Init != nil {
+			e.expr(&s.Init)
+		}
+	case *lang.AssignStmt:
+		if s.Index != nil {
+			e.expr(&s.Index)
+		}
+		if !e.applied {
+			e.expr(&s.Value)
+		}
+	case *lang.IfStmt:
+		e.expr(&s.Cond)
+		if !e.applied {
+			e.block(s.Then)
+		}
+		if !e.applied && s.Else != nil {
+			e.stmt(s.Else)
+		}
+	case *lang.WhileStmt:
+		e.expr(&s.Cond)
+		if !e.applied {
+			e.block(s.Body)
+		}
+	case *lang.ForStmt:
+		if s.Init != nil {
+			e.stmt(s.Init)
+		}
+		if !e.applied && s.Cond != nil {
+			e.expr(&s.Cond)
+		}
+		if !e.applied && s.Post != nil {
+			e.stmt(s.Post)
+		}
+		if !e.applied {
+			e.block(s.Body)
+		}
+	case *lang.ReturnStmt:
+		if s.Value != nil {
+			e.expr(&s.Value)
+		}
+	case *lang.ExprStmt:
+		e.expr(&s.X)
+	}
+}
+
+// expr enumerates expression simplifications at the slot: replace
+// with 0, or with an operand/subexpression; then recurse.
+func (e *editor) expr(slot *lang.Expr) {
+	switch x := (*slot).(type) {
+	case *lang.IntLit, *lang.Ident, nil:
+		return // already minimal
+	case *lang.BinaryExpr:
+		if e.hit() {
+			*slot = x.X
+			return
+		}
+		if e.hit() {
+			*slot = x.Y
+			return
+		}
+		if e.hit() {
+			*slot = &lang.IntLit{Value: 0, Line: x.Line}
+			return
+		}
+		e.expr(&x.X)
+		if !e.applied {
+			e.expr(&x.Y)
+		}
+	case *lang.UnaryExpr:
+		if e.hit() {
+			*slot = x.X
+			return
+		}
+		e.expr(&x.X)
+	case *lang.IndexExpr:
+		if e.hit() {
+			*slot = &lang.IntLit{Value: 0, Line: x.Line}
+			return
+		}
+		e.expr(&x.Index)
+	case *lang.CallExpr:
+		if e.hit() {
+			*slot = &lang.IntLit{Value: 0, Line: x.Line}
+			return
+		}
+		for i := range x.Args {
+			e.expr(&x.Args[i])
+			if e.applied {
+				return
+			}
+		}
+	}
+}

@@ -152,73 +152,203 @@ func (*CallExpr) expr()   {}
 func (*UnaryExpr) expr()  {}
 func (*BinaryExpr) expr() {}
 
-// CloneStmt deep-copies a statement tree (used by the unroller).
-func CloneStmt(s Stmt) Stmt {
+// StmtLine returns the source line of s, or 0 when s carries no
+// position (nil, or a block whose first statement has none).
+func StmtLine(s Stmt) int {
+	switch s := s.(type) {
+	case *BlockStmt:
+		if s != nil && len(s.Stmts) > 0 {
+			return StmtLine(s.Stmts[0])
+		}
+	case *VarStmt:
+		return s.Line
+	case *AssignStmt:
+		return s.Line
+	case *IfStmt:
+		return s.Line
+	case *WhileStmt:
+		return s.Line
+	case *ForStmt:
+		return s.Line
+	case *BreakStmt:
+		return s.Line
+	case *ContinueStmt:
+		return s.Line
+	case *ReturnStmt:
+		return s.Line
+	case *ExprStmt:
+		return s.Line
+	}
+	return 0
+}
+
+// ExprLine returns the source line of e, or 0 when unknown.
+func ExprLine(e Expr) int {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Line
+	case *Ident:
+		return e.Line
+	case *IndexExpr:
+		return e.Line
+	case *CallExpr:
+		return e.Line
+	case *UnaryExpr:
+		return e.Line
+	case *BinaryExpr:
+		return e.Line
+	}
+	return 0
+}
+
+// CloneStmt deep-copies a statement tree (used by the unroller and the
+// fuzz shrinker). An unrecognized node type is a checker/builder gap
+// and surfaces as a positioned error rather than a crash.
+func CloneStmt(s Stmt) (Stmt, error) {
 	switch s := s.(type) {
 	case nil:
-		return nil
+		return nil, nil
 	case *BlockStmt:
 		return CloneBlock(s)
 	case *VarStmt:
-		return &VarStmt{Name: s.Name, Init: CloneExpr(s.Init), Line: s.Line}
-	case *AssignStmt:
-		return &AssignStmt{Name: s.Name, Index: CloneExpr(s.Index), Value: CloneExpr(s.Value), Line: s.Line}
-	case *IfStmt:
-		cp := &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Line: s.Line}
-		if s.Else != nil {
-			cp.Else = CloneStmt(s.Else)
+		init, err := CloneExpr(s.Init)
+		if err != nil {
+			return nil, err
 		}
-		return cp
+		return &VarStmt{Name: s.Name, Init: init, Line: s.Line}, nil
+	case *AssignStmt:
+		idx, err := CloneExpr(s.Index)
+		if err != nil {
+			return nil, err
+		}
+		val, err := CloneExpr(s.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: s.Name, Index: idx, Value: val, Line: s.Line}, nil
+	case *IfStmt:
+		cond, err := CloneExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := CloneBlock(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		cp := &IfStmt{Cond: cond, Then: then, Line: s.Line}
+		if s.Else != nil {
+			els, err := CloneStmt(s.Else)
+			if err != nil {
+				return nil, err
+			}
+			cp.Else = els
+		}
+		return cp, nil
 	case *WhileStmt:
-		return &WhileStmt{Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body), Line: s.Line}
+		cond, err := CloneExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := CloneBlock(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: s.Line}, nil
 	case *ForStmt:
-		return &ForStmt{Init: CloneStmt(s.Init), Cond: CloneExpr(s.Cond),
-			Post: CloneStmt(s.Post), Body: CloneBlock(s.Body), Line: s.Line}
+		init, err := CloneStmt(s.Init)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := CloneExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		post, err := CloneStmt(s.Post)
+		if err != nil {
+			return nil, err
+		}
+		body, err := CloneBlock(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Line: s.Line}, nil
 	case *BreakStmt:
-		return &BreakStmt{Line: s.Line}
+		return &BreakStmt{Line: s.Line}, nil
 	case *ContinueStmt:
-		return &ContinueStmt{Line: s.Line}
+		return &ContinueStmt{Line: s.Line}, nil
 	case *ReturnStmt:
-		return &ReturnStmt{Value: CloneExpr(s.Value), Line: s.Line}
+		v, err := CloneExpr(s.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: v, Line: s.Line}, nil
 	case *ExprStmt:
-		return &ExprStmt{X: CloneExpr(s.X), Line: s.Line}
+		x, err := CloneExpr(s.X)
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: s.Line}, nil
 	}
-	panic("lang: unknown statement type")
+	return nil, errf(StmtLine(s), 1, "unknown statement type %T", s)
 }
 
 // CloneBlock deep-copies a block.
-func CloneBlock(b *BlockStmt) *BlockStmt {
+func CloneBlock(b *BlockStmt) (*BlockStmt, error) {
 	if b == nil {
-		return nil
+		return nil, nil
 	}
 	nb := &BlockStmt{Stmts: make([]Stmt, len(b.Stmts))}
 	for i, s := range b.Stmts {
-		nb.Stmts[i] = CloneStmt(s)
+		cp, err := CloneStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		nb.Stmts[i] = cp
 	}
-	return nb
+	return nb, nil
 }
 
 // CloneExpr deep-copies an expression tree.
-func CloneExpr(e Expr) Expr {
+func CloneExpr(e Expr) (Expr, error) {
 	switch e := e.(type) {
 	case nil:
-		return nil
+		return nil, nil
 	case *IntLit:
-		return &IntLit{Value: e.Value, Line: e.Line}
+		return &IntLit{Value: e.Value, Line: e.Line}, nil
 	case *Ident:
-		return &Ident{Name: e.Name, Line: e.Line}
+		return &Ident{Name: e.Name, Line: e.Line}, nil
 	case *IndexExpr:
-		return &IndexExpr{Name: e.Name, Index: CloneExpr(e.Index), Line: e.Line}
+		idx, err := CloneExpr(e.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &IndexExpr{Name: e.Name, Index: idx, Line: e.Line}, nil
 	case *CallExpr:
 		cp := &CallExpr{Name: e.Name, Line: e.Line}
 		for _, a := range e.Args {
-			cp.Args = append(cp.Args, CloneExpr(a))
+			ca, err := CloneExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			cp.Args = append(cp.Args, ca)
 		}
-		return cp
+		return cp, nil
 	case *UnaryExpr:
-		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X), Line: e.Line}
+		x, err := CloneExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: e.Op, X: x, Line: e.Line}, nil
 	case *BinaryExpr:
-		return &BinaryExpr{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y), Line: e.Line}
+		x, err := CloneExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := CloneExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: e.Op, X: x, Y: y, Line: e.Line}, nil
 	}
-	panic("lang: unknown expression type")
+	return nil, errf(ExprLine(e), 1, "unknown expression type %T", e)
 }

@@ -1,0 +1,171 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// bogusStmt and bogusExpr satisfy the sealed AST interfaces from inside
+// the package, standing in for a future node kind that a pass forgot to
+// handle. Every consumer must surface that as a positioned error, never
+// a panic.
+type bogusStmt struct{}
+
+func (*bogusStmt) stmt() {}
+
+type bogusExpr struct{}
+
+func (*bogusExpr) expr() {}
+
+func mustNotPanic(t *testing.T, what string, fn func() error) error {
+	t.Helper()
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s panicked: %v", what, r)
+			}
+		}()
+		err = fn()
+	}()
+	return err
+}
+
+func TestCloneStmtUnknownNodeIsError(t *testing.T) {
+	err := mustNotPanic(t, "CloneStmt", func() error {
+		_, err := CloneStmt(&bogusStmt{})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown statement") {
+		t.Fatalf("CloneStmt(bogus) = %v, want unknown-statement error", err)
+	}
+}
+
+func TestCloneExprUnknownNodeIsError(t *testing.T) {
+	err := mustNotPanic(t, "CloneExpr", func() error {
+		_, err := CloneExpr(&bogusExpr{})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown expression") {
+		t.Fatalf("CloneExpr(bogus) = %v, want unknown-expression error", err)
+	}
+	// Nested inside a known node it still surfaces.
+	err = mustNotPanic(t, "CloneStmt", func() error {
+		_, err := CloneStmt(&ReturnStmt{Value: &bogusExpr{}, Line: 7})
+		return err
+	})
+	if err == nil {
+		t.Fatal("CloneStmt(return bogus) must fail")
+	}
+}
+
+func TestLowerUnknownStmtIsError(t *testing.T) {
+	f := &File{Funcs: []*FuncDecl{{
+		Name: "f",
+		Body: &BlockStmt{Stmts: []Stmt{
+			&bogusStmt{},
+			&ReturnStmt{Value: &IntLit{Value: 0, Line: 3}, Line: 3},
+		}},
+		Line: 1,
+	}}}
+	err := mustNotPanic(t, "Lower", func() error {
+		_, err := Lower(f)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "in func f") {
+		t.Fatalf("Lower(bogus stmt) = %v, want error naming func f", err)
+	}
+}
+
+func TestLowerUnknownExprIsError(t *testing.T) {
+	f := &File{Funcs: []*FuncDecl{{
+		Name: "g",
+		Body: &BlockStmt{Stmts: []Stmt{
+			&ReturnStmt{Value: &bogusExpr{}, Line: 2},
+		}},
+		Line: 1,
+	}}}
+	err := mustNotPanic(t, "Lower", func() error {
+		_, err := Lower(f)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown expression") {
+		t.Fatalf("Lower(bogus expr) = %v, want unknown-expression error", err)
+	}
+}
+
+func TestLowerUnknownOperatorIsError(t *testing.T) {
+	// A Kind that is not a binary operator reaching the lowerer means
+	// the checker let a malformed tree through; it must still not crash.
+	f := &File{Funcs: []*FuncDecl{{
+		Name: "h",
+		Body: &BlockStmt{Stmts: []Stmt{
+			&ReturnStmt{
+				Value: &BinaryExpr{
+					Op:   Kind(0xfe),
+					X:    &IntLit{Value: 1, Line: 2},
+					Y:    &IntLit{Value: 2, Line: 2},
+					Line: 2,
+				},
+				Line: 2,
+			},
+		}},
+		Line: 1,
+	}}}
+	err := mustNotPanic(t, "Lower", func() error {
+		_, err := Lower(f)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Lower(bad operator) must return an error")
+	}
+	// Errors carry a position (line 2 where the operator appears).
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("Lower error %q lacks a position", err)
+	}
+}
+
+func TestUnrollFilePropagatesCloneErrors(t *testing.T) {
+	// An eligible for-loop whose body contains an unknown node: the
+	// unroller clones the body, so the clone error must propagate.
+	f := &File{Funcs: []*FuncDecl{{
+		Name: "u",
+		Body: &BlockStmt{Stmts: []Stmt{
+			&ForStmt{
+				Init: &VarStmt{Name: "i", Init: &IntLit{Value: 0, Line: 2}, Line: 2},
+				Cond: &BinaryExpr{Op: Lt, X: &Ident{Name: "i", Line: 2}, Y: &IntLit{Value: 8, Line: 2}, Line: 2},
+				Post: &AssignStmt{Name: "i", Value: &BinaryExpr{Op: Plus, X: &Ident{Name: "i", Line: 2}, Y: &IntLit{Value: 1, Line: 2}, Line: 2}, Line: 2},
+				Body: &BlockStmt{Stmts: []Stmt{&bogusStmt{}}},
+				Line: 2,
+			},
+			&ReturnStmt{Value: &IntLit{Value: 0, Line: 4}, Line: 4},
+		}},
+		Line: 1,
+	}}}
+	err := mustNotPanic(t, "UnrollFile", func() error {
+		_, err := UnrollFile(f, 4)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "in func u") {
+		t.Fatalf("UnrollFile(bogus body) = %v, want error naming func u", err)
+	}
+}
+
+func TestFormatUnknownNodesDoNotPanic(t *testing.T) {
+	f := &File{Funcs: []*FuncDecl{{
+		Name: "w",
+		Body: &BlockStmt{Stmts: []Stmt{
+			&bogusStmt{},
+			&ExprStmt{X: &bogusExpr{}, Line: 2},
+		}},
+		Line: 1,
+	}}}
+	var out string
+	mustNotPanic(t, "FormatFile", func() error {
+		out = FormatFile(f)
+		return nil
+	})
+	if !strings.Contains(out, "unknown") {
+		t.Fatalf("FormatFile output %q should flag unknown nodes", out)
+	}
+}

@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatFile renders a tl AST back to parseable source text. The
+// output round-trips: parsing it again yields a structurally equal
+// file (positions aside). Expressions are fully parenthesized, so the
+// renderer never has to reason about precedence; the fuzz generator
+// and shrinker rely on this to serialize the programs they build.
+func FormatFile(f *File) string {
+	var sb strings.Builder
+	for _, a := range f.Arrays {
+		fmt.Fprintf(&sb, "array %s[%d]", a.Name, a.Size)
+		if len(a.Init) > 0 {
+			sb.WriteString(" = {")
+			for i, v := range a.Init {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", v)
+			}
+			sb.WriteString("}")
+		}
+		sb.WriteString(";\n")
+	}
+	if len(f.Arrays) > 0 && len(f.Funcs) > 0 {
+		sb.WriteString("\n")
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "func %s(%s) ", fn.Name, strings.Join(fn.Params, ", "))
+		formatBlock(&sb, fn.Body, 0)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("    ")
+	}
+}
+
+func formatBlock(sb *strings.Builder, b *BlockStmt, depth int) {
+	if b == nil {
+		sb.WriteString("{}")
+		return
+	}
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		indent(sb, depth+1)
+		formatStmt(sb, s, depth+1)
+		sb.WriteString("\n")
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+// formatStmt renders one statement without the trailing newline.
+func formatStmt(sb *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		formatBlock(sb, s, depth)
+	case *VarStmt:
+		formatSimpleStmt(sb, s)
+		sb.WriteString(";")
+	case *AssignStmt:
+		formatSimpleStmt(sb, s)
+		sb.WriteString(";")
+	case *IfStmt:
+		sb.WriteString("if (")
+		formatExpr(sb, s.Cond)
+		sb.WriteString(") ")
+		formatBlock(sb, s.Then, depth)
+		if s.Else != nil {
+			sb.WriteString(" else ")
+			formatStmt(sb, s.Else, depth)
+		}
+	case *WhileStmt:
+		sb.WriteString("while (")
+		formatExpr(sb, s.Cond)
+		sb.WriteString(") ")
+		formatBlock(sb, s.Body, depth)
+	case *ForStmt:
+		sb.WriteString("for (")
+		if s.Init != nil {
+			formatSimpleStmt(sb, s.Init)
+		}
+		sb.WriteString("; ")
+		if s.Cond != nil {
+			formatExpr(sb, s.Cond)
+		}
+		sb.WriteString("; ")
+		if s.Post != nil {
+			formatSimpleStmt(sb, s.Post)
+		}
+		sb.WriteString(") ")
+		formatBlock(sb, s.Body, depth)
+	case *BreakStmt:
+		sb.WriteString("break;")
+	case *ContinueStmt:
+		sb.WriteString("continue;")
+	case *ReturnStmt:
+		sb.WriteString("return")
+		if s.Value != nil {
+			sb.WriteString(" ")
+			formatExpr(sb, s.Value)
+		}
+		sb.WriteString(";")
+	case *ExprStmt:
+		formatExpr(sb, s.X)
+		sb.WriteString(";")
+	default:
+		fmt.Fprintf(sb, "/* unknown statement %T */", s)
+	}
+}
+
+// formatSimpleStmt renders a var/assign/expr statement without the
+// trailing semicolon (the form used inside for-loop clauses).
+func formatSimpleStmt(sb *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		fmt.Fprintf(sb, "var %s", s.Name)
+		if s.Init != nil {
+			sb.WriteString(" = ")
+			formatExpr(sb, s.Init)
+		}
+	case *AssignStmt:
+		sb.WriteString(s.Name)
+		if s.Index != nil {
+			sb.WriteString("[")
+			formatExpr(sb, s.Index)
+			sb.WriteString("]")
+		}
+		sb.WriteString(" = ")
+		formatExpr(sb, s.Value)
+	case *ExprStmt:
+		formatExpr(sb, s.X)
+	default:
+		fmt.Fprintf(sb, "/* unknown simple statement %T */", s)
+	}
+}
+
+var kindOps = map[Kind]string{
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Shl: "<<", Shr: ">>",
+	EqEq: "==", NotEq: "!=", Lt: "<", LtEq: "<=", Gt: ">", GtEq: ">=",
+	AndAnd: "&&", OrOr: "||",
+}
+
+func formatExpr(sb *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		// Negative literals render parenthesized so that a literal -2
+		// and a parsed unary minus over 2 serialize identically — the
+		// shrinker's render/parse/render cycle must be stable.
+		if e.Value < 0 {
+			fmt.Fprintf(sb, "(%d)", e.Value)
+			return
+		}
+		fmt.Fprintf(sb, "%d", e.Value)
+	case *Ident:
+		sb.WriteString(e.Name)
+	case *IndexExpr:
+		sb.WriteString(e.Name)
+		sb.WriteString("[")
+		formatExpr(sb, e.Index)
+		sb.WriteString("]")
+	case *CallExpr:
+		sb.WriteString(e.Name)
+		sb.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case *UnaryExpr:
+		sb.WriteString("(")
+		switch e.Op {
+		case Minus:
+			sb.WriteString("-")
+		case Not:
+			sb.WriteString("!")
+		case Tilde:
+			sb.WriteString("~")
+		default:
+			fmt.Fprintf(sb, "/* unknown unary %v */", e.Op)
+		}
+		formatExpr(sb, e.X)
+		sb.WriteString(")")
+	case *BinaryExpr:
+		sb.WriteString("(")
+		formatExpr(sb, e.X)
+		if op, ok := kindOps[e.Op]; ok {
+			sb.WriteString(" " + op + " ")
+		} else {
+			fmt.Fprintf(sb, " /* unknown op %v */ ", e.Op)
+		}
+		formatExpr(sb, e.Y)
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "/* unknown expression %T */", e)
+	}
+}

@@ -396,7 +396,10 @@ func TestUnrollActuallyUnrolls(t *testing.T) {
 	if err := Check(f); err != nil {
 		t.Fatal(err)
 	}
-	n := UnrollFile(f, 4)
+	n, err := UnrollFile(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 2 {
 		t.Fatalf("unrolled %d loops, want 2", n)
 	}
@@ -423,7 +426,11 @@ func TestUnrollSkipsIneligible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n := UnrollFile(f, 4); n != 0 {
+		n, err := UnrollFile(f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
 			t.Errorf("UnrollFile(%q) = %d, want 0", src, n)
 		}
 	}
@@ -473,7 +480,10 @@ func TestCloneStmtIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := f.Funcs[0].Body
-	cp := CloneBlock(body)
+	cp, err := CloneBlock(body)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mutate the clone's if condition; original must be unaffected.
 	cp.Stmts[1].(*IfStmt).Cond.(*BinaryExpr).Op = Lt
 	if body.Stmts[1].(*IfStmt).Cond.(*BinaryExpr).Op != Gt {

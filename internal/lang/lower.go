@@ -29,7 +29,9 @@ func CompileUnrolled(src string, factor int) (*ir.Program, error) {
 		return nil, err
 	}
 	if factor > 1 {
-		UnrollFile(file, factor)
+		if _, err := UnrollFile(file, factor); err != nil {
+			return nil, fmt.Errorf("unrolling: %w", err)
+		}
 		if err := Check(file); err != nil {
 			return nil, fmt.Errorf("after unrolling: %w", err)
 		}
@@ -79,6 +81,19 @@ type lowerer struct {
 	continueTo []*ir.Block
 
 	nameSeq int
+
+	// err records the first lowering diagnostic. Lowering methods
+	// return void for readability; a checker gap (a node kind the
+	// lowerer does not recognize) lands here as a positioned error
+	// instead of crashing the process.
+	err error
+}
+
+// fail records the first error encountered during lowering.
+func (lw *lowerer) fail(line int, format string, args ...interface{}) {
+	if lw.err == nil {
+		lw.err = errf(line, 1, format, args...)
+	}
 }
 
 func (lw *lowerer) newBlock(kind string) *ir.Block {
@@ -98,7 +113,11 @@ func (lw *lowerer) lowerFunc(fn *FuncDecl) (*ir.Function, error) {
 	}
 	entry := f.NewBlock("entry")
 	lw.bd = ir.NewBuilder(f, entry)
+	lw.err = nil
 	lw.block(fn.Body)
+	if lw.err != nil {
+		return nil, fmt.Errorf("in func %s: %w", fn.Name, lw.err)
+	}
 	// Implicit "return 0" on fallthrough.
 	if !lw.bd.Cur.Terminated() {
 		z := lw.bd.Const(0)
@@ -162,7 +181,7 @@ func (lw *lowerer) stmt(s Stmt) {
 	case *ExprStmt:
 		lw.exprForEffect(s.X)
 	default:
-		panic(fmt.Sprintf("lang: unknown statement %T", s))
+		lw.fail(StmtLine(s), "cannot lower unknown statement %T", s)
 	}
 }
 
@@ -265,7 +284,12 @@ func (lw *lowerer) cond(e Expr, t, f *ir.Block) {
 		case EqEq, NotEq, Lt, LtEq, Gt, GtEq:
 			x := lw.expr(e.X)
 			y := lw.expr(e.Y)
-			c := lw.bd.Bin(cmpOp(e.Op), x, y)
+			op, ok := cmpOp(e.Op)
+			if !ok {
+				lw.fail(e.Line, "not a comparison operator %s", e.Op)
+				return
+			}
+			c := lw.bd.Bin(op, x, y)
 			lw.bd.CondBr(c, t, f)
 			return
 		}
@@ -281,48 +305,52 @@ func (lw *lowerer) cond(e Expr, t, f *ir.Block) {
 	lw.bd.CondBr(c, t, f)
 }
 
-func cmpOp(k Kind) ir.Op {
+// cmpOp maps a comparison token to its IR opcode; ok is false for
+// non-comparison tokens.
+func cmpOp(k Kind) (ir.Op, bool) {
 	switch k {
 	case EqEq:
-		return ir.OpCmpEQ
+		return ir.OpCmpEQ, true
 	case NotEq:
-		return ir.OpCmpNE
+		return ir.OpCmpNE, true
 	case Lt:
-		return ir.OpCmpLT
+		return ir.OpCmpLT, true
 	case LtEq:
-		return ir.OpCmpLE
+		return ir.OpCmpLE, true
 	case Gt:
-		return ir.OpCmpGT
+		return ir.OpCmpGT, true
 	case GtEq:
-		return ir.OpCmpGE
+		return ir.OpCmpGE, true
 	}
-	panic("lang: not a comparison " + k.String())
+	return ir.OpInvalid, false
 }
 
-func binOp(k Kind) ir.Op {
+// binOp maps an arithmetic/bitwise token to its IR opcode; ok is false
+// for anything else.
+func binOp(k Kind) (ir.Op, bool) {
 	switch k {
 	case Plus:
-		return ir.OpAdd
+		return ir.OpAdd, true
 	case Minus:
-		return ir.OpSub
+		return ir.OpSub, true
 	case Star:
-		return ir.OpMul
+		return ir.OpMul, true
 	case Slash:
-		return ir.OpDiv
+		return ir.OpDiv, true
 	case Percent:
-		return ir.OpRem
+		return ir.OpRem, true
 	case Amp:
-		return ir.OpAnd
+		return ir.OpAnd, true
 	case Pipe:
-		return ir.OpOr
+		return ir.OpOr, true
 	case Caret:
-		return ir.OpXor
+		return ir.OpXor, true
 	case Shl:
-		return ir.OpShl
+		return ir.OpShl, true
 	case Shr:
-		return ir.OpShr
+		return ir.OpShr, true
 	}
-	panic("lang: not an arithmetic operator " + k.String())
+	return ir.OpInvalid, false
 }
 
 // expr lowers e into a fresh register and returns it.
@@ -361,7 +389,7 @@ func (lw *lowerer) exprInto(dst ir.Reg, e Expr) {
 			z := lw.bd.Const(0)
 			lw.bd.BinInto(ir.OpCmpEQ, dst, x, z)
 		default:
-			panic("lang: unknown unary " + e.Op.String())
+			lw.fail(e.Line, "cannot lower unknown unary operator %s", e.Op)
 		}
 	case *BinaryExpr:
 		switch e.Op {
@@ -381,14 +409,24 @@ func (lw *lowerer) exprInto(dst ir.Reg, e Expr) {
 		case EqEq, NotEq, Lt, LtEq, Gt, GtEq:
 			x := lw.expr(e.X)
 			y := lw.expr(e.Y)
-			lw.bd.BinInto(cmpOp(e.Op), dst, x, y)
+			op, ok := cmpOp(e.Op)
+			if !ok {
+				lw.fail(e.Line, "not a comparison operator %s", e.Op)
+				return
+			}
+			lw.bd.BinInto(op, dst, x, y)
 		default:
 			x := lw.expr(e.X)
 			y := lw.expr(e.Y)
-			lw.bd.BinInto(binOp(e.Op), dst, x, y)
+			op, ok := binOp(e.Op)
+			if !ok {
+				lw.fail(e.Line, "cannot lower unknown binary operator %s", e.Op)
+				return
+			}
+			lw.bd.BinInto(op, dst, x, y)
 		}
 	default:
-		panic(fmt.Sprintf("lang: unknown expression %T", e))
+		lw.fail(ExprLine(e), "cannot lower unknown expression %T", e)
 	}
 }
 

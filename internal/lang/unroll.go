@@ -21,70 +21,88 @@ import "fmt"
 //
 // which preserves semantics for any trip count. Local variable
 // declarations inside duplicated bodies are renamed per copy.
-func UnrollFile(f *File, factor int) int {
+func UnrollFile(f *File, factor int) (int, error) {
 	if factor <= 1 {
-		return 0
+		return 0, nil
 	}
 	n := 0
 	for _, fn := range f.Funcs {
-		n += unrollBlock(fn.Body, factor)
+		un, err := unrollBlock(fn.Body, factor)
+		if err != nil {
+			return n, fmt.Errorf("in func %s: %w", fn.Name, err)
+		}
+		n += un
 	}
-	return n
+	return n, nil
 }
 
-func unrollBlock(b *BlockStmt, k int) int {
+func unrollBlock(b *BlockStmt, k int) (int, error) {
 	n := 0
 	for i, s := range b.Stmts {
+		var un int
+		var err error
 		switch s := s.(type) {
 		case *BlockStmt:
-			n += unrollBlock(s, k)
+			un, err = unrollBlock(s, k)
 		case *IfStmt:
-			n += unrollBlock(s.Then, k)
-			if s.Else != nil {
+			un, err = unrollBlock(s.Then, k)
+			if err == nil && s.Else != nil {
+				var en int
 				if eb, ok := s.Else.(*BlockStmt); ok {
-					n += unrollBlock(eb, k)
+					en, err = unrollBlock(eb, k)
 				} else if ei, ok := s.Else.(*IfStmt); ok {
-					n += unrollBlock(&BlockStmt{Stmts: []Stmt{ei}}, k)
+					en, err = unrollBlock(&BlockStmt{Stmts: []Stmt{ei}}, k)
 				}
+				un += en
 			}
 		case *WhileStmt:
-			n += unrollBlock(s.Body, k)
+			un, err = unrollBlock(s.Body, k)
 		case *ForStmt:
 			// Innermost first.
-			n += unrollBlock(s.Body, k)
-			if repl, ok := unrollFor(s, k); ok {
-				b.Stmts[i] = repl
-				n++
+			un, err = unrollBlock(s.Body, k)
+			if err == nil {
+				var repl Stmt
+				var ok bool
+				repl, ok, err = unrollFor(s, k)
+				if err == nil && ok {
+					b.Stmts[i] = repl
+					un++
+				}
 			}
 		}
+		if err != nil {
+			return n, err
+		}
+		n += un
 	}
-	return n
+	return n, nil
 }
 
 // unrollFor rewrites one eligible for-loop; ok is false if the loop is
-// not eligible.
-func unrollFor(s *ForStmt, k int) (Stmt, bool) {
+// not eligible. A non-nil error reports a malformed AST (clone
+// failure), not ineligibility.
+func unrollFor(s *ForStmt, k int) (Stmt, bool, error) {
 	if containsLoop(s.Body) || containsBreakContinue(s.Body) {
-		return nil, false
+		return nil, false, nil
 	}
 	// Post must be i = i + c with constant c > 0.
 	post, ok := s.Post.(*AssignStmt)
 	if !ok || post.Index != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	iv := post.Name
 	step, ok := constStep(post.Value, iv)
 	if !ok || step <= 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	// Cond must be i < limit or i <= limit.
 	cond, ok := s.Cond.(*BinaryExpr)
 	if !ok || (cond.Op != Lt && cond.Op != LtEq) {
-		return nil, false
+		return nil, false, nil
 	}
 	lhs, ok := cond.X.(*Ident)
 	if !ok || lhs.Name != iv {
-		return nil, false
+		return nil, false, nil
 	}
 	var limitName string
 	switch lim := cond.Y.(type) {
@@ -92,11 +110,11 @@ func unrollFor(s *ForStmt, k int) (Stmt, bool) {
 	case *Ident:
 		limitName = lim.Name
 	default:
-		return nil, false
+		return nil, false, nil
 	}
 	// i and limit must not be assigned in the body.
 	if assigns(s.Body, iv) || (limitName != "" && assigns(s.Body, limitName)) {
-		return nil, false
+		return nil, false, nil
 	}
 
 	out := &BlockStmt{}
@@ -104,17 +122,24 @@ func unrollFor(s *ForStmt, k int) (Stmt, bool) {
 		out.Stmts = append(out.Stmts, s.Init)
 	}
 	// Guard: i + (k-1)*c </<= limit.
+	limCp, err := CloneExpr(cond.Y)
+	if err != nil {
+		return nil, false, err
+	}
 	guard := &BinaryExpr{
 		Op: cond.Op,
 		X: &BinaryExpr{Op: Plus,
 			X: &Ident{Name: iv, Line: s.Line},
 			Y: &IntLit{Value: int64(k-1) * step, Line: s.Line}},
-		Y:    CloneExpr(cond.Y),
+		Y:    limCp,
 		Line: s.Line,
 	}
 	unrolled := &BlockStmt{}
 	for j := 0; j < k; j++ {
-		body := CloneBlock(s.Body)
+		body, err := CloneBlock(s.Body)
+		if err != nil {
+			return nil, false, err
+		}
 		if j > 0 {
 			renameDecls(body, j)
 		}
@@ -130,11 +155,22 @@ func unrollFor(s *ForStmt, k int) (Stmt, bool) {
 	}
 	out.Stmts = append(out.Stmts, &WhileStmt{Cond: guard, Body: unrolled, Line: s.Line})
 	// Remainder loop preserves the original per-iteration test.
-	rem := CloneBlock(s.Body)
+	rem, err := CloneBlock(s.Body)
+	if err != nil {
+		return nil, false, err
+	}
 	renameDecls(rem, k)
-	rem.Stmts = append(rem.Stmts, CloneStmt(s.Post))
-	out.Stmts = append(out.Stmts, &WhileStmt{Cond: CloneExpr(s.Cond), Body: rem, Line: s.Line})
-	return out, true
+	postCp, err := CloneStmt(s.Post)
+	if err != nil {
+		return nil, false, err
+	}
+	rem.Stmts = append(rem.Stmts, postCp)
+	condCp, err := CloneExpr(s.Cond)
+	if err != nil {
+		return nil, false, err
+	}
+	out.Stmts = append(out.Stmts, &WhileStmt{Cond: condCp, Body: rem, Line: s.Line})
+	return out, true, nil
 }
 
 // constStep matches "i + c" or "c + i" and returns c.
