@@ -1,0 +1,243 @@
+// Command hbchaos runs the chaos campaign: every selected workload is
+// compiled under the selected phase orderings and swept through a
+// deterministic family of fault plans (forced mispredicts, operand
+// network jitter, delayed commits, fetch stalls), asserting that the
+// timing simulator's architectural state — result, output stream, and
+// memory image — stays byte-identical to the functional simulator no
+// matter which faults land.
+//
+//	hbchaos [-seed 1] [-plans 32] [-workloads micro] [-orderings all]
+//	        [-gen 0] [-j 0] [-v]
+//
+// A violation prints the offending plan (reproducible from its seed)
+// and exits 1. A clean campaign exits 0 with a one-line summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/chaos"
+	"repro/internal/compiler"
+	"repro/internal/fuzz"
+	"repro/internal/lang"
+	"repro/internal/sim/timing"
+	"repro/internal/workloads"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed for the fault-plan sweep")
+	nplans := flag.Int("plans", 32, "fault plans per program")
+	wl := flag.String("workloads", "micro",
+		"workload set: micro, spec, all, or comma-separated names")
+	orderingsFlag := flag.String("orderings", "all",
+		"comma-separated phase orderings to check (or 'all')")
+	gen := flag.Int("gen", 0, "additionally sweep N fuzz-generated programs")
+	jobs := flag.Int("j", 0, "parallel workers (0: GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "log every program swept")
+	flag.Parse()
+
+	orderings, err := parseOrderings(*orderingsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbchaos:", err)
+		os.Exit(2)
+	}
+	set, err := selectWorkloads(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbchaos:", err)
+		os.Exit(2)
+	}
+	plans := chaos.Plans(*seed, *nplans)
+
+	// A unit is one (program, ordering) sweep.
+	type unit struct {
+		label   string
+		src     string
+		opts    compiler.Options
+		argVecs [][]int64
+	}
+	var units []unit
+	for _, w := range set {
+		for _, ord := range orderings {
+			units = append(units, unit{
+				label: w.Name + "/" + string(ord),
+				src:   w.Source,
+				opts: compiler.Options{
+					Ordering:    ord,
+					ProfileFn:   "main",
+					ProfileArgs: w.TrainArgs,
+				},
+				argVecs: [][]int64{w.TrainArgs},
+			})
+		}
+	}
+	for i := 0; i < *gen; i++ {
+		s := *seed + int64(i)
+		src := fuzz.Generate(s, fuzz.GenConfig{})
+		vecs, err := genArgVecs(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbchaos: generated seed %d: %v\n", s, err)
+			os.Exit(2)
+		}
+		for _, ord := range orderings {
+			units = append(units, unit{
+				label:   fmt.Sprintf("gen-%d/%s", s, ord),
+				src:     src,
+				opts:    compiler.Options{Ordering: ord},
+				argVecs: vecs,
+			})
+		}
+	}
+
+	w := *jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(units) {
+		w = len(units)
+	}
+
+	type outcome struct {
+		label string
+		rep   chaos.Report
+		err   error
+	}
+	outcomes := make([]outcome, len(units))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				u := units[i]
+				rep, err := chaos.CheckSource(u.src, u.opts, u.argVecs, plans, timing.Config{})
+				outcomes[i] = outcome{u.label, rep, err}
+				if *verbose {
+					status := "ok"
+					switch {
+					case err != nil:
+						status = "compile error"
+					case rep.Skipped:
+						status = "skipped: " + rep.SkipReason
+					case !rep.OK():
+						status = fmt.Sprintf("%d VIOLATIONS", len(rep.Violations))
+					}
+					fmt.Fprintf(os.Stderr, "hbchaos: %s: %s (%d runs, %d faults, %d watchdog trips)\n",
+						u.label, status, rep.Runs, rep.Faults, rep.WatchdogTrips)
+				}
+			}
+		}()
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var runs, trips, skipped, compileErrs int
+	var faults, baseCycles, faultCycles int64
+	var violations []string
+	for _, o := range outcomes {
+		if o.err != nil {
+			// A compile failure is not a chaos violation (the fuzz
+			// campaign owns compiler robustness); report and move on.
+			compileErrs++
+			fmt.Fprintf(os.Stderr, "hbchaos: %s: compile: %v\n", o.label, o.err)
+			continue
+		}
+		if o.rep.Skipped {
+			skipped++
+			continue
+		}
+		runs += o.rep.Runs
+		trips += o.rep.WatchdogTrips
+		faults += o.rep.Faults
+		baseCycles += o.rep.BaseCycles
+		faultCycles += o.rep.FaultCycles
+		for _, v := range o.rep.Violations {
+			violations = append(violations, fmt.Sprintf("%s: %s", o.label, v))
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("hbchaos: VIOLATION %s\n", v)
+		}
+		fmt.Printf("hbchaos: %d violations across %d sweeps\n", len(violations), len(units))
+		os.Exit(1)
+	}
+	slowdown := 0.0
+	if baseCycles > 0 {
+		slowdown = float64(faultCycles) / float64(baseCycles*int64(max(1, *nplans)))
+	}
+	fmt.Printf("hbchaos: OK — %d sweeps, %d runs, %d faults injected, %d watchdog trips, %d skipped, %d compile errors, mean fault slowdown %.2fx (seed %d, %d plans)\n",
+		len(units), runs, faults, trips, skipped, compileErrs, slowdown, *seed, *nplans)
+}
+
+// genArgVecs parses a generated program and builds small argument
+// vectors matched to main's arity.
+func genArgVecs(src string) ([][]int64, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	arity := 0
+	for _, fn := range f.Funcs {
+		if fn.Name == "main" {
+			arity = len(fn.Params)
+		}
+	}
+	base := [][]int64{{0, 0, 0}, {1, 2, 3}, {7, 13, 5}}
+	out := make([][]int64, len(base))
+	for i, b := range base {
+		v := make([]int64, arity)
+		copy(v, b)
+		out[i] = v
+	}
+	return out, nil
+}
+
+func selectWorkloads(s string) ([]workloads.Workload, error) {
+	switch s {
+	case "micro":
+		return workloads.Micro(), nil
+	case "spec":
+		return workloads.Spec(), nil
+	case "all":
+		return append(workloads.Micro(), workloads.Spec()...), nil
+	}
+	all := append(workloads.Micro(), workloads.Spec()...)
+	var out []workloads.Workload
+	for _, part := range strings.Split(s, ",") {
+		w, err := workloads.ByName(all, strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *w)
+	}
+	return out, nil
+}
+
+func parseOrderings(s string) ([]compiler.Ordering, error) {
+	if s == "all" || s == "" {
+		return compiler.Orderings, nil
+	}
+	known := map[string]compiler.Ordering{}
+	for _, o := range compiler.Orderings {
+		known[string(o)] = o
+	}
+	var out []compiler.Ordering
+	for _, part := range strings.Split(s, ",") {
+		o, ok := known[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown ordering %q (have %v)", part, compiler.Orderings)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

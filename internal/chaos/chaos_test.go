@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/timing"
+	"repro/internal/workloads"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+const branchySrc = `
+func main(n) {
+  var s = 0;
+  var x = 12345;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 48271) % 2147483647;
+    if ((x >> 5) & 1) { s = s + i; } else { s = s - 1; }
+    if (i % 7 == 0) { print(s); }
+  }
+  return s;
+}`
+
+func TestPlanIsDeterministic(t *testing.T) {
+	prog := mustCompile(t, branchySrc)
+	p := DefaultPlan(42)
+	run := func() (int64, int64, timing.FaultCounts) {
+		m := timing.New(ir.CloneProgram(prog), timing.DefaultConfig())
+		m.Inject = p
+		v, err := m.Run("main", 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, m.Stats.Cycles, m.Stats.Faults
+	}
+	v1, c1, f1 := run()
+	v2, c2, f2 := run()
+	if v1 != v2 || c1 != c2 || f1 != f2 {
+		t.Fatalf("same plan, same program, different runs: (%d,%d,%+v) vs (%d,%d,%+v)",
+			v1, c1, f1, v2, c2, f2)
+	}
+	if f1.Total() == 0 {
+		t.Fatal("default plan injected nothing on a 200-iteration branchy loop")
+	}
+}
+
+func TestFaultsDelayButNeverCorrupt(t *testing.T) {
+	prog := mustCompile(t, branchySrc)
+	base := timing.New(ir.CloneProgram(prog), timing.DefaultConfig())
+	wantV, err := base.Run("main", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.New(ir.CloneProgram(prog), timing.DefaultConfig())
+	m.Inject = DefaultPlan(7)
+	gotV, err := m.Run("main", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV != wantV {
+		t.Fatalf("faults changed the result: %d vs %d", gotV, wantV)
+	}
+	if !reflect.DeepEqual(m.Output, base.Output) {
+		t.Fatal("faults changed the output stream")
+	}
+	if !reflect.DeepEqual(m.Mem, base.Mem) {
+		t.Fatal("faults changed memory")
+	}
+	if f := m.Stats.Faults; f.Total() == 0 {
+		t.Fatal("no faults landed")
+	}
+	if m.Stats.Cycles <= base.Stats.Cycles {
+		t.Fatalf("injected delays must cost cycles: %d <= %d", m.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestPlansSweepIsDeterministicAndActive(t *testing.T) {
+	a := Plans(3, 16)
+	b := Plans(3, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Plans is not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("want 16 plans, got %d", len(a))
+	}
+	for i, p := range a {
+		if !p.Active() {
+			t.Fatalf("plan %d (%s) injects nothing", i, p.Name())
+		}
+	}
+	if reflect.DeepEqual(Plans(3, 16), Plans(4, 16)) {
+		t.Fatal("different seeds produced identical sweeps")
+	}
+}
+
+func TestCheckCleanOnWorkloads(t *testing.T) {
+	plans := Plans(1, 6)
+	for _, name := range []string{"vadd", "sieve", "parser_1"} {
+		w, err := workloads.ByName(workloads.Micro(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := compiler.Options{Ordering: compiler.OrderIUPO1, ProfileFn: "main", ProfileArgs: w.TrainArgs}
+		rep, err := CheckSource(w.Source, opts, [][]int64{w.TrainArgs}, plans, timing.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Skipped {
+			t.Fatalf("%s: skipped: %s", name, rep.SkipReason)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s: invariant violations: %v", name, rep.Violations)
+		}
+		if rep.Faults == 0 {
+			t.Fatalf("%s: sweep injected no faults", name)
+		}
+	}
+}
+
+func TestDivergesCatchesEachField(t *testing.T) {
+	want := reference{result: 5, output: []int64{1, 2}, mem: []int64{9, 9}}
+	cases := []struct {
+		name    string
+		result  int64
+		output  []int64
+		mem     []int64
+		divergd bool
+	}{
+		{"identical", 5, []int64{1, 2}, []int64{9, 9}, false},
+		{"result", 6, []int64{1, 2}, []int64{9, 9}, true},
+		{"output-len", 5, []int64{1}, []int64{9, 9}, true},
+		{"output-val", 5, []int64{1, 3}, []int64{9, 9}, true},
+		{"mem-len", 5, []int64{1, 2}, []int64{9}, true},
+		{"mem-val", 5, []int64{1, 2}, []int64{9, 8}, true},
+	}
+	for _, c := range cases {
+		if got := diverges(want, c.result, c.output, c.mem) != ""; got != c.divergd {
+			t.Errorf("%s: diverges = %v, want %v", c.name, got, c.divergd)
+		}
+	}
+}
+
+func TestCheckRecordsWatchdogTripsWithoutViolations(t *testing.T) {
+	// A plan whose commit delays exceed the watchdog gap stalls a
+	// block past the bound: the run aborts with a StuckReport and the
+	// oracle records a trip, not a violation.
+	cfg := timing.DefaultConfig()
+	cfg.WatchdogGap = 500
+	hot := Plan{Seed: 9, CommitDelayRate: rateScale, MaxCommitDelay: 4000}
+	prog := mustCompile(t, branchySrc)
+	rep := Check(prog, "main", [][]int64{{50}}, []Plan{hot}, cfg)
+	if rep.WatchdogTrips == 0 {
+		t.Fatalf("watchdog never tripped: %+v", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("watchdog trips must not be violations: %v", rep.Violations)
+	}
+}

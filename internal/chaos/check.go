@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/sim/functional"
+	"repro/internal/sim/timing"
+)
+
+// Violation is one broken invariant: a fault plan under which the
+// timing simulator's architectural state diverged from the functional
+// reference (or a timing-model sanity bound failed).
+type Violation struct {
+	// Plan is the offending schedule ("" for the fault-free baseline).
+	Plan string `json:"plan"`
+	// Args is the argument vector of the diverging run.
+	Args []int64 `json:"args"`
+	// Detail says what diverged.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s args=%v: %s", v.Plan, v.Args, v.Detail)
+}
+
+// Report is the oracle's verdict on one program under a plan sweep.
+type Report struct {
+	// Label names the program checked (workload name or seed).
+	Label string `json:"label"`
+	// Plans and Runs count the sweep: Runs = plans x arg vectors that
+	// actually executed.
+	Plans int `json:"plans"`
+	Runs  int `json:"runs"`
+	// Faults is the total number of faults injected across all runs.
+	Faults int64 `json:"faults"`
+	// WatchdogTrips counts fault runs aborted by the simulator
+	// watchdog (not violations: an over-aggressive plan may stall a
+	// block past the gap; architecture state was never committed).
+	WatchdogTrips int `json:"watchdog_trips,omitempty"`
+	// BaseCycles sums the fault-free timing runs' cycles; FaultCycles
+	// sums the fault runs' (for "how much did chaos hurt" reporting).
+	BaseCycles  int64 `json:"base_cycles"`
+	FaultCycles int64 `json:"fault_cycles"`
+	// Skipped marks a program the oracle could not judge (the
+	// functional reference itself failed, e.g. fuel exhaustion).
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	// Violations lists every broken invariant. Empty means the
+	// program is chaos-clean under this sweep.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// OK reports whether the sweep found no violations.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// reference is one functional run's architectural state.
+type reference struct {
+	result int64
+	output []int64
+	mem    []int64
+}
+
+// Check sweeps one compiled program: for every argument vector it
+// runs the functional simulator once as the architectural reference
+// and the timing simulator once fault-free and once per plan,
+// asserting that result, output stream, and the memory image are
+// identical in every timing run — faults may move cycles, never
+// state. cfg parameterizes the timing model (zero value: defaults).
+func Check(prog *ir.Program, entry string, argVecs [][]int64, plans []Plan, cfg timing.Config) Report {
+	rep := Report{Plans: len(plans)}
+	if cfg.IssueWidth == 0 {
+		cfg = timing.DefaultConfig()
+	}
+	for _, args := range argVecs {
+		fm := functional.New(prog)
+		wantV, err := fm.Run(entry, args...)
+		if err != nil {
+			rep.Skipped = true
+			rep.SkipReason = fmt.Sprintf("functional reference: %v", err)
+			return rep
+		}
+		want := reference{result: wantV, output: fm.Output, mem: fm.Mem}
+
+		// Fault-free timing baseline: it must already agree with the
+		// functional reference (this is the simulators' standing
+		// differential contract, re-checked here because every chaos
+		// comparison builds on it).
+		base := timing.New(prog, cfg)
+		v, err := base.Run(entry, args...)
+		if err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Args: args, Detail: fmt.Sprintf("fault-free timing run failed: %v", err)})
+			continue
+		}
+		rep.Runs++
+		rep.BaseCycles += base.Stats.Cycles
+		if d := diverges(want, v, base.Output, base.Mem); d != "" {
+			rep.Violations = append(rep.Violations, Violation{
+				Args: args, Detail: "fault-free timing vs functional: " + d})
+			continue
+		}
+
+		for _, p := range plans {
+			m := timing.New(prog, cfg)
+			m.Inject = p
+			v, err := m.Run(entry, args...)
+			rep.Faults += m.Stats.Faults.Total()
+			rep.FaultCycles += m.Stats.Cycles
+			if err != nil {
+				if errors.Is(err, timing.ErrWatchdog) {
+					rep.WatchdogTrips++
+					continue
+				}
+				rep.Violations = append(rep.Violations, Violation{
+					Plan: p.Name(), Args: args,
+					Detail: fmt.Sprintf("run failed under faults: %v", err)})
+				continue
+			}
+			rep.Runs++
+			if d := diverges(want, v, m.Output, m.Mem); d != "" {
+				rep.Violations = append(rep.Violations, Violation{
+					Plan: p.Name(), Args: args, Detail: d})
+				continue
+			}
+			// Timing sanity: every fault is a pure delay, so injected
+			// faults can never make the program finish earlier.
+			if m.Stats.Faults.Total() > 0 && m.Stats.Cycles < base.Stats.Cycles {
+				rep.Violations = append(rep.Violations, Violation{
+					Plan: p.Name(), Args: args,
+					Detail: fmt.Sprintf("cycles decreased under faults: %d < %d (faults are pure delays)",
+						m.Stats.Cycles, base.Stats.Cycles)})
+			}
+		}
+	}
+	return rep
+}
+
+// diverges compares one timing run's architectural state against the
+// functional reference and describes the first difference ("" if
+// identical). Both machines execute the same compiled program, so the
+// memory images have equal size and are compared in full.
+func diverges(want reference, result int64, output, mem []int64) string {
+	if result != want.result {
+		return fmt.Sprintf("result %d, functional %d", result, want.result)
+	}
+	if len(output) != len(want.output) {
+		return fmt.Sprintf("printed %d values, functional %d", len(output), len(want.output))
+	}
+	for i := range want.output {
+		if output[i] != want.output[i] {
+			return fmt.Sprintf("output[%d] = %d, functional %d", i, output[i], want.output[i])
+		}
+	}
+	if len(mem) != len(want.mem) {
+		return fmt.Sprintf("memory image %d words, functional %d", len(mem), len(want.mem))
+	}
+	for i := range want.mem {
+		if mem[i] != want.mem[i] {
+			return fmt.Sprintf("mem[%d] = %d, functional %d", i, mem[i], want.mem[i])
+		}
+	}
+	return ""
+}
+
+// CheckSource compiles src under opts and sweeps the result with
+// Check. The entry function is main; argVecs nil defaults to the
+// single empty vector adapted to main's arity by the caller.
+func CheckSource(src string, opts compiler.Options, argVecs [][]int64, plans []Plan, cfg timing.Config) (Report, error) {
+	res, err := compiler.Compile(src, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	return Check(res.Prog, "main", argVecs, plans, cfg), nil
+}

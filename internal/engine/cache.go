@@ -19,8 +19,9 @@ import (
 
 // keySchema versions the cache-key layout; bump it whenever the
 // payload below or the semantics of a hashed field change, so stale
-// on-disk entries from older builds can never be returned.
-const keySchema = 2
+// on-disk entries from older builds can never be returned. Schema 3:
+// timing.Config gained the MaxCycles/WatchdogGap watchdog bounds.
+const keySchema = 3
 
 // keyPayload is the canonical serialization hashed into a job's cache
 // key: everything that determines the job's Metrics, and nothing that

@@ -1,23 +1,39 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sim/timing"
 )
 
-// ErrTimeout reports that a job exceeded its deadline. The job's
-// goroutine is abandoned (the compiler and simulators are not
-// preemptible), so a diverging convergence loop costs one worker slot
-// of CPU but never wedges the table.
+// ErrTimeout reports that a job exceeded its deadline. The deadline's
+// context is threaded into the timing simulator, which polls it
+// between blocks and exits cooperatively; a non-preemptible phase
+// (the compiler) still costs one worker slot until it returns, but
+// never wedges the table.
 var ErrTimeout = errors.New("engine: job timed out")
 
 // ErrPanic marks a job whose body panicked; the full panic value and
 // stack are in the wrapping error (errors.Is(err, ErrPanic)).
 var ErrPanic = errors.New("engine: job panicked")
+
+// ErrQuarantined marks a job the engine refused to run because the
+// same job already tripped the simulator watchdog twice (once plus
+// its retry). A quarantined job is structurally stuck — retrying it
+// forever would burn a worker slot on every submission — so further
+// submissions fail fast with this error until a new engine is built.
+var ErrQuarantined = errors.New("engine: job quarantined after repeated watchdog trips")
+
+// watchdogQuarantineThreshold is the number of watchdog trips (across
+// attempts and submissions) after which a job is quarantined.
+const watchdogQuarantineThreshold = 2
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -30,10 +46,19 @@ type Config struct {
 	// Tracer, when non-nil, records per-job events and counters.
 	Tracer *Tracer
 	// RetryBackoff is the pause before a failed job's single retry.
-	// A job is retried once after a panic or timeout (transient-looking
-	// failures); ordinary compile/sim errors are not retried. Zero
-	// means the 50ms default; negative disables retries entirely.
+	// A job is retried once after a panic, timeout, or watchdog trip
+	// (transient-looking failures); ordinary compile/sim errors are
+	// not retried. Zero means the 50ms default; negative disables
+	// retries entirely.
 	RetryBackoff time.Duration
+	// Chaos, when non-nil, arms deterministic fault injection on
+	// every timing-simulator job: the plan's faults (forced
+	// mispredicts, operand-network jitter, commit delays, fetch
+	// stalls) perturb cycle counts but never architectural state.
+	// Chaos jobs bypass the result cache, since their metrics depend
+	// on the plan as well as the job content; injected-fault counts
+	// and watchdog trips are recorded in the trace.
+	Chaos *chaos.Plan
 }
 
 // defaultRetryBackoff is the pause before the one retry of a panicked
@@ -41,17 +66,26 @@ type Config struct {
 const defaultRetryBackoff = 50 * time.Millisecond
 
 // Engine runs compile+simulate jobs on a bounded worker pool with
-// content-addressed caching, panic isolation, and deadlines.
+// content-addressed caching, panic isolation, deadlines, optional
+// chaos fault injection, and watchdog quarantine.
 type Engine struct {
 	workers int
 	cache   *Cache
 	timeout time.Duration
 	tracer  *Tracer
 	backoff time.Duration // < 0: retries disabled
+	chaos   *chaos.Plan
+
+	// Watchdog quarantine: jobs (by content key) that tripped the
+	// simulator watchdog watchdogQuarantineThreshold times are
+	// refused instead of re-run.
+	qmu         sync.Mutex
+	wdTrips     map[string]int
+	quarantined map[string]bool
 }
 
 // New builds an engine. The zero Config is valid: GOMAXPROCS workers,
-// fresh in-memory cache, no timeout, no tracer.
+// fresh in-memory cache, no timeout, no tracer, no chaos.
 func New(cfg Config) *Engine {
 	w := cfg.Workers
 	if w <= 0 {
@@ -65,7 +99,11 @@ func New(cfg Config) *Engine {
 	if backoff == 0 {
 		backoff = defaultRetryBackoff
 	}
-	return &Engine{workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer, backoff: backoff}
+	return &Engine{
+		workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer,
+		backoff: backoff, chaos: cfg.Chaos,
+		wdTrips: map[string]int{}, quarantined: map[string]bool{},
+	}
 }
 
 // Default returns an engine with the zero configuration.
@@ -86,24 +124,36 @@ type Result struct {
 	Key      string
 	CacheHit bool
 	// Metrics and Err are the job's outcome. Err is non-nil for
-	// compile/sim failures, panics (wrapped with the stack), and
-	// timeouts (errors.Is(err, ErrTimeout)).
+	// compile/sim failures, panics (wrapped with the stack), timeouts
+	// (errors.Is(err, ErrTimeout)), watchdog aborts (errors.Is(err,
+	// timing.ErrWatchdog)), and quarantine refusals (errors.Is(err,
+	// ErrQuarantined)). On a watchdog abort, Metrics still carries
+	// the partial run's counters (cycles to the last commit, faults
+	// injected).
 	Metrics Metrics
 	Err     error
 	// WallNS is the job's wall-clock time in this run (near zero on
 	// a cache hit).
 	WallNS int64
-	// Retries counts re-executions after a panic or timeout (0 or 1).
-	// A flaky cell that succeeded on retry has Retries == 1, Err ==
-	// nil; the trace records it so flakiness stays visible.
+	// Retries counts re-executions after a panic, timeout, or
+	// watchdog trip (0 or 1). A flaky cell that succeeded on retry
+	// has Retries == 1, Err == nil; the trace records it so
+	// flakiness stays visible.
 	Retries int
+	// WatchdogTrips counts simulator-watchdog aborts across this
+	// submission's attempts; Quarantined reports that the job is now
+	// (or already was) quarantined.
+	WatchdogTrips int
+	Quarantined   bool
 }
 
 // Run executes the jobs with bounded parallelism and returns results
 // in submission order: results[i] corresponds to jobs[i] no matter
 // how the pool scheduled them, so aggregation over results is
 // deterministic. Per-job failures land in Result.Err; Run itself
-// never fails.
+// never fails. Trace events are flushed per job as each one finishes
+// (not at the end of the run), so a hung or timed-out cell is already
+// visible in the trace while the rest of the table is still running.
 func (e *Engine) Run(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
@@ -129,11 +179,6 @@ func (e *Engine) Run(jobs []Job) []Result {
 	}
 	close(idx)
 	wg.Wait()
-	if e.tracer != nil {
-		for i := range results {
-			e.tracer.observe(&results[i])
-		}
-	}
 	return results
 }
 
@@ -144,12 +189,72 @@ func RunJob(j Job) (Metrics, error) {
 	return r.Metrics, r.Err
 }
 
+// quarantineKey identifies a job for watchdog bookkeeping: its
+// content key when it has one, the display labels otherwise.
+func quarantineKey(j Job, key string) string {
+	if key != "" {
+		return key
+	}
+	return j.Workload + "\x00" + j.Config
+}
+
+// isQuarantined reports whether the job was quarantined earlier.
+func (e *Engine) isQuarantined(qkey string) bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return e.quarantined[qkey]
+}
+
+// recordWatchdogTrips accumulates trips for the job and quarantines
+// it once it crosses the threshold, reporting the new quarantine
+// state.
+func (e *Engine) recordWatchdogTrips(qkey string, trips int) bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.wdTrips[qkey] += trips
+	if e.wdTrips[qkey] >= watchdogQuarantineThreshold {
+		e.quarantined[qkey] = true
+	}
+	return e.quarantined[qkey]
+}
+
+// injector returns the fault injector for the job, or nil when chaos
+// is off. Only timing-simulator jobs have injection points.
+func (e *Engine) injector(j Job) timing.Injector {
+	if e.chaos == nil || j.Sim != SimTiming || j.Fn != nil {
+		return nil
+	}
+	return *e.chaos
+}
+
 func (e *Engine) runOne(i int, j Job) Result {
 	r := Result{Job: j, Index: i}
 	start := time.Now()
+	finish := func() Result {
+		r.WallNS = time.Since(start).Nanoseconds()
+		if e.tracer != nil {
+			e.tracer.observe(&r)
+		}
+		return r
+	}
+
 	key, kerr := Key(j)
 	if kerr == nil {
 		r.Key = key
+	}
+	qkey := quarantineKey(j, r.Key)
+	if e.isQuarantined(qkey) {
+		r.Quarantined = true
+		r.Err = fmt.Errorf("engine: job %s/%s: %w", j.Workload, j.Config, ErrQuarantined)
+		return finish()
+	}
+
+	inj := e.injector(j)
+	// Chaos perturbs the metrics, so chaos runs neither read nor
+	// write the cache: a cached fault-free cycle count must never be
+	// returned for a chaos job, and vice versa.
+	cacheable := kerr == nil && inj == nil
+	if cacheable {
 		if m, ok := e.cache.Get(key); ok {
 			// Labels are display-only and excluded from the key, so
 			// restamp them from this job rather than trusting the
@@ -157,39 +262,57 @@ func (e *Engine) runOne(i int, j Job) Result {
 			m.Workload, m.Config, m.Sim = j.Workload, j.Config, j.Sim
 			r.Metrics = m
 			r.CacheHit = true
-			r.WallNS = time.Since(start).Nanoseconds()
-			return r
+			return finish()
 		}
 	}
 	timeout := j.Timeout
 	if timeout == 0 {
 		timeout = e.timeout
 	}
-	r.Metrics, r.Err = runIsolated(j, timeout)
-	// Panics and timeouts may be environmental (resource pressure, a
-	// scheduling hiccup): retry once after a short backoff before
-	// giving the row up. Deterministic failures just fail again.
+	r.Metrics, r.Err = runIsolated(j, timeout, inj)
+	if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
+		r.WatchdogTrips++
+	}
+	// Panics, timeouts, and watchdog trips may be environmental
+	// (resource pressure, a scheduling hiccup, an over-aggressive
+	// fault plan): retry once after a short backoff before giving the
+	// row up. Deterministic failures just fail again — and a job
+	// whose retry also trips the watchdog is quarantined rather than
+	// resubmitted forever.
 	if e.backoff >= 0 && r.Err != nil &&
-		(errors.Is(r.Err, ErrTimeout) || errors.Is(r.Err, ErrPanic)) {
+		(errors.Is(r.Err, ErrTimeout) || errors.Is(r.Err, ErrPanic) || errors.Is(r.Err, timing.ErrWatchdog)) {
 		time.Sleep(e.backoff)
 		r.Retries = 1
-		r.Metrics, r.Err = runIsolated(j, timeout)
+		r.Metrics, r.Err = runIsolated(j, timeout, inj)
+		if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
+			r.WatchdogTrips++
+		}
 	}
-	if r.Err == nil && kerr == nil {
+	if r.WatchdogTrips > 0 {
+		r.Quarantined = e.recordWatchdogTrips(qkey, r.WatchdogTrips)
+	}
+	if r.Err == nil && cacheable {
 		e.cache.Put(key, r.Metrics)
 	}
-	r.WallNS = time.Since(start).Nanoseconds()
-	return r
+	return finish()
 }
 
 // runIsolated executes the job body in its own goroutine so that a
-// panic is converted to an error and a deadline can be enforced,
-// keeping one bad cell from taking down the whole table.
-func runIsolated(j Job, timeout time.Duration) (Metrics, error) {
+// panic is converted to an error and a deadline can be enforced. The
+// deadline context is passed to the body, where the timing simulator
+// polls it between blocks: on timeout the simulator exits
+// cooperatively instead of the goroutine being abandoned mid-run.
+func runIsolated(j Job, timeout time.Duration, inj timing.Injector) (Metrics, error) {
 	type outcome struct {
 		m   Metrics
 		err error
 	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
 	done := make(chan outcome, 1)
 	go func() {
 		defer func() {
@@ -198,20 +321,22 @@ func runIsolated(j Job, timeout time.Duration) (Metrics, error) {
 					ErrPanic, j.Workload, j.Config, rec, debug.Stack())}
 			}
 		}()
-		m, err := j.execute()
+		m, err := j.execute(ctx, inj)
 		done <- outcome{m, err}
 	}()
-	if timeout <= 0 {
-		o := <-done
-		return o.m, o.err
+	timeoutErr := func() error {
+		return fmt.Errorf("engine: job %s/%s exceeded %s: %w", j.Workload, j.Config, timeout, ErrTimeout)
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case o := <-done:
+		// The body may have observed the cancellation itself and
+		// returned the context's error; normalize it to ErrTimeout so
+		// callers classify it the same either way.
+		if o.err != nil && errors.Is(o.err, context.DeadlineExceeded) {
+			return o.m, timeoutErr()
+		}
 		return o.m, o.err
-	case <-timer.C:
-		return Metrics{}, fmt.Errorf("engine: job %s/%s exceeded %s: %w",
-			j.Workload, j.Config, timeout, ErrTimeout)
+	case <-ctx.Done():
+		return Metrics{}, timeoutErr()
 	}
 }

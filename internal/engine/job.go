@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,6 +97,11 @@ type Metrics struct {
 	CacheAccesses int64 `json:"cache_accesses,omitempty"`
 	CacheMisses   int64 `json:"cache_misses,omitempty"`
 
+	// FaultsInjected counts chaos faults landed in the timing run
+	// (non-zero only when the engine ran the job under a chaos plan;
+	// see Config.Chaos).
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+
 	// Functional-simulator counters (SimFunctional only).
 	Branches int64 `json:"branches,omitempty"`
 	Loads    int64 `json:"loads,omitempty"`
@@ -133,7 +139,12 @@ func (j Job) simConfig() timing.Config {
 
 // execute runs the job body: compile, then simulate. Errors carry the
 // workload/config labels exactly as the serial harness formatted them.
-func (j Job) execute() (Metrics, error) {
+// ctx is the engine deadline (the timing simulator polls it between
+// blocks); inj, when non-nil, is the chaos fault injector for timing
+// runs. On a simulator error the returned Metrics still carry the
+// partial run's counters, so a watchdog abort's cycles-so-far and
+// injected-fault counts reach the trace.
+func (j Job) execute(ctx context.Context, inj timing.Injector) (Metrics, error) {
 	if j.Fn != nil {
 		return j.Fn()
 	}
@@ -154,10 +165,8 @@ func (j Job) execute() (Metrics, error) {
 	case SimNone:
 	case SimTiming:
 		mach := timing.New(res.Prog, j.simConfig())
-		v, err := mach.Run(j.entry(), j.Args...)
-		if err != nil {
-			return m, fmt.Errorf("%s/%s: %w", j.Workload, j.Config, err)
-		}
+		mach.Inject = inj
+		v, rerr := mach.RunContext(ctx, j.entry(), j.Args...)
 		s := mach.Stats
 		m.Result = v
 		m.Output = mach.Output
@@ -171,6 +180,11 @@ func (j Job) execute() (Metrics, error) {
 		m.CacheAccesses = s.CacheAccesses
 		m.CacheMisses = s.CacheMisses
 		m.Calls = s.Calls
+		m.FaultsInjected = s.Faults.Total()
+		if rerr != nil {
+			m.SimNS = time.Since(t1).Nanoseconds()
+			return m, fmt.Errorf("%s/%s: %w", j.Workload, j.Config, rerr)
+		}
 	case SimFunctional:
 		mach := functional.New(res.Prog)
 		v, err := mach.Run(j.entry(), j.Args...)

@@ -17,9 +17,17 @@ type Event struct {
 	Key      string  `json:"key,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
 	Error    string  `json:"error,omitempty"`
-	// Retries counts re-executions after a panic or timeout; a flaky
-	// cell that recovered has Retries > 0 with no Error.
+	// Retries counts re-executions after a panic, timeout, or
+	// watchdog trip; a flaky cell that recovered has Retries > 0 with
+	// no Error.
 	Retries int `json:"retries,omitempty"`
+	// Faults counts chaos faults injected into the run (Config.Chaos);
+	// WatchdogTrips counts simulator-watchdog aborts across the job's
+	// attempts; Quarantined marks a job the engine has quarantined
+	// (this submission may have been refused outright).
+	Faults        int64 `json:"faults,omitempty"`
+	WatchdogTrips int   `json:"watchdog_trips,omitempty"`
+	Quarantined   bool  `json:"quarantined,omitempty"`
 	// Wall/Compile/SimMS are this run's per-phase wall times in
 	// milliseconds (compile and sim are near zero on a cache hit).
 	WallMS    float64 `json:"wall_ms"`
@@ -39,6 +47,11 @@ type Summary struct {
 	CacheHits   int     `json:"cache_hits"`
 	CacheMisses int     `json:"cache_misses"`
 	HitRate     float64 `json:"hit_rate"`
+	// Faults sums injected chaos faults; WatchdogTrips and
+	// Quarantined count watchdog aborts and quarantined jobs.
+	Faults        int64 `json:"faults,omitempty"`
+	WatchdogTrips int   `json:"watchdog_trips,omitempty"`
+	Quarantined   int   `json:"quarantined,omitempty"`
 	// WallMS sums per-job wall time (i.e. aggregate work, not
 	// elapsed time — with J workers elapsed is roughly WallMS/J).
 	WallMS    float64 `json:"wall_ms"`
@@ -56,23 +69,27 @@ type Tracer struct {
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
 
-// observe appends the result's event. Called by the engine in
-// submission order, so traces are deterministic per run.
+// observe appends the result's event. Called by each worker as its
+// job finishes (so a hung cell is visible mid-run); Events() sorts by
+// submission index, which keeps serialized traces deterministic.
 func (t *Tracer) observe(r *Result) {
 	m := r.Metrics
 	ev := Event{
-		Index:     r.Index,
-		Workload:  r.Job.Workload,
-		Config:    r.Job.Config,
-		Sim:       r.Job.Sim,
-		Key:       r.Key,
-		CacheHit:  r.CacheHit,
-		Retries:   r.Retries,
-		WallMS:    float64(r.WallNS) / 1e6,
-		CompileMS: float64(m.CompileNS) / 1e6,
-		SimMS:     float64(m.SimNS) / 1e6,
-		Cycles:    m.Cycles,
-		Blocks:    m.Blocks,
+		Index:         r.Index,
+		Workload:      r.Job.Workload,
+		Config:        r.Job.Config,
+		Sim:           r.Job.Sim,
+		Key:           r.Key,
+		CacheHit:      r.CacheHit,
+		Retries:       r.Retries,
+		Faults:        m.FaultsInjected,
+		WatchdogTrips: r.WatchdogTrips,
+		Quarantined:   r.Quarantined,
+		WallMS:        float64(r.WallNS) / 1e6,
+		CompileMS:     float64(m.CompileNS) / 1e6,
+		SimMS:         float64(m.SimNS) / 1e6,
+		Cycles:        m.Cycles,
+		Blocks:        m.Blocks,
 	}
 	if r.CacheHit {
 		// A hit did not pay the entry's recorded phase times.
@@ -107,6 +124,11 @@ func (t *Tracer) Summary() Summary {
 			s.Errors++
 		}
 		s.Retries += ev.Retries
+		s.Faults += ev.Faults
+		s.WatchdogTrips += ev.WatchdogTrips
+		if ev.Quarantined {
+			s.Quarantined++
+		}
 		if ev.CacheHit {
 			s.CacheHits++
 		} else {

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/chaos"
+	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/workloads"
@@ -165,6 +167,42 @@ func TestTableSharedEngineCache(t *testing.T) {
 	}
 	if st := eng.Cache().Stats(); st.Hits == 0 {
 		t.Fatalf("rerun did not hit the cache: %+v", st)
+	}
+}
+
+// TestTableCellsChaosClean runs a slice of table jobs under a chaos
+// plan and checks that the cells are chaos-clean: injected faults move
+// cycle counts but never the architectural results the tables derive
+// from.
+func TestTableCellsChaosClean(t *testing.T) {
+	ws := pick(t, workloads.Micro(), "vadd", "sieve")
+	var jobs []engine.Job
+	for i := range ws {
+		jobs = append(jobs,
+			NewJob(&ws[i], compiler.Options{Ordering: compiler.OrderIUPO1}, engine.SimTiming))
+	}
+	clean := engine.New(engine.Config{}).Run(jobs)
+	plan := chaos.DefaultPlan(1)
+	faulty := engine.New(engine.Config{Chaos: &plan}).Run(jobs)
+
+	var faults int64
+	for i := range jobs {
+		c, f := clean[i], faulty[i]
+		if c.Err != nil || f.Err != nil {
+			t.Fatalf("%s: clean err %v, chaos err %v", jobs[i].Workload, c.Err, f.Err)
+		}
+		if f.Metrics.Result != c.Metrics.Result ||
+			!reflect.DeepEqual(f.Metrics.Output, c.Metrics.Output) {
+			t.Errorf("%s: chaos changed architectural state", jobs[i].Workload)
+		}
+		if f.Metrics.Cycles < c.Metrics.Cycles {
+			t.Errorf("%s: faults shortened the run: %d < %d cycles",
+				jobs[i].Workload, f.Metrics.Cycles, c.Metrics.Cycles)
+		}
+		faults += f.Metrics.FaultsInjected
+	}
+	if faults == 0 {
+		t.Error("chaos plan injected nothing across the table cells")
 	}
 }
 

@@ -74,6 +74,25 @@ type Machine struct {
 // ErrFuel reports that execution exceeded MaxSteps.
 var ErrFuel = errors.New("functional: instruction budget exhausted")
 
+// StuckError is the structured form of a step-budget exhaustion: it
+// names the block the machine was executing when the budget ran out,
+// so a livelocked program aborts with a diagnostic instead of a bare
+// sentinel. errors.Is(err, ErrFuel) remains true.
+type StuckError struct {
+	// Fn and Block name the executing block; Steps is the budget that
+	// was exhausted.
+	Fn    string
+	Block string
+	Steps int64
+}
+
+func (e *StuckError) Error() string {
+	return fmt.Sprintf("functional: %s.%s: instruction budget exhausted after %d steps", e.Fn, e.Block, e.Steps)
+}
+
+// Unwrap makes errors.Is(err, ErrFuel) true.
+func (e *StuckError) Unwrap() error { return ErrFuel }
+
 // New creates a machine with the program's initial memory image.
 func New(prog *ir.Program) *Machine {
 	m := &Machine{Prog: prog}
@@ -159,7 +178,7 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, regs []int64) (next *ir
 	exits := 0
 	for _, in := range b.Instrs {
 		if m.steps >= maxSteps {
-			return nil, false, 0, ErrFuel
+			return nil, false, 0, &StuckError{Fn: f.Name, Block: b.Name, Steps: maxSteps}
 		}
 		m.steps++
 		if in.Predicated() {

@@ -191,6 +191,15 @@ func TestFuelExhaustion(t *testing.T) {
 	if !errors.Is(err, ErrFuel) {
 		t.Fatalf("want ErrFuel, got %v", err)
 	}
+	// The budget error is structured: it names where execution was when
+	// the fuel ran out.
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StuckError, got %T", err)
+	}
+	if se.Fn != "spin" || se.Block != "entry" || se.Steps != 1000 {
+		t.Fatalf("stuck report = %+v", se)
+	}
 }
 
 func TestCallDepthLimit(t *testing.T) {

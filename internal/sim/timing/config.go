@@ -61,6 +61,50 @@ type Config struct {
 	HistoryLen int
 	// MaxSteps bounds executed instructions (0 = 500M).
 	MaxSteps int64
+	// MaxCycles bounds the simulated cycle count: a run whose commit
+	// clock passes it aborts with a *StuckError (ErrWatchdog) instead
+	// of spinning (0 = DefaultMaxCycles, far above any workload;
+	// negative disables the bound).
+	MaxCycles int64
+	// WatchdogGap is the commit-progress watchdog: if a block's commit
+	// lands more than WatchdogGap cycles after the previous commit —
+	// no instruction committed for that long — the run aborts with a
+	// *StuckError naming the in-flight blocks and the stalled
+	// instructions' missing operands (0 = DefaultWatchdogGap; negative
+	// disables the watchdog).
+	WatchdogGap int64
+}
+
+// DefaultMaxCycles and DefaultWatchdogGap are the bounds applied when
+// the corresponding Config field is zero. Both sit orders of
+// magnitude above anything a legitimate workload produces: the
+// longest table runs commit every few thousand cycles and finish
+// under a billion.
+const (
+	DefaultMaxCycles   = 1_000_000_000_000
+	DefaultWatchdogGap = 1_000_000
+)
+
+// maxCycles returns the effective cycle budget (0 = unlimited).
+func (c Config) maxCycles() int64 {
+	if c.MaxCycles == 0 {
+		return DefaultMaxCycles
+	}
+	if c.MaxCycles < 0 {
+		return 0
+	}
+	return c.MaxCycles
+}
+
+// watchdogGap returns the effective commit-gap bound (0 = disabled).
+func (c Config) watchdogGap() int64 {
+	if c.WatchdogGap == 0 {
+		return DefaultWatchdogGap
+	}
+	if c.WatchdogGap < 0 {
+		return 0
+	}
+	return c.WatchdogGap
 }
 
 // DefaultConfig returns the standard model parameters.

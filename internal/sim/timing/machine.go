@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,6 +29,9 @@ type Stats struct {
 	CacheMisses   int64
 	// Calls counts function invocations.
 	Calls int64
+	// Faults tallies injected faults when an Injector is attached
+	// (zero otherwise).
+	Faults FaultCounts
 }
 
 // MispredictRate returns mispredicts per multi-exit lookup.
@@ -50,6 +54,11 @@ type Machine struct {
 	Output []int64
 	Stats  Stats
 
+	// Inject, when non-nil, receives the model's fault-injection
+	// queries (see Injector). Faults perturb timing only; the
+	// architectural results are unchanged by construction.
+	Inject Injector
+
 	pred *predictor
 	// cache holds one tag per line; -1 means invalid.
 	cache []int64
@@ -58,7 +67,15 @@ type Machine struct {
 	prevFetchStart int64
 	lastCommitDone int64
 	nextFetchMin   int64
-	inflight       []int64 // commitDone times of recent blocks
+	inflight       []inflightBlock // recent blocks and their commit cycles
+
+	// recs records the current block's executed instructions for the
+	// watchdog's StuckReport (reused across blocks).
+	recs []instrRec
+
+	// ctx, when non-nil, is polled between blocks so a canceled run
+	// returns instead of simulating on (see RunContext).
+	ctx context.Context
 
 	steps int64
 	depth int
@@ -89,7 +106,10 @@ func New(prog *ir.Program, cfg Config) *Machine {
 }
 
 // Run simulates the named function and returns its result value.
-// Stats.Cycles holds the total cycle count afterwards.
+// Stats.Cycles holds the total cycle count afterwards. On error the
+// counters still reflect the partial run (cycles up to the last
+// commit, faults injected so far), so a watchdog abort remains
+// observable in the stats.
 func (m *Machine) Run(fn string, args ...int64) (int64, error) {
 	f := m.Prog.Func(fn)
 	if f == nil {
@@ -100,13 +120,38 @@ func (m *Machine) Run(fn string, args ...int64) (int64, error) {
 	}
 	times := make([]int64, len(args))
 	v, _, err := m.call(f, args, times)
-	if err != nil {
-		return 0, err
-	}
 	m.Stats.Cycles = m.lastCommitDone
 	m.Stats.ExitLookups = m.pred.Lookups
 	m.Stats.Mispredicts = m.pred.Mispredicts
+	if err != nil {
+		return 0, err
+	}
 	return v, nil
+}
+
+// RunContext is Run with cooperative cancellation: the machine polls
+// ctx between block executions and aborts with ctx's error once it is
+// done, so a driver's deadline stops the simulation instead of
+// abandoning it mid-flight.
+func (m *Machine) RunContext(ctx context.Context, fn string, args ...int64) (int64, error) {
+	m.ctx = ctx
+	defer func() { m.ctx = nil }()
+	return m.Run(fn, args...)
+}
+
+// inflightBlock is one entry of the speculation window.
+type inflightBlock struct {
+	commit    int64
+	fn, block string
+}
+
+// instrRec is the watchdog's per-instruction execution record.
+type instrRec struct {
+	index           int
+	op              ir.Op
+	dst             ir.Reg
+	waits           ir.Reg
+	ready, complete int64
 }
 
 // frame is a function activation: register values and readiness
@@ -154,6 +199,17 @@ type blockResult struct {
 
 func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult, error) {
 	cfg := m.Cfg
+	var res blockResult
+
+	// Cooperative cancellation: one cheap poll per block execution.
+	if m.ctx != nil {
+		select {
+		case <-m.ctx.Done():
+			return res, fmt.Errorf("timing: %s.%s: %w", f.Name, b.Name, m.ctx.Err())
+		default:
+		}
+	}
+	site := Site{Fn: f.Name, Block: b.Name, Seq: m.Stats.Blocks}
 
 	// Fetch/map: pipelined behind the previous block, bounded by the
 	// in-flight window, and delayed by a pending misprediction flush.
@@ -162,8 +218,16 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 		fetchStart = m.nextFetchMin
 	}
 	if n := len(m.inflight); cfg.MaxInflight > 0 && n >= cfg.MaxInflight {
-		if w := m.inflight[n-cfg.MaxInflight]; fetchStart < w {
+		if w := m.inflight[n-cfg.MaxInflight].commit; fetchStart < w {
 			fetchStart = w
+		}
+	}
+	// Injection point: a transient fetch/map stall.
+	if m.Inject != nil {
+		if d := m.Inject.FetchStall(site); d > 0 {
+			fetchStart += d
+			m.Stats.Faults.FetchStalls++
+			m.Stats.Faults.ExtraCycles += d
 		}
 	}
 	m.prevFetchStart = fetchStart
@@ -176,16 +240,18 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 	if maxSteps == 0 {
 		maxSteps = 500_000_000
 	}
+	watchGap, cycleBudget := cfg.watchdogGap(), cfg.maxCycles()
+	watching := watchGap > 0 || cycleBudget > 0
 
 	issueUsed := map[int64]int{}
 	blockDone := readyBase
-	var res blockResult
 	exitOutcome := 0
 	exitResolve := int64(0)
 	exits := 0
 	var buf []ir.Reg
+	m.recs = m.recs[:0]
 
-	for _, in := range b.Instrs {
+	for idx, in := range b.Instrs {
 		if m.steps >= maxSteps {
 			return res, ErrFuel
 		}
@@ -198,11 +264,15 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 		m.Stats.Executed++
 
 		// Dataflow readiness: operands (including the predicate).
+		// waits remembers the operand that resolved last — the one the
+		// instruction is "waiting on" in a StuckReport.
 		ready := readyBase
+		waits := ir.NoReg
 		buf = in.Uses(buf)
 		for _, r := range buf {
 			if t := fr.time[r]; t > ready {
 				ready = t
+				waits = r
 			}
 		}
 		// Issue-width contention within the block.
@@ -211,6 +281,17 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 			issueAt++
 		}
 		issueUsed[issueAt]++
+
+		// Injection point: operand-network hop jitter on the result's
+		// route to its consumers.
+		routing := int64(cfg.RoutingLat)
+		if m.Inject != nil {
+			if d := m.Inject.HopJitter(site, idx); d > 0 {
+				routing += d
+				m.Stats.Faults.HopJitters++
+				m.Stats.Faults.ExtraCycles += d
+			}
+		}
 
 		var complete int64
 		switch in.Op {
@@ -234,7 +315,7 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 			}
 			complete = issueAt + int64(cfg.LoadLat) + m.cacheAccess(addr)
 			fr.val[in.Dst] = v
-			fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+			fr.time[in.Dst] = complete + routing
 		case ir.OpStore:
 			addr := fr.val[in.A] + in.Imm
 			if addr < 0 || addr >= int64(len(m.Mem)) {
@@ -281,8 +362,12 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 			complete = t + 1
 			if in.Dst.Valid() {
 				fr.val[in.Dst] = v
-				fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+				fr.time[in.Dst] = complete + routing
 			}
+			// A call's subtree rebuilt the record buffer; start the
+			// current block's records over (the call dominates any
+			// earlier stall anyway).
+			m.recs = m.recs[:0]
 		case ir.OpNullW:
 			// Output production only: completes when the predicate
 			// allows it; the value is unchanged.
@@ -292,7 +377,7 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 				return res, fmt.Errorf("timing: cannot execute %s", in.Op)
 			}
 			fr.val[in.Dst] = v
-			fr.time[in.Dst] = complete + int64(cfg.RoutingLat)
+			fr.time[in.Dst] = complete + routing
 		}
 		if exits > 1 {
 			return res, fmt.Errorf("timing: %s.%s fired multiple exits", f.Name, b.Name)
@@ -300,21 +385,54 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 		if complete > blockDone {
 			blockDone = complete
 		}
+		if watching {
+			m.recs = append(m.recs, instrRec{
+				index: idx, op: in.Op, dst: in.Def(),
+				waits: waits, ready: ready, complete: complete,
+			})
+		}
 	}
 	if exits == 0 {
 		return res, fmt.Errorf("timing: %s.%s produced no exit", f.Name, b.Name)
 	}
 
 	// Commit: in order, after all outputs are produced.
+	prevCommit := m.lastCommitDone
 	commitDone := blockDone
-	if m.lastCommitDone > commitDone {
-		commitDone = m.lastCommitDone
+	if prevCommit > commitDone {
+		commitDone = prevCommit
 	}
 	commitDone += int64(cfg.CommitOverhead)
+	// Injection point: a delayed block commit.
+	if m.Inject != nil {
+		if d := m.Inject.CommitDelay(site); d > 0 {
+			commitDone += d
+			m.Stats.Faults.CommitDelays++
+			m.Stats.Faults.ExtraCycles += d
+		}
+	}
+	// Progress watchdog: a commit landing WatchdogGap cycles after its
+	// predecessor, or past the cycle budget, aborts with a structured
+	// report instead of letting a livelocked model spin.
+	if watchGap > 0 && commitDone-prevCommit > watchGap {
+		return res, m.stuck(fmt.Sprintf("no commit for %d cycles (bound %d)", commitDone-prevCommit, watchGap),
+			f, b, site.Seq, prevCommit, commitDone)
+	}
+	if cycleBudget > 0 && commitDone > cycleBudget {
+		return res, m.stuck(fmt.Sprintf("cycle budget %d exceeded", cycleBudget),
+			f, b, site.Seq, prevCommit, commitDone)
+	}
 	m.lastCommitDone = commitDone
-	m.inflight = append(m.inflight, commitDone)
-	if len(m.inflight) > 64 {
-		m.inflight = append([]int64(nil), m.inflight[len(m.inflight)-cfg.MaxInflight:]...)
+	m.inflight = append(m.inflight, inflightBlock{commit: commitDone, fn: f.Name, block: b.Name})
+	// Trim the history to the window the fetch throttle (and the
+	// watchdog report) can still reference. An unbounded window keeps a
+	// report-only tail.
+	keep := cfg.MaxInflight
+	if keep <= 0 {
+		keep = 64
+	}
+	if len(m.inflight) > keep+64 {
+		m.inflight = append(m.inflight[:0:0], m.inflight[len(m.inflight)-keep:]...)
 	}
 
 	if m.TraceBlock == f.Name+"."+b.Name && m.traced < 8 {
@@ -326,7 +444,15 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 	// Next-block prediction (returns and calls are handled by
 	// RAS/direct-target hardware and treated as predicted).
 	if exitOutcome != retOutcome {
-		if correct := m.pred.observe(f.Name, b, exitOutcome); !correct {
+		correct := m.pred.observe(f.Name, b, exitOutcome)
+		// Injection point: force a flush as if the prediction had been
+		// wrong. The predictor's tables still trained on the actual
+		// outcome above, so only timing is perturbed.
+		if m.Inject != nil && m.Inject.ForceMispredict(site) {
+			correct = false
+			m.Stats.Faults.ForcedMispredicts++
+		}
+		if !correct {
 			m.nextFetchMin = exitResolve + int64(cfg.MispredictPenalty)
 			m.Stats.Flushes++
 		}

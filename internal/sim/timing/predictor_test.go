@@ -1,9 +1,11 @@
 package timing
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/ir"
+	"repro/internal/sim/functional"
 )
 
 func twoExitBlock() (*ir.Function, *ir.Block, *ir.Block, *ir.Block) {
@@ -91,6 +93,134 @@ func TestPredictorCountsLookups(t *testing.T) {
 	}
 	if p.Mispredicts == 0 || p.Mispredicts > 8 {
 		t.Fatalf("Mispredicts = %d", p.Mispredicts)
+	}
+}
+
+// mispredictEvery forces a flush on every predicted exit and injects
+// nothing else.
+type mispredictEvery struct{}
+
+func (mispredictEvery) FetchStall(Site) int64     { return 0 }
+func (mispredictEvery) HopJitter(Site, int) int64 { return 0 }
+func (mispredictEvery) CommitDelay(Site) int64    { return 0 }
+func (mispredictEvery) ForceMispredict(Site) bool { return true }
+
+// chaoticSrc branches on an LCG bit, which the predictor cannot fully
+// learn, so flushes occur naturally with deep speculation.
+const chaoticSrc = `
+func main(n) {
+  var s = 0;
+  var x = 98765;
+  for (var i = 0; i < n; i = i + 1) {
+    x = (x * 48271) % 2147483647;
+    if ((x >> 7) & 1) { s = s + x % 13; } else { s = s - i; }
+  }
+  return s;
+}`
+
+// TestPredictorEdgeCases is the issue's edge-case table: flushes with
+// a full 8-deep speculation window, back-to-back forced mispredicts,
+// and predictor statistics after a watchdog abort.
+func TestPredictorEdgeCases(t *testing.T) {
+	want := func(t *testing.T, prog *ir.Program, n int64) int64 {
+		t.Helper()
+		v, _, _, err := functional.RunProgram(ir.CloneProgram(prog), "main", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	cases := []struct {
+		name  string
+		src   string
+		n     int64
+		tune  func(cfg *Config, m *Machine)
+		check func(t *testing.T, m *Machine, v int64, err error, ref int64)
+	}{
+		{
+			name: "flush with 8 blocks in flight",
+			src:  chaoticSrc, n: 400,
+			tune: func(cfg *Config, m *Machine) { cfg.MaxInflight = 8 },
+			check: func(t *testing.T, m *Machine, v int64, err error, ref int64) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != ref {
+					t.Errorf("result %d != functional %d", v, ref)
+				}
+				if m.Stats.Flushes == 0 {
+					t.Error("chaotic branch flushed nothing")
+				}
+				if m.Stats.Mispredicts > m.Stats.ExitLookups {
+					t.Errorf("mispredicts %d exceed lookups %d", m.Stats.Mispredicts, m.Stats.ExitLookups)
+				}
+			},
+		},
+		{
+			name: "back-to-back forced mispredicts",
+			src:  loopSrc, n: 100,
+			tune: func(cfg *Config, m *Machine) { m.Inject = mispredictEvery{} },
+			check: func(t *testing.T, m *Machine, v int64, err error, ref int64) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != ref {
+					t.Errorf("result %d != functional %d", v, ref)
+				}
+				// Every predicted (non-return) exit flushed: forced
+				// flushes count on top of the predictor's own misses.
+				if m.Stats.Flushes < m.Stats.Blocks-1 {
+					t.Errorf("flushes %d < predicted exits ~%d", m.Stats.Flushes, m.Stats.Blocks-1)
+				}
+				if m.Stats.Faults.ForcedMispredicts == 0 {
+					t.Error("forced mispredicts not counted")
+				}
+				// The predictor's own tables trained normally: its miss
+				// count stays bounded by its lookups.
+				if m.Stats.Mispredicts > m.Stats.ExitLookups {
+					t.Errorf("mispredicts %d exceed lookups %d", m.Stats.Mispredicts, m.Stats.ExitLookups)
+				}
+			},
+		},
+		{
+			name: "predictor state after watchdog abort",
+			src:  chaoticSrc, n: 400,
+			tune: func(cfg *Config, m *Machine) {
+				m.Inject = commitDelayAt{seq: 9, delay: DefaultWatchdogGap + 1}
+			},
+			check: func(t *testing.T, m *Machine, v int64, err error, ref int64) {
+				if !errors.Is(err, ErrWatchdog) {
+					t.Fatalf("err = %v, want watchdog", err)
+				}
+				// The abort must leave coherent partial statistics: the
+				// predictor observed one exit per executed block at most,
+				// and misses never exceed lookups.
+				if m.Stats.ExitLookups > m.Stats.Blocks {
+					t.Errorf("lookups %d exceed blocks %d", m.Stats.ExitLookups, m.Stats.Blocks)
+				}
+				if m.Stats.Mispredicts > m.Stats.ExitLookups {
+					t.Errorf("mispredicts %d exceed lookups %d", m.Stats.Mispredicts, m.Stats.ExitLookups)
+				}
+				// A fresh machine over the same program is unaffected by
+				// the aborted one's predictor state.
+				m2 := New(ir.CloneProgram(m.Prog), DefaultConfig())
+				if v2, err2 := m2.Run("main", 400); err2 != nil || v2 != ref {
+					t.Errorf("fresh run after abort: v=%d err=%v want %d", v2, err2, ref)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := compile(t, tc.src)
+			ref := want(t, prog, tc.n)
+			cfg := DefaultConfig()
+			m := New(ir.CloneProgram(prog), cfg)
+			tc.tune(&cfg, m)
+			m.Cfg = cfg
+			v, err := m.Run("main", tc.n)
+			tc.check(t, m, v, err, ref)
+		})
 	}
 }
 

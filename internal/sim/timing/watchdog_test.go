@@ -1,0 +1,174 @@
+package timing
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// commitDelayAt is a hand-built fault: one enormous commit delay at a
+// single block execution, every other site clean.
+type commitDelayAt struct {
+	seq   int64
+	delay int64
+}
+
+func (c commitDelayAt) FetchStall(Site) int64     { return 0 }
+func (c commitDelayAt) HopJitter(Site, int) int64 { return 0 }
+func (c commitDelayAt) ForceMispredict(Site) bool { return false }
+func (c commitDelayAt) CommitDelay(s Site) int64 {
+	if s.Seq == c.seq {
+		return c.delay
+	}
+	return 0
+}
+
+// TestWatchdogFiresWithStuckReport is the issue's acceptance test: a
+// hand-built commit-delay fault makes the watchdog fire, and the
+// StuckReport names the stuck instruction and the operand it waits on.
+func TestWatchdogFiresWithStuckReport(t *testing.T) {
+	// Straight-line dependence chain in the entry block: each result
+	// feeds the next, so the report's stalled instructions have a
+	// concrete operand to blame.
+	prog := compile(t, `
+func main(n) {
+  var a = n * 3;
+  var b = a * a;
+  var c = b + n;
+  return c;
+}`)
+	m := New(prog, DefaultConfig())
+	m.Inject = commitDelayAt{seq: 0, delay: DefaultWatchdogGap + 5}
+	_, err := m.Run("main", 7)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %T does not unwrap to *StuckError", err)
+	}
+	rep := se.Report
+	if rep.Fn != "main" || rep.Block == "" {
+		t.Errorf("report does not name the stuck block: %+v", rep)
+	}
+	if !strings.Contains(rep.Reason, "no commit for") {
+		t.Errorf("reason = %q, want a commit-gap reason", rep.Reason)
+	}
+	if len(rep.Stalled) == 0 {
+		t.Fatal("report lists no stalled instructions")
+	}
+	// At least one stalled instruction must name the operand register
+	// it was waiting on (the dependence chain guarantees one exists).
+	named := false
+	for _, in := range rep.Stalled {
+		if in.WaitsOn != "-" {
+			named = true
+			if !strings.HasPrefix(in.WaitsOn, "v") {
+				t.Errorf("WaitsOn = %q, want a register name", in.WaitsOn)
+			}
+			if in.CompleteAt <= rep.PrevCommit {
+				t.Errorf("stalled instruction completed before the last commit: %+v", in)
+			}
+		}
+	}
+	if !named {
+		t.Errorf("no stalled instruction names its missing operand:\n%s", rep.Format())
+	}
+	// The one-line and multi-line renderings both carry the location.
+	if !strings.Contains(rep.String(), "main.") || !strings.Contains(rep.Format(), "stalled:") {
+		t.Errorf("report renderings incomplete:\n%s\n%s", rep.String(), rep.Format())
+	}
+	// Counters survive the abort (the partial run stays observable).
+	if m.Stats.Blocks == 0 {
+		t.Error("stats not recorded on watchdog abort")
+	}
+	if m.Stats.Faults.CommitDelays != 1 {
+		t.Errorf("CommitDelays = %d, want 1", m.Stats.Faults.CommitDelays)
+	}
+}
+
+// TestWatchdogReportsInFlightBlocks delays a mid-loop commit so the
+// report's in-flight window is populated.
+func TestWatchdogReportsInFlightBlocks(t *testing.T) {
+	prog := compile(t, loopSrc)
+	m := New(prog, DefaultConfig())
+	m.Inject = commitDelayAt{seq: 6, delay: DefaultWatchdogGap + 1}
+	_, err := m.Run("main", 50)
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StuckError", err)
+	}
+	rep := se.Report
+	if rep.BlockSeq != 6 {
+		t.Errorf("BlockSeq = %d, want 6", rep.BlockSeq)
+	}
+	if len(rep.InFlight) == 0 {
+		t.Errorf("no in-flight blocks reported:\n%s", rep.Format())
+	}
+	for _, b := range rep.InFlight {
+		if b.Fn == "" || b.Block == "" {
+			t.Errorf("anonymous in-flight block: %+v", b)
+		}
+	}
+}
+
+// TestWatchdogDisabled: a negative gap turns the watchdog off, so the
+// same fault only slows the run down.
+func TestWatchdogDisabled(t *testing.T) {
+	prog := compile(t, loopSrc)
+	cfg := DefaultConfig()
+	cfg.WatchdogGap = -1
+	m := New(prog, cfg)
+	m.Inject = commitDelayAt{seq: 0, delay: DefaultWatchdogGap + 5}
+	v, err := m.Run("main", 10)
+	if err != nil {
+		t.Fatalf("disabled watchdog still aborted: %v", err)
+	}
+	if v != 45 {
+		t.Errorf("result = %d, want 45", v)
+	}
+	if m.Stats.Cycles <= DefaultWatchdogGap {
+		t.Errorf("cycles = %d, expected the injected delay to land", m.Stats.Cycles)
+	}
+}
+
+// TestMaxCyclesBudget: the cycle budget bounds a structurally slow run
+// with the budget-exceeded reason.
+func TestMaxCyclesBudget(t *testing.T) {
+	prog := compile(t, loopSrc)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 200
+	m := New(prog, cfg)
+	_, err := m.Run("main", 1_000_000)
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	var se *StuckError
+	if !errors.As(err, &se) {
+		t.Fatal("budget error is not a *StuckError")
+	}
+	if !strings.Contains(se.Report.Reason, "cycle budget") {
+		t.Errorf("reason = %q, want a cycle-budget reason", se.Report.Reason)
+	}
+}
+
+// TestRunContextCancellation: a cancelled context aborts the run
+// cooperatively between blocks.
+func TestRunContextCancellation(t *testing.T) {
+	prog := compile(t, loopSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(prog, DefaultConfig())
+	_, err := m.RunContext(ctx, "main", 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The machine is reusable afterwards with a live context.
+	m2 := New(ir.CloneProgram(m.Prog), DefaultConfig())
+	if v, err := m2.RunContext(context.Background(), "main", 10); err != nil || v != 45 {
+		t.Fatalf("fresh run after cancellation: v=%d err=%v", v, err)
+	}
+}
