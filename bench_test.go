@@ -2,6 +2,7 @@ package repro
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/compiler"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/lang"
+	"repro/internal/perf"
 	"repro/internal/sim/timing"
 	"repro/internal/trips"
 	"repro/internal/workloads"
@@ -40,6 +42,7 @@ func subset(b *testing.B, names []string) []workloads.Workload {
 func benchTable1(b *testing.B, workers int) {
 	b.Helper()
 	ws := subset(b, benchSubset)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng := engine.New(engine.Config{Workers: workers})
 		t1, err := experiments.Table1Engine(eng, ws)
@@ -69,6 +72,7 @@ func BenchmarkTable1Cached(b *testing.B) {
 	if _, err := experiments.Table1Engine(eng, ws); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t1, err := experiments.Table1Engine(eng, ws)
@@ -87,6 +91,7 @@ func BenchmarkTable1Cached(b *testing.B) {
 // the benchmark subset through a fresh engine per iteration.
 func BenchmarkTable2(b *testing.B) {
 	ws := subset(b, benchSubset)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t2, err := experiments.Table2Engine(engine.Default(), ws)
 		if err != nil {
@@ -108,6 +113,7 @@ func BenchmarkTable3(b *testing.B) {
 		}
 		ws = append(ws, *w)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t3, err := experiments.Table3Engine(engine.Default(), ws)
 		if err != nil {
@@ -121,6 +127,7 @@ func BenchmarkTable3(b *testing.B) {
 // from a Table 1 run on the benchmark subset.
 func BenchmarkFigure7(b *testing.B) {
 	ws := subset(b, benchSubset)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t1, err := experiments.Table1Engine(engine.Default(), ws)
 		if err != nil {
@@ -131,50 +138,26 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
-// BenchmarkFormation measures raw convergent-formation throughput on
-// one representative kernel (compile only, no simulation).
-func BenchmarkFormation(b *testing.B) {
-	w, err := workloads.ByName(workloads.Micro(), "gzip_1")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := compiler.Compile(w.Source, compiler.Options{
-			Ordering:    compiler.OrderIUPO1,
-			ProfileFn:   "main",
-			ProfileArgs: w.TrainArgs,
-		}); err != nil {
-			b.Fatal(err)
+// perfGroup runs the internal/perf registry entries under the given
+// prefix as sub-benchmarks, so regressions localize to a phase.
+// cmd/hbbench runs the exact same bodies for the CI bench-gate.
+func perfGroup(b *testing.B, prefix string) {
+	for _, s := range perf.Specs() {
+		if strings.HasPrefix(s.Name, prefix) {
+			b.Run(strings.TrimPrefix(s.Name, prefix), s.Fn)
 		}
 	}
 }
 
-// BenchmarkCycleSim measures the cycle-level simulator's throughput.
-func BenchmarkCycleSim(b *testing.B) {
-	w, err := workloads.ByName(workloads.Micro(), "matrix_1")
-	if err != nil {
-		b.Fatal(err)
-	}
-	res, err := compiler.Compile(w.Source, compiler.Options{
-		Ordering:    compiler.OrderIUPO1,
-		ProfileFn:   "main",
-		ProfileArgs: w.TrainArgs,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	var instrs int64
-	for i := 0; i < b.N; i++ {
-		m := timing.New(ir.CloneProgram(res.Prog), timing.DefaultConfig())
-		if _, err := m.Run("main", w.Args...); err != nil {
-			b.Fatal(err)
-		}
-		instrs += m.Stats.Executed
-	}
-	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
-}
+// BenchmarkFormation measures raw convergent-formation throughput on
+// one representative kernel (compile only, no simulation), split by
+// pipeline phase; Full is the historical whole-pipeline measurement.
+func BenchmarkFormation(b *testing.B) { perfGroup(b, "Formation/") }
+
+// BenchmarkCycleSim measures the cycle-level simulator's throughput:
+// per-cell setup (Clone), the historical cold-run measurement
+// (ColdRun), and the zero-allocation steady state (WarmRun).
+func BenchmarkCycleSim(b *testing.B) { perfGroup(b, "CycleSim/") }
 
 // BenchmarkFunctionalSim measures the functional simulator's
 // throughput.
@@ -187,6 +170,7 @@ func BenchmarkFunctionalSim(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var instrs int64
 	for i := 0; i < b.N; i++ {
@@ -231,6 +215,7 @@ func ablationCycles(b *testing.B, mutate func(*compiler.Options)) int64 {
 // BenchmarkAblationChaining measures the benefit of cross-layer
 // speculative rename chaining (Config.NoChain off vs on).
 func BenchmarkAblationChaining(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		on := ablationCycles(b, nil)
 		off := ablationCycles(b, func(o *compiler.Options) { o.CoreTweaks.NoChain = true })
@@ -244,6 +229,7 @@ func BenchmarkAblationChaining(b *testing.B) {
 // fully convergent formation vs the same loop with unroll/peel
 // disabled (classical incremental if-conversion).
 func BenchmarkAblationHeadDup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		on := ablationCycles(b, nil)
 		off := ablationCycles(b, func(o *compiler.Options) { o.CoreTweaks.NoHeadDup = true })

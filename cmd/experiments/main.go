@@ -42,6 +42,7 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent compile+simulate jobs")
 	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory")
 	traceOut := flag.String("trace", "", "write a JSON execution trace to this file")
+	traceStream := flag.String("trace-stream", "", "stream per-job trace events to this file as NDJSON while running")
 	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none)")
 	flag.Parse()
 
@@ -52,6 +53,12 @@ func main() {
 		fail(err)
 	}
 	tracer := engine.NewTracer()
+	if *traceStream != "" {
+		f, err := os.Create(*traceStream)
+		fail(err)
+		defer f.Close()
+		tracer = engine.NewStreamTracer(f)
+	}
 	eng := engine.New(engine.Config{
 		Workers: *jobs,
 		Cache:   cache,

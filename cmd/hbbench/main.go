@@ -1,0 +1,92 @@
+// Command hbbench runs the repository's benchmark registry
+// (internal/perf) outside `go test`, emits a machine-readable report,
+// and optionally gates it against a committed baseline:
+//
+//	hbbench [-short] [-benchtime 2s] [-out BENCH_4.json]
+//	        [-compare BENCH_4.json] [-tol 0.25]
+//	        [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//
+// With -compare, the exit status is 1 when any benchmark exceeds its
+// allocation budget (exact — the steady state either allocates or it
+// does not) or regresses ns/op past the baseline by more than -tol
+// (generous by default, so wall-time noise does not flake CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	short := flag.Bool("short", false, "quick mode: 0.5s per benchmark instead of -benchtime")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark measurement time (testing -benchtime syntax)")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON report to gate against")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression vs the baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	testing.Init()
+	flag.Parse()
+
+	bt := *benchtime
+	if *short {
+		bt = "0.5s"
+	}
+	// testing.Benchmark reads the standard test flags; set the
+	// measurement time through the same knob `go test` uses.
+	fail(flag.Set("test.benchtime", bt))
+
+	stop, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	defer stop()
+
+	rep := perf.Collect(func(name string) {
+		fmt.Fprintf(os.Stderr, "hbbench: running %s\n", name)
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(rep))
+
+	if *compare == "" {
+		return
+	}
+	data, err := os.ReadFile(*compare)
+	fail(err)
+	var base perf.Report
+	fail(json.Unmarshal(data, &base))
+	if base.Schema != perf.Schema {
+		fail(fmt.Errorf("baseline %s has schema %q, want %q", *compare, base.Schema, perf.Schema))
+	}
+	violations, notes := perf.Compare(&rep, &base, *tol)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "hbbench: note:", n)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "hbbench: FAIL:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hbbench: gate passed (%d benchmarks vs %s, tol %.0f%%)\n",
+		len(rep.Results), *compare, 100**tol)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbbench:", err)
+		os.Exit(1)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ir"
+	"repro/internal/perf"
 	"repro/internal/policy"
 	"repro/internal/profile"
 	"repro/internal/sched"
@@ -44,6 +45,8 @@ func main() {
 	asm := flag.Bool("asm", false, "emit placed TRIPS-like assembly (fanout insertion + grid placement)")
 	quiet := flag.Bool("quiet", false, "suppress the IR listing")
 	jsonOut := flag.Bool("json", false, "emit the compile stats as a single JSON object on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -51,6 +54,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	defer stopProf()
 	src, err := os.ReadFile(flag.Arg(0))
 	fail(err)
 

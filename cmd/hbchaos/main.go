@@ -25,6 +25,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/fuzz"
 	"repro/internal/lang"
+	"repro/internal/perf"
 	"repro/internal/sim/timing"
 	"repro/internal/workloads"
 )
@@ -39,7 +40,16 @@ func main() {
 	gen := flag.Int("gen", 0, "additionally sweep N fuzz-generated programs")
 	jobs := flag.Int("j", 0, "parallel workers (0: GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log every program swept")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbchaos:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	orderings, err := parseOrderings(*orderingsFlag)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/engine"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -29,7 +30,13 @@ func main() {
 	train := flag.String("train", "", "comma-separated profiling args for main")
 	unroll := flag.Int("unroll", 4, "front-end for-loop unroll factor")
 	jsonOut := flag.Bool("json", false, "emit the metrics as a single JSON object on stdout")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	defer stopProf()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hbsim [flags] file.tl")

@@ -6,24 +6,66 @@ package analysis
 
 import "repro/internal/ir"
 
+// succLists returns per-block distinct-successor lists indexed by
+// block ID, all backed by one flat arena (capacity is the total branch
+// count, an upper bound on distinct successors, so the arena never
+// reallocates and the subslices stay valid).
+func succLists(f *ir.Function) [][]*ir.Block {
+	lists := make([][]*ir.Block, f.BlockIDBound())
+	total := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBr {
+				total++
+			}
+		}
+	}
+	arena := make([]*ir.Block, 0, total)
+	for _, b := range f.Blocks {
+		start := len(arena)
+		arena = b.SuccsAppend(arena)
+		lists[b.ID] = arena[start:len(arena):len(arena)]
+	}
+	return lists
+}
+
 // ReversePostorder returns the blocks reachable from f's entry in
 // reverse postorder of a depth-first traversal. Unreachable blocks are
 // omitted.
+//
+// The traversal is an explicit-stack DFS that visits successors in the
+// same order as the recursive formulation, so the returned order is
+// identical instruction-for-instruction to the original recursive
+// implementation.
 func ReversePostorder(f *ir.Function) []*ir.Block {
-	var order []*ir.Block
-	seen := map[*ir.Block]bool{}
-	var dfs func(b *ir.Block)
-	dfs = func(b *ir.Block) {
-		seen[b] = true
-		for _, s := range b.Succs() {
-			if !seen[s] {
-				dfs(s)
-			}
-		}
-		order = append(order, b)
+	e := f.Entry()
+	if e == nil {
+		return nil
 	}
-	if e := f.Entry(); e != nil {
-		dfs(e)
+	seen := make([]bool, f.BlockIDBound())
+	succs := succLists(f)
+	order := make([]*ir.Block, 0, len(f.Blocks))
+	type dfsFrame struct {
+		b *ir.Block
+		i int
+	}
+	stack := make([]dfsFrame, 0, len(f.Blocks))
+	seen[e.ID] = true
+	stack = append(stack, dfsFrame{b: e})
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		ss := succs[fr.b.ID]
+		if fr.i < len(ss) {
+			s := ss[fr.i]
+			fr.i++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, dfsFrame{b: s})
+			}
+			continue
+		}
+		order = append(order, fr.b)
+		stack = stack[:len(stack)-1]
 	}
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
@@ -43,16 +85,18 @@ func Postorder(f *ir.Function) []*ir.Block {
 // EdgeCount returns the number of distinct CFG edges (p, s) in f.
 func EdgeCount(f *ir.Function) int {
 	n := 0
+	var buf []*ir.Block
 	for _, b := range f.Blocks {
-		n += len(b.Succs())
+		buf = b.SuccsAppend(buf[:0])
+		n += len(buf)
 	}
 	return n
 }
 
 // Reachable returns the set of blocks reachable from the entry.
 func Reachable(f *ir.Function) map[*ir.Block]bool {
-	seen := map[*ir.Block]bool{}
-	var stack []*ir.Block
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	var stack, succs []*ir.Block
 	if e := f.Entry(); e != nil {
 		stack = append(stack, e)
 	}
@@ -63,7 +107,8 @@ func Reachable(f *ir.Function) map[*ir.Block]bool {
 			continue
 		}
 		seen[b] = true
-		for _, s := range b.Succs() {
+		succs = b.SuccsAppend(succs[:0])
+		for _, s := range succs {
 			if !seen[s] {
 				stack = append(stack, s)
 			}

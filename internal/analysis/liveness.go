@@ -1,6 +1,10 @@
 package analysis
 
-import "repro/internal/ir"
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
 
 // RegSet is a set of virtual registers implemented as a bitset.
 type RegSet []uint64
@@ -72,25 +76,20 @@ func (s RegSet) Count() int {
 
 // Members returns the registers in ascending order.
 func (s RegSet) Members() []ir.Reg {
-	var out []ir.Reg
+	return s.AppendMembers(nil)
+}
+
+// AppendMembers appends the registers in ascending order to buf
+// (which may be nil) and returns the extended slice. Hot callers pass
+// a reused buffer to avoid the per-call allocation of Members.
+func (s RegSet) AppendMembers(buf []ir.Reg) []ir.Reg {
 	for i, w := range s {
 		for w != 0 {
-			bit := w & -w
-			r := ir.Reg(i*64 + trailingZeros(bit))
-			out = append(out, r)
+			buf = append(buf, ir.Reg(i*64+bits.TrailingZeros64(w)))
 			w &= w - 1
 		}
 	}
-	return out
-}
-
-func trailingZeros(w uint64) int {
-	n := 0
-	for w&1 == 0 {
-		w >>= 1
-		n++
-	}
-	return n
+	return buf
 }
 
 // Liveness holds per-block live-in/live-out register sets.
@@ -112,16 +111,32 @@ type Liveness struct {
 // need.
 func ComputeLiveness(f *ir.Function) *Liveness {
 	n := f.NumRegs()
-	lv := &Liveness{
-		In:    map[*ir.Block]RegSet{},
-		Out:   map[*ir.Block]RegSet{},
-		UEVar: map[*ir.Block]RegSet{},
-		Kill:  map[*ir.Block]RegSet{},
-	}
 	order := Postorder(f)
+	lv := &Liveness{
+		In:    make(map[*ir.Block]RegSet, len(order)),
+		Out:   make(map[*ir.Block]RegSet, len(order)),
+		UEVar: make(map[*ir.Block]RegSet, len(order)),
+		Kill:  make(map[*ir.Block]RegSet, len(order)),
+	}
+	// All per-block sets (plus one temporary) come out of a single flat
+	// arena, and the fixed point runs over block-ID-indexed slices; the
+	// result maps are populated once after convergence.
+	words := (n + 63) / 64
+	arena := make([]uint64, (4*len(order)+1)*words)
+	take := func() RegSet {
+		s := RegSet(arena[:words:words])
+		arena = arena[words:]
+		return s
+	}
+	bound := f.BlockIDBound()
+	inS := make([]RegSet, bound)
+	outS := make([]RegSet, bound)
+	ueS := make([]RegSet, bound)
+	killS := make([]RegSet, bound)
+	succs := succLists(f)
+	var buf []ir.Reg
 	for _, b := range order {
-		ue, kill := NewRegSet(n), NewRegSet(n)
-		var buf []ir.Reg
+		ue, kill := take(), take()
 		for _, in := range b.Instrs {
 			buf = in.Uses(buf)
 			for _, r := range buf {
@@ -133,34 +148,39 @@ func ComputeLiveness(f *ir.Function) *Liveness {
 				kill.Add(d)
 			}
 		}
-		lv.UEVar[b] = ue
-		lv.Kill[b] = kill
-		lv.In[b] = NewRegSet(n)
-		lv.Out[b] = NewRegSet(n)
+		ueS[b.ID], killS[b.ID] = ue, kill
+		inS[b.ID], outS[b.ID] = take(), take()
 	}
+	tmp := take()
 	changed := true
 	for changed {
 		changed = false
 		for _, b := range order {
-			out := lv.Out[b]
-			for _, s := range b.Succs() {
-				if in, ok := lv.In[s]; ok {
+			out := outS[b.ID]
+			for _, s := range succs[b.ID] {
+				if in := inS[s.ID]; in != nil {
 					if out.UnionWith(in) {
 						changed = true
 					}
 				}
 			}
 			// in = UEVar ∪ (out − kill)
-			in := lv.In[b]
-			tmp := out.Copy()
+			copy(tmp, out)
+			ue, kill := ueS[b.ID], killS[b.ID]
 			for i := range tmp {
-				tmp[i] &^= lv.Kill[b][i]
-				tmp[i] |= lv.UEVar[b][i]
+				tmp[i] &^= kill[i]
+				tmp[i] |= ue[i]
 			}
-			if unionInto(in, tmp) {
+			if unionInto(inS[b.ID], tmp) {
 				changed = true
 			}
 		}
+	}
+	for _, b := range order {
+		lv.In[b] = inS[b.ID]
+		lv.Out[b] = outS[b.ID]
+		lv.UEVar[b] = ueS[b.ID]
+		lv.Kill[b] = killS[b.ID]
 	}
 	return lv
 }
@@ -180,13 +200,27 @@ func unionInto(dst, src RegSet) bool {
 // LiveOutWrites returns the registers written in b that are live out
 // of b — the block's register outputs in the TRIPS sense.
 func LiveOutWrites(b *ir.Block, lv *Liveness) []ir.Reg {
+	return LiveOutWritesAppend(b, lv, nil)
+}
+
+// LiveOutWritesAppend is LiveOutWrites appending into buf (which may
+// be nil), for callers reusing a buffer.
+func LiveOutWritesAppend(b *ir.Block, lv *Liveness, buf []ir.Reg) []ir.Reg {
 	out := lv.Out[b]
-	written := map[ir.Reg]bool{}
-	var res []ir.Reg
+	base := len(buf)
+	res := buf
 	for _, in := range b.Instrs {
-		if d := in.Def(); d.Valid() && out.Has(d) && !written[d] {
-			written[d] = true
-			res = append(res, d)
+		if d := in.Def(); d.Valid() && out.Has(d) {
+			dup := false
+			for _, r := range res[base:] {
+				if r == d {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				res = append(res, d)
+			}
 		}
 	}
 	return res

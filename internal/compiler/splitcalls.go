@@ -51,6 +51,7 @@ func SplitCallsFunction(f *ir.Function) int {
 			f.AdoptBlock(nb)
 			b.Instrs = append(b.Instrs[:idx+1:idx+1], &ir.Instr{Op: ir.OpBr,
 				Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Target: nb})
+			f.MarkDirty() // b.Instrs rewritten in place above
 			splits++
 			again = true
 		}

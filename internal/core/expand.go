@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/profile"
 )
@@ -32,7 +31,7 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 		return nil
 	}
 
-	loops := analysis.Loops(fo.f)
+	loops := fo.cache.Loops(fo.f)
 	ctx := &Context{F: fo.f, HB: hb, Prof: fo.cfg.Prof, Loops: loops, Cons: fo.cfg.Cons}
 	pol.Prepare(ctx)
 
@@ -82,7 +81,7 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 			if fo.cfg.SplitOversize && s != hb && !s.HasCall() &&
 				len(s.Instrs) > fo.cfg.Cons.MaxInstrs/4 {
 				if nb := fo.SplitOversizeCandidate(s); nb != nil {
-					loops = analysis.Loops(fo.f)
+					loops = fo.cache.Loops(fo.f)
 					ctx.Loops = loops
 					candidates = append(candidates, s)
 					_ = nb
@@ -97,7 +96,7 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 		// everything by stable ID and refresh analyses.
 		merges++
 		hb = fo.f.BlockByID(seedID)
-		loops = analysis.Loops(fo.f)
+		loops = fo.cache.Loops(fo.f)
 		ctx.F, ctx.HB, ctx.Loops = fo.f, hb, loops
 		// Stale candidate pointers refer to the previous clone:
 		// re-resolve, dropping blocks that no longer exist.
@@ -128,7 +127,7 @@ func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
 	done := map[int]bool{}
 	for {
 		seed := -1
-		for _, b := range analysis.ReversePostorder(fo.f) {
+		for _, b := range fo.cache.RPO(fo.f) {
 			if !done[b.ID] {
 				seed = b.ID
 				break

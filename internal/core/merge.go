@@ -59,6 +59,7 @@ func (fo *Former) SplitOversizeCandidate(s *ir.Block) *ir.Block {
 	fo.f.AdoptBlock(nb)
 	s.Instrs = append(s.Instrs[:bestCut:bestCut], &ir.Instr{Op: ir.OpBr,
 		Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Target: nb})
+	fo.f.MarkDirty() // s.Instrs rewritten in place above
 	fo.stats.Splits++
 	return nb
 }
@@ -98,6 +99,10 @@ type Former struct {
 	// exclusive, so converting that branch later may read layer k's
 	// speculative values directly.
 	pending map[int]map[int32]map[ir.Reg]ir.Reg
+	// cache memoizes RPO/dominators/loops/liveness against the working
+	// function's mutation version, so the convergence loop only
+	// recomputes analyses after a committed change.
+	cache analysis.Cache
 }
 
 // NewFormer creates a Former for f with the given configuration. The
@@ -245,14 +250,16 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 	_, outRename := combine(fc, hbC, brIdx, body, initRename)
 
 	// 5. Optimize the merged block (when iterative optimization is
-	// enabled) and normalize its outputs.
-	lv := analysis.ComputeLiveness(fc)
+	// enabled) and normalize its outputs. The cached liveness
+	// recomputes only when the intervening pass actually changed code
+	// (tracked by the function's mutation version).
+	lv := fo.cache.Liveness(fc)
 	if fo.cfg.IterOpt {
 		opt.OptimizeBlock(fc, hbC, lv.Out[hbC])
-		lv = analysis.ComputeLiveness(fc)
+		lv = fo.cache.Liveness(fc)
 	}
 	trips.NormalizeOutputs(hbC, lv)
-	lv = analysis.ComputeLiveness(fc)
+	lv = fo.cache.Liveness(fc)
 
 	// 6. Constraint check: reject the merge if the block no longer
 	// fits.

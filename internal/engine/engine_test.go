@@ -296,6 +296,53 @@ func TestTracer(t *testing.T) {
 	}
 }
 
+// TestStreamTracer checks the live NDJSON sink: one JSON line per
+// job, written as jobs finish, while the batch WriteJSON document
+// stays intact.
+func TestStreamTracer(t *testing.T) {
+	var live bytes.Buffer
+	tracer := engine.NewStreamTracer(&live)
+	eng := engine.New(engine.Config{Workers: 2, Cache: engine.NewCache(), Tracer: tracer})
+	jobs := []engine.Job{
+		testJob(t, "vadd", compiler.OrderBB, engine.SimTiming),
+		testJob(t, "vadd", compiler.OrderIUPO1, engine.SimTiming),
+	}
+	eng.Run(jobs)
+
+	lines := strings.Split(strings.TrimSpace(live.String()), "\n")
+	if len(lines) != len(jobs) {
+		t.Fatalf("want %d NDJSON lines, got %d: %q", len(jobs), len(lines), live.String())
+	}
+	seen := map[int]bool{}
+	for _, ln := range lines {
+		var ev engine.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line is not valid JSON: %v: %q", err, ln)
+		}
+		if ev.Workload != "vadd" || ev.Error != "" {
+			t.Fatalf("unexpected event: %+v", ev)
+		}
+		seen[ev.Index] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("missing job indices: %v", seen)
+	}
+
+	var batch bytes.Buffer
+	if err := tracer.WriteJSON(&batch); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Jobs []engine.Event `json:"jobs"`
+	}
+	if err := json.Unmarshal(batch.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Jobs) != len(jobs) {
+		t.Fatalf("batch trace lost events: %d", len(doc.Jobs))
+	}
+}
+
 func TestRetryAfterPanic(t *testing.T) {
 	var attempts int32
 	jobs := []engine.Job{{

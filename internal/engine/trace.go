@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -64,10 +65,28 @@ type Summary struct {
 type Tracer struct {
 	mu     sync.Mutex
 	events []Event
+	// live, when set, receives each event as one JSON line the moment
+	// its job finishes (for tailing a long run). buf and enc are the
+	// reused per-tracer encode state, guarded by mu: the event is
+	// encoded into buf and flushed to live in the same critical
+	// section that records it, so the whole per-job flush costs one
+	// lock acquisition and no per-event allocation.
+	live io.Writer
+	buf  bytes.Buffer
+	enc  *json.Encoder
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// NewStreamTracer returns a tracer that additionally writes each
+// event to w as a JSON line (NDJSON) as soon as its job finishes.
+// Writes to w are serialized by the tracer.
+func NewStreamTracer(w io.Writer) *Tracer {
+	t := &Tracer{live: w}
+	t.enc = json.NewEncoder(&t.buf)
+	return t
+}
 
 // observe appends the result's event. Called by each worker as its
 // job finishes (so a hung cell is visible mid-run); Events() sorts by
@@ -102,6 +121,12 @@ func (t *Tracer) observe(r *Result) {
 	}
 	t.mu.Lock()
 	t.events = append(t.events, ev)
+	if t.live != nil {
+		t.buf.Reset()
+		if err := t.enc.Encode(&ev); err == nil {
+			t.live.Write(t.buf.Bytes())
+		}
+	}
 	t.mu.Unlock()
 }
 

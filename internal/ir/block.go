@@ -38,15 +38,32 @@ func (b *Block) Branches() []*Instr {
 
 // Succs returns the distinct successor blocks, in first-branch order.
 func (b *Block) Succs() []*Block {
-	var out []*Block
-	seen := map[*Block]bool{}
+	return b.SuccsAppend(nil)
+}
+
+// SuccsAppend appends the distinct successor blocks to buf (which may
+// be nil) in first-branch order and returns the extended slice. Hot
+// callers pass a reused buffer to avoid the per-call allocation of
+// Succs. Deduplication is a linear scan: blocks have a handful of
+// distinct successors at most.
+func (b *Block) SuccsAppend(buf []*Block) []*Block {
+	base := len(buf)
 	for _, in := range b.Instrs {
-		if in.Op == OpBr && in.Target != nil && !seen[in.Target] {
-			seen[in.Target] = true
-			out = append(out, in.Target)
+		if in.Op != OpBr || in.Target == nil {
+			continue
+		}
+		dup := false
+		for _, s := range buf[base:] {
+			if s == in.Target {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, in.Target)
 		}
 	}
-	return out
+	return buf
 }
 
 // HasCall reports whether the block contains a call instruction.
@@ -80,9 +97,18 @@ func (b *Block) Terminated() bool {
 	return false
 }
 
+// dirty bumps the owning function's analysis version (see
+// Function.Version). Unattached clone blocks (nil Fn) skip it.
+func (b *Block) dirty() {
+	if b.Fn != nil {
+		b.Fn.version++
+	}
+}
+
 // Append adds an instruction at the end of the block.
 func (b *Block) Append(in *Instr) *Instr {
 	b.Instrs = append(b.Instrs, in)
+	b.dirty()
 	return in
 }
 
@@ -91,12 +117,14 @@ func (b *Block) InsertBefore(idx int, in *Instr) {
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+1:], b.Instrs[idx:])
 	b.Instrs[idx] = in
+	b.dirty()
 }
 
 // RemoveAt deletes the instruction at idx.
 func (b *Block) RemoveAt(idx int) {
 	copy(b.Instrs[idx:], b.Instrs[idx+1:])
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	b.dirty()
 }
 
 // RetargetBranches redirects every branch aimed at old to point at new.
@@ -108,6 +136,9 @@ func (b *Block) RetargetBranches(old, new *Block) int {
 			in.Target = new
 			n++
 		}
+	}
+	if n > 0 {
+		b.dirty()
 	}
 	return n
 }

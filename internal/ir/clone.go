@@ -11,6 +11,17 @@ func CloneFunction(f *Function) *Function {
 
 // CloneFunctionMap is CloneFunction, additionally returning the
 // old-block -> new-block mapping.
+//
+// The copy is arena-backed: all cloned blocks, instructions, and
+// argument slices live in a handful of flat allocations sized in one
+// counting pass, so cloning costs O(1) allocations instead of one per
+// instruction. The formation loop clones the current function once per
+// merge attempt, which made per-instruction allocation the single
+// largest source of garbage in the pipeline. Argument subslices are
+// capped (three-index slices), so a later append on a cloned
+// instruction reallocates instead of scribbling over its arena
+// neighbour; instruction pointers are stable because the arenas are
+// never grown.
 func CloneFunctionMap(f *Function) (*Function, map[*Block]*Block) {
 	nf := &Function{
 		Name:      f.Name,
@@ -18,13 +29,42 @@ func CloneFunctionMap(f *Function) (*Function, map[*Block]*Block) {
 		nextReg:   f.nextReg,
 		nextBlock: f.nextBlock,
 		nextBrID:  f.nextBrID,
+		version:   f.version,
 		Prog:      f.Prog,
 	}
-	m := make(map[*Block]*Block, len(f.Blocks))
+	nInstr, nArgs := 0, 0
 	for _, b := range f.Blocks {
-		nb := b.Clone(b.Name)
-		nb.ID = b.ID
-		nb.Fn = nf
+		nInstr += len(b.Instrs)
+		for _, in := range b.Instrs {
+			nArgs += len(in.Args)
+		}
+	}
+	blockArena := make([]Block, len(f.Blocks))
+	instrArena := make([]Instr, nInstr)
+	ptrArena := make([]*Instr, nInstr)
+	argArena := make([]Reg, nArgs)
+	m := make(map[*Block]*Block, len(f.Blocks))
+	nf.Blocks = make([]*Block, 0, len(f.Blocks))
+	ii, ai := 0, 0
+	for bi, b := range f.Blocks {
+		nb := &blockArena[bi]
+		*nb = Block{ID: b.ID, Name: b.Name, Fn: nf, Hyper: b.Hyper}
+		ptrs := ptrArena[ii : ii+len(b.Instrs) : ii+len(b.Instrs)]
+		for i, in := range b.Instrs {
+			ni := &instrArena[ii]
+			*ni = *in
+			if n := len(in.Args); n > 0 {
+				args := argArena[ai : ai+n : ai+n]
+				copy(args, in.Args)
+				ni.Args = args
+				ai += n
+			} else {
+				ni.Args = nil
+			}
+			ptrs[i] = ni
+			ii++
+		}
+		nb.Instrs = ptrs
 		nf.Blocks = append(nf.Blocks, nb)
 		m[b] = nb
 	}

@@ -15,9 +15,32 @@ type Function struct {
 	nextBlock int
 	nextBrID  int32
 
+	// version counts code mutations (see Version). Structural edits
+	// through Function/Block methods bump it automatically; passes that
+	// rewrite instructions in place must call MarkDirty.
+	version uint64
+
 	// Prog is the owning program (set by Program.AddFunc).
 	Prog *Program
 }
+
+// Version returns the function's mutation counter. Analyses cached
+// against a (function, version) pair stay valid exactly while the
+// version is unchanged: every register allocation, block edit, and
+// in-place instruction rewrite advances it (the latter via MarkDirty
+// at the mutation site). Spurious bumps only cost a recomputation;
+// a missed bump would serve stale analyses, so mutators err toward
+// bumping.
+func (f *Function) Version() uint64 { return f.version }
+
+// MarkDirty records an in-place code mutation that did not go through
+// a Function/Block editing method (e.g. operand rewriting inside an
+// optimization pass), invalidating cached analyses.
+func (f *Function) MarkDirty() { f.version++ }
+
+// BlockIDBound returns an exclusive upper bound on the block IDs in
+// use, for ID-indexed side tables.
+func (f *Function) BlockIDBound() int { return f.nextBlock }
 
 // NewFunction creates an empty function with nparams parameter
 // registers.
@@ -33,6 +56,7 @@ func NewFunction(name string, nparams int) *Function {
 func (f *Function) NewReg() Reg {
 	r := f.nextReg
 	f.nextReg++
+	f.version++ // register count sizes liveness sets
 	return r
 }
 
@@ -51,6 +75,7 @@ func (f *Function) NewBrID() int32 {
 func (f *Function) NewBlock(name string) *Block {
 	b := &Block{ID: f.nextBlock, Name: name, Fn: f}
 	f.nextBlock++
+	f.version++
 	f.Blocks = append(f.Blocks, b)
 	return b
 }
@@ -60,6 +85,7 @@ func (f *Function) NewBlock(name string) *Block {
 func (f *Function) AdoptBlock(b *Block) {
 	b.ID = f.nextBlock
 	f.nextBlock++
+	f.version++
 	b.Fn = f
 	f.Blocks = append(f.Blocks, b)
 }
@@ -83,6 +109,7 @@ func (f *Function) RemoveBlock(b *Block) {
 			}
 			copy(f.Blocks[i:], f.Blocks[i+1:])
 			f.Blocks = f.Blocks[:len(f.Blocks)-1]
+			f.version++
 			return
 		}
 	}
@@ -151,17 +178,20 @@ func (f *Function) RemoveUnreachable() int {
 	if len(f.Blocks) == 0 {
 		return 0
 	}
-	reach := map[*Block]bool{}
-	stack := []*Block{f.Entry()}
+	reach := make([]bool, f.nextBlock)
+	stack := make([]*Block, 0, len(f.Blocks))
+	stack = append(stack, f.Entry())
+	var succs []*Block
 	for len(stack) > 0 {
 		b := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if reach[b] {
+		if reach[b.ID] {
 			continue
 		}
-		reach[b] = true
-		for _, s := range b.Succs() {
-			if !reach[s] {
+		reach[b.ID] = true
+		succs = b.SuccsAppend(succs[:0])
+		for _, s := range succs {
+			if !reach[s.ID] {
 				stack = append(stack, s)
 			}
 		}
@@ -169,13 +199,16 @@ func (f *Function) RemoveUnreachable() int {
 	kept := f.Blocks[:0]
 	removed := 0
 	for _, b := range f.Blocks {
-		if reach[b] {
+		if reach[b.ID] {
 			kept = append(kept, b)
 		} else {
 			removed++
 		}
 	}
 	f.Blocks = kept
+	if removed > 0 {
+		f.version++
+	}
 	return removed
 }
 

@@ -1,23 +1,38 @@
 package opt
 
-import "repro/internal/ir"
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
 
 // valueNumbering is the per-block state of the predicate-aware local
-// value numbering pass.
+// value numbering pass. All register- and value-number-indexed state
+// lives in slices (value numbers start at 1, so 0 is the "unknown"
+// sentinel in vn, and ir.NoReg marks an empty rep slot); the whole
+// struct is pooled across calls so a steady-state ValueNumber run
+// performs no allocations.
 type valueNumbering struct {
 	f *ir.Function
 	b *ir.Block
 
 	nextVN  int
-	vn      map[ir.Reg]int // current value number of each register
-	consts  map[int]int64  // value number -> known constant
-	rep     map[int]ir.Reg // value number -> a register currently holding it
-	lastUse map[ir.Reg]int // instruction index of the latest read of a register
-	bools   map[int]bool   // value numbers known to be 0 or 1
+	vn      []int32 // register -> current value number (0 = none yet)
+	lastUse []int32 // register -> index of latest read (0 default, as the map had)
+
+	// Value-number-indexed tables, grown together by newVN.
+	rep        []ir.Reg // vn -> a register currently holding it (NoReg = none)
+	constKnown []bool   // vn -> constVal is meaningful
+	constVal   []int64  // vn -> known constant
+	bools      []bool   // vn -> known to be 0 or 1
+	constOrder []int32  // vns holding constants, in creation order
 
 	// exprs maps expression keys to the value number they produce and
 	// the site that produced them (for instruction merging).
-	exprs map[exprKey]exprVal
+	exprs     map[exprKey]exprVal
+	seenExits map[exitKey]bool
+	useBuf    []ir.Reg
+	kill      []int // instruction indices to delete afterwards
 }
 
 type exprKey struct {
@@ -43,28 +58,70 @@ type exprVal struct {
 	dst ir.Reg // destination it was computed into
 }
 
+var vnPool = sync.Pool{New: func() any {
+	return &valueNumbering{
+		exprs:     map[exprKey]exprVal{},
+		seenExits: map[exitKey]bool{},
+	}
+}}
+
+func (v *valueNumbering) reset(f *ir.Function, b *ir.Block) {
+	v.f, v.b = f, b
+	v.nextVN = 0
+	n := f.NumRegs()
+	if cap(v.vn) < n {
+		v.vn = make([]int32, n)
+		v.lastUse = make([]int32, n)
+	} else {
+		v.vn = v.vn[:n]
+		clear(v.vn)
+		v.lastUse = v.lastUse[:n]
+		clear(v.lastUse)
+	}
+	v.rep = v.rep[:0]
+	v.constKnown = v.constKnown[:0]
+	v.constVal = v.constVal[:0]
+	v.bools = v.bools[:0]
+	v.constOrder = v.constOrder[:0]
+	v.kill = v.kill[:0]
+	clear(v.exprs)
+	clear(v.seenExits)
+	v.growVN(0)
+}
+
+// growVN extends the vn-indexed tables to cover value number n.
+func (v *valueNumbering) growVN(n int) {
+	for len(v.rep) <= n {
+		v.rep = append(v.rep, ir.NoReg)
+		v.constKnown = append(v.constKnown, false)
+		v.constVal = append(v.constVal, 0)
+		v.bools = append(v.bools, false)
+	}
+}
+
 func (v *valueNumbering) vnOf(r ir.Reg) int {
-	if n, ok := v.vn[r]; ok {
-		return n
+	if n := v.vn[r]; n != 0 {
+		return int(n)
 	}
 	n := v.newVN()
-	v.vn[r] = n
+	v.vn[r] = int32(n)
 	v.rep[n] = r
 	return n
 }
 
 func (v *valueNumbering) newVN() int {
 	v.nextVN++
+	v.growVN(v.nextVN)
 	return v.nextVN
 }
 
 // define gives r a fresh value number n and makes r its representative.
 func (v *valueNumbering) define(r ir.Reg, n int) {
-	if old, ok := v.vn[r]; ok && v.rep[old] == r {
-		delete(v.rep, old)
+	if old := v.vn[r]; old != 0 && v.rep[old] == r {
+		v.rep[old] = ir.NoReg
 	}
-	v.vn[r] = n
-	if _, ok := v.rep[n]; !ok {
+	v.vn[r] = int32(n)
+	if v.rep[n] == ir.NoReg {
 		v.rep[n] = r
 	}
 }
@@ -75,18 +132,22 @@ func (v *valueNumbering) define(r ir.Reg, n int) {
 // elimination, and complementary-predicate instruction merging. It
 // reports whether the block changed.
 func ValueNumber(f *ir.Function, b *ir.Block) bool {
-	v := &valueNumbering{
-		f: f, b: b,
-		vn:      map[ir.Reg]int{},
-		consts:  map[int]int64{},
-		rep:     map[int]ir.Reg{},
-		lastUse: map[ir.Reg]int{},
-		bools:   map[int]bool{},
-		exprs:   map[exprKey]exprVal{},
+	v := vnPool.Get().(*valueNumbering)
+	v.reset(f, b)
+	changed := v.run()
+	if changed {
+		// Operand rewrites above bypass the Block editing methods, so
+		// record the mutation for version-keyed analysis caches.
+		f.MarkDirty()
 	}
+	v.f, v.b = nil, nil
+	vnPool.Put(v)
+	return changed
+}
+
+func (v *valueNumbering) run() bool {
+	b := v.b
 	changed := false
-	var kill []int // instruction indices to delete afterwards
-	seenExits := map[exitKey]bool{}
 
 	for idx := 0; idx < len(b.Instrs); idx++ {
 		in := b.Instrs[idx]
@@ -98,7 +159,7 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 				return r
 			}
 			n := v.vnOf(r)
-			if rep, ok := v.rep[n]; ok && rep != r {
+			if rep := v.rep[n]; rep != ir.NoReg && rep != r {
 				return rep
 			}
 			return r
@@ -134,10 +195,10 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 		// whose predicate is provably false can never fire and is
 		// safely deleted.
 		if in.Pred.Valid() {
-			if cv, ok := v.consts[v.vnOf(in.Pred)]; ok {
-				if (cv != 0) != in.PredSense {
+			if n := v.vnOf(in.Pred); v.constKnown[n] {
+				if (v.constVal[n] != 0) != in.PredSense {
 					// Never executes.
-					kill = append(kill, idx)
+					v.kill = append(v.kill, idx)
 					continue
 				}
 				if in.Op != ir.OpBr && in.Op != ir.OpRet {
@@ -158,16 +219,17 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 				k.pred = v.vnOf(in.Pred)
 				k.sense = in.PredSense
 			}
-			if seenExits[k] {
-				kill = append(kill, idx)
+			if v.seenExits[k] {
+				v.kill = append(v.kill, idx)
 				continue
 			}
-			seenExits[k] = true
+			v.seenExits[k] = true
 		}
 
 		// Record uses.
-		for _, r := range in.Uses(nil) {
-			v.lastUse[r] = idx
+		v.useBuf = in.Uses(v.useBuf)
+		for _, r := range v.useBuf {
+			v.lastUse[r] = int32(idx)
 		}
 
 		if !in.Op.Pure() {
@@ -200,11 +262,11 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 			twinKey.predSense = !key.predSense
 			if tw, ok := v.exprs[twinKey]; ok && tw.dst == in.Dst &&
 				b.Instrs[tw.idx].Dst == in.Dst &&
-				v.vn[in.Dst] == tw.vn &&
-				v.lastUse[in.Dst] < tw.idx+1 {
+				int(v.vn[in.Dst]) == tw.vn &&
+				int(v.lastUse[in.Dst]) < tw.idx+1 {
 				// Unpredicate the twin, delete this instruction.
 				b.Instrs[tw.idx].Pred = ir.NoReg
-				kill = append(kill, idx)
+				v.kill = append(v.kill, idx)
 				// dst's value number stays tw.vn.
 				changed = true
 				continue
@@ -216,9 +278,9 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 			// turn this instruction into a copy (or delete it
 			// entirely when the destination already holds it under
 			// the same predicate).
-			if rep, live := v.rep[ev.vn]; live {
-				if rep == in.Dst && v.vn[in.Dst] == ev.vn {
-					kill = append(kill, idx)
+			if rep := v.rep[ev.vn]; rep != ir.NoReg {
+				if rep == in.Dst && int(v.vn[in.Dst]) == ev.vn {
+					v.kill = append(v.kill, idx)
 					changed = true
 					continue
 				}
@@ -265,9 +327,9 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 		v.exprs[key] = exprVal{vn: n, idx: idx, dst: in.Dst}
 	}
 
-	if len(kill) > 0 {
-		for i := len(kill) - 1; i >= 0; i-- {
-			b.RemoveAt(kill[i])
+	if len(v.kill) > 0 {
+		for i := len(v.kill) - 1; i >= 0; i-- {
+			b.RemoveAt(v.kill[i])
 		}
 		changed = true
 	}
@@ -275,17 +337,21 @@ func ValueNumber(f *ir.Function, b *ir.Block) bool {
 }
 
 // constVN returns a stable value number for a constant, recording it
-// in the consts table.
+// in the constant tables.
 func (v *valueNumbering) constVN(imm int64) int {
-	// Search for an existing constant vn (linear in distinct consts;
-	// blocks are small).
-	for n, c := range v.consts {
-		if c == imm {
-			return n
+	// Search existing constant vns in creation order (linear in
+	// distinct consts; blocks are small). Values are unique, so at
+	// most one entry can match — the scan order cannot change the
+	// result.
+	for _, n := range v.constOrder {
+		if v.constVal[n] == imm {
+			return int(n)
 		}
 	}
 	n := v.newVN()
-	v.consts[n] = imm
+	v.constKnown[n] = true
+	v.constVal[n] = imm
+	v.constOrder = append(v.constOrder, int32(n))
 	return n
 }
 
@@ -315,8 +381,8 @@ func (v *valueNumbering) keyOf(in *ir.Instr) exprKey {
 // constants; it returns the folded value.
 func (v *valueNumbering) foldConst(in *ir.Instr) (int64, bool) {
 	get := func(r ir.Reg) (int64, bool) {
-		c, ok := v.consts[v.vnOf(r)]
-		return c, ok
+		n := v.vnOf(r)
+		return v.constVal[n], v.constKnown[n]
 	}
 	if in.Op.IsUnary() {
 		a, ok := get(in.A)
@@ -394,8 +460,8 @@ func (v *valueNumbering) algebraic(in *ir.Instr) bool {
 		return false
 	}
 	constOf := func(r ir.Reg) (int64, bool) {
-		c, ok := v.consts[v.vnOf(r)]
-		return c, ok
+		n := v.vnOf(r)
+		return v.constVal[n], v.constKnown[n]
 	}
 	toMov := func(src ir.Reg) {
 		in.Op = ir.OpMov

@@ -1,0 +1,45 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling when cpuFile is non-empty and
+// returns a stop function that finishes the CPU profile and writes
+// the heap profile (when memFile is non-empty). The CLIs defer stop
+// in main, so profiles are written on clean exits only — an os.Exit
+// failure path leaves no partial profile behind.
+func StartProfiles(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("perf: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("perf: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perf:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "perf:", err)
+			}
+		}
+	}, nil
+}

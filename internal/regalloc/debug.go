@@ -1,9 +1,13 @@
 package regalloc
 
-import "repro/internal/ir"
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
 
 // TrySpills exposes one allocation attempt's spill list (testing aid).
 func TrySpills(f *ir.Function, opts Options) []ir.Reg {
-	_, spills, _ := tryAllocate(f, opts.withDefaults(), ir.Reg(f.NumRegs()))
+	var cache analysis.Cache
+	_, spills, _ := tryAllocate(f, opts.withDefaults(), ir.Reg(f.NumRegs()), &cache)
 	return spills
 }

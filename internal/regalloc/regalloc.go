@@ -20,6 +20,7 @@ package regalloc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -99,9 +100,15 @@ func Allocate(f *ir.Function, prog *ir.Program, opts Options) (*Assignment, erro
 	// themselves (their reload/store chains would grow unboundedly).
 	noSpillFrom := ir.Reg(f.NumRegs())
 
+	// One analysis cache for the whole allocate/split loop: the
+	// linear scan itself never mutates f, so the post-allocation
+	// constraint check reuses the liveness computed for interval
+	// construction.
+	var cache analysis.Cache
+
 	for round := 0; round < opts.MaxRounds; round++ {
 		asn.Rounds = round + 1
-		phys, spills, err := tryAllocate(f, opts, noSpillFrom)
+		phys, spills, err := tryAllocate(f, opts, noSpillFrom, &cache)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +140,7 @@ func Allocate(f *ir.Function, prog *ir.Program, opts Options) (*Assignment, erro
 		// retry.
 		split := 0
 		asn.Violations = asn.Violations[:0]
-		lv := analysis.ComputeLiveness(f)
+		lv := cache.Liveness(f)
 		for _, b := range f.Blocks {
 			err := blockViolation(b, lv, phys, opts)
 			if err == nil {
@@ -156,8 +163,8 @@ func Allocate(f *ir.Function, prog *ir.Program, opts Options) (*Assignment, erro
 // tryAllocate runs one linear-scan pass. It returns the assignment,
 // or the list of virtual registers to spill when pressure exceeds the
 // register file.
-func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg) (map[ir.Reg]int, []ir.Reg, error) {
-	ivals := buildIntervals(f)
+func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg, cache *analysis.Cache) (map[ir.Reg]int, []ir.Reg, error) {
+	ivals := buildIntervals(f, cache)
 	sort.Slice(ivals, func(i, j int) bool {
 		if ivals[i].start != ivals[j].start {
 			return ivals[i].start < ivals[j].start
@@ -165,7 +172,12 @@ func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg) (map[ir.Reg]i
 		return ivals[i].reg < ivals[j].reg
 	})
 
-	phys := map[ir.Reg]int{}
+	// The scan works on a register-indexed slice (-1 = unassigned);
+	// the map the caller stores is materialized only on success.
+	physS := make([]int32, f.NumRegs())
+	for i := range physS {
+		physS[i] = -1
+	}
 	free := make([]bool, opts.NumRegs)
 	for i := range free {
 		free[i] = true
@@ -235,7 +247,7 @@ func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg) (map[ir.Reg]i
 			}
 			spills = append(spills, act[fi].reg)
 			free[act[fi].ph] = true
-			delete(phys, act[fi].reg)
+			physS[act[fi].reg] = -1
 			act = append(act[:fi], act[fi+1:]...)
 			ph = pick()
 		}
@@ -247,11 +259,17 @@ func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg) (map[ir.Reg]i
 			continue
 		}
 		free[ph] = false
-		phys[iv.reg] = ph
+		physS[iv.reg] = int32(ph)
 		act = append(act, active{end: iv.end, reg: iv.reg, ph: ph, isParam: iv.isParam})
 	}
 	if len(spills) > 0 {
 		return nil, spills, nil
+	}
+	phys := make(map[ir.Reg]int, len(ivals))
+	for r, ph := range physS {
+		if ph >= 0 {
+			phys[ir.Reg(r)] = int(ph)
+		}
 	}
 	return phys, nil, nil
 }
@@ -260,41 +278,50 @@ func tryAllocate(f *ir.Function, opts Options, noSpillFrom ir.Reg) (map[ir.Reg]i
 // register over the linearized function (RPO block order). Liveness
 // across blocks extends intervals to cover every block where the
 // register is live.
-func buildIntervals(f *ir.Function) []interval {
-	order := analysis.ReversePostorder(f)
-	lv := analysis.ComputeLiveness(f)
+func buildIntervals(f *ir.Function, cache *analysis.Cache) []interval {
+	order := cache.RPO(f)
+	lv := cache.Liveness(f)
 
 	// Linear positions: blocks laid out in RPO, two positions per
 	// instruction (use side, def side).
-	blockStart := map[*ir.Block]int{}
+	blockStart := make([]int, f.BlockIDBound())
 	pos := 0
 	for _, b := range order {
-		blockStart[b] = pos
+		blockStart[b.ID] = pos
 		pos += 2*len(b.Instrs) + 2
 	}
 	totalEnd := pos
 
-	start := map[ir.Reg]int{}
-	end := map[ir.Reg]int{}
+	// Register-indexed first/last positions; startS -1 marks a
+	// register never touched.
+	nregs := f.NumRegs()
+	startS := make([]int, nregs)
+	endS := make([]int, nregs)
+	for i := range startS {
+		startS[i] = -1
+		endS[i] = -1
+	}
 	touch := func(r ir.Reg, p int) {
 		if !r.Valid() {
 			return
 		}
-		if s, ok := start[r]; !ok || p < s {
-			start[r] = p
+		if startS[r] < 0 || p < startS[r] {
+			startS[r] = p
 		}
-		if e, ok := end[r]; !ok || p > e {
-			end[r] = p
+		if p > endS[r] {
+			endS[r] = p
 		}
 	}
 	var buf []ir.Reg
 	for _, b := range order {
-		bs := blockStart[b]
+		bs := blockStart[b.ID]
 		// Live-in/out registers cover the whole block.
-		for _, r := range lv.In[b].Members() {
+		buf = lv.In[b].AppendMembers(buf[:0])
+		for _, r := range buf {
 			touch(r, bs)
 		}
-		for _, r := range lv.Out[b].Members() {
+		buf = lv.Out[b].AppendMembers(buf[:0])
+		for _, r := range buf {
 			touch(r, bs+2*len(b.Instrs)+1)
 		}
 		for i, in := range b.Instrs {
@@ -310,7 +337,7 @@ func buildIntervals(f *ir.Function) []interval {
 	// Loop-carried values must span their whole loop: a register live
 	// into a loop header is extended to the end of the loop's last
 	// block in linear order.
-	loops := analysis.Loops(f)
+	loops := cache.Loops(f)
 	for _, b := range order {
 		l := loops.InnermostLoop(b)
 		if l == nil {
@@ -318,30 +345,35 @@ func buildIntervals(f *ir.Function) []interval {
 		}
 		loopEnd := 0
 		for lb := range l.Blocks {
-			if e := blockStart[lb] + 2*len(lb.Instrs) + 1; e > loopEnd {
+			if e := blockStart[lb.ID] + 2*len(lb.Instrs) + 1; e > loopEnd {
 				loopEnd = e
 			}
 		}
-		for _, r := range lv.In[l.Header].Members() {
-			if end[r] < loopEnd {
-				end[r] = loopEnd
+		buf = lv.In[l.Header].AppendMembers(buf[:0])
+		for _, r := range buf {
+			if endS[r] < loopEnd {
+				endS[r] = loopEnd
 			}
 		}
 	}
 
-	var out []interval
-	paramIdx := map[ir.Reg]int{}
-	for i, p := range f.Params {
-		paramIdx[p] = i
-		// Params are live from function entry.
+	// Params are live from function entry.
+	for _, p := range f.Params {
 		touch(p, 0)
 	}
-	for r, s := range start {
-		iv := interval{reg: r, start: s, end: end[r]}
-		if pi, ok := paramIdx[r]; ok {
-			iv.isParam = true
-			iv.paramIdx = pi
-			iv.start = 0
+	out := make([]interval, 0, nregs)
+	for r := 0; r < nregs; r++ {
+		if startS[r] < 0 {
+			continue
+		}
+		iv := interval{reg: ir.Reg(r), start: startS[r], end: endS[r]}
+		for pi, p := range f.Params {
+			if p == ir.Reg(r) {
+				iv.isParam = true
+				iv.paramIdx = pi
+				iv.start = 0
+				break
+			}
 		}
 		if iv.end > totalEnd {
 			iv.end = totalEnd
@@ -357,7 +389,13 @@ func buildIntervals(f *ir.Function) []interval {
 // the definition, so untaken paths do not clobber the slot), using
 // fresh temporary virtual registers.
 func insertSpillCode(f *ir.Function, spills []ir.Reg, base int64) {
-	slot := map[ir.Reg]int64{}
+	// Register-indexed slot table (-1 = not spilled). Sized before any
+	// temp registers are minted below; temps never appear as operands
+	// of the pre-existing instructions being rewritten.
+	slot := make([]int64, f.NumRegs())
+	for i := range slot {
+		slot[i] = -1
+	}
 	for i, r := range spills {
 		slot[r] = base + int64(i)
 	}
@@ -374,8 +412,8 @@ func insertSpillCode(f *ir.Function, spills []ir.Reg, base int64) {
 		}
 		for _, in := range b.Instrs {
 			reload := func(r ir.Reg) ir.Reg {
-				off, ok := slot[r]
-				if !ok {
+				off := slot[r]
+				if off < 0 {
 					return r
 				}
 				t := f.NewReg()
@@ -396,7 +434,7 @@ func insertSpillCode(f *ir.Function, spills []ir.Reg, base int64) {
 				in.Args[ai] = reload(a)
 			}
 			if d := in.Def(); d.Valid() {
-				if off, ok := slot[d]; ok {
+				if off := slot[d]; off >= 0 {
 					t := f.NewReg()
 					if in.Predicated() {
 						// Read-modify-write: preload the slot's old
@@ -417,6 +455,7 @@ func insertSpillCode(f *ir.Function, spills []ir.Reg, base int64) {
 		}
 		b.Instrs = out
 	}
+	f.MarkDirty() // blocks rewritten in place above
 }
 
 // isRecursive reports whether f can reach itself through calls.
@@ -483,6 +522,31 @@ func findViolatingBlock(f *ir.Function, phys map[ir.Reg]int, opts Options) *ir.B
 	return bs[0]
 }
 
+// bankScratch is the pooled working state of blockViolation's bank
+// check: a seen-architectural-register table plus per-bank counters.
+type bankScratch struct {
+	seen []bool
+	cnt  []int32
+	regs []ir.Reg
+}
+
+var bankPool = sync.Pool{New: func() any { return new(bankScratch) }}
+
+func (sc *bankScratch) prep(numRegs, banks int) {
+	if cap(sc.seen) < numRegs {
+		sc.seen = make([]bool, numRegs)
+	} else {
+		sc.seen = sc.seen[:numRegs]
+		clear(sc.seen)
+	}
+	if cap(sc.cnt) < banks {
+		sc.cnt = make([]int32, banks)
+	} else {
+		sc.cnt = sc.cnt[:banks]
+		clear(sc.cnt)
+	}
+}
+
 // blockViolation explains how b violates the constraints, or nil.
 func blockViolation(b *ir.Block, lv *analysis.Liveness, phys map[ir.Reg]int, opts Options) error {
 	s := trips.Measure(b, lv)
@@ -491,36 +555,36 @@ func blockViolation(b *ir.Block, lv *analysis.Liveness, phys map[ir.Reg]int, opt
 	}
 	// Bank limits: distinct architectural registers read (upward
 	// exposed) and written (live-out writes) per bank.
-	reads := map[int]map[int]bool{}
-	writes := map[int]map[int]bool{}
-	for _, r := range analysis.BlockReads(b, lv) {
-		if ph, ok := phys[r]; ok {
-			bank := ph % opts.Banks
-			if reads[bank] == nil {
-				reads[bank] = map[int]bool{}
-			}
-			reads[bank][ph] = true
+	sc := bankPool.Get().(*bankScratch)
+	defer bankPool.Put(sc)
+
+	sc.prep(opts.NumRegs, opts.Banks)
+	sc.regs = lv.UEVar[b].AppendMembers(sc.regs[:0])
+	for _, r := range sc.regs {
+		if ph, ok := phys[r]; ok && !sc.seen[ph] {
+			sc.seen[ph] = true
+			sc.cnt[ph%opts.Banks]++
 		}
 	}
-	for _, r := range analysis.LiveOutWrites(b, lv) {
-		if ph, ok := phys[r]; ok {
-			bank := ph % opts.Banks
-			if writes[bank] == nil {
-				writes[bank] = map[int]bool{}
-			}
-			writes[bank][ph] = true
-		}
-	}
-	for bank, set := range reads {
-		if len(set) > opts.Cons.MaxReadsPerBank {
+	for bank, n := range sc.cnt {
+		if int(n) > opts.Cons.MaxReadsPerBank {
 			return fmt.Errorf("regalloc: block %s reads %d registers in bank %d (max %d)",
-				b, len(set), bank, opts.Cons.MaxReadsPerBank)
+				b, n, bank, opts.Cons.MaxReadsPerBank)
 		}
 	}
-	for bank, set := range writes {
-		if len(set) > opts.Cons.MaxWritesPerBank {
+
+	sc.prep(opts.NumRegs, opts.Banks)
+	sc.regs = analysis.LiveOutWritesAppend(b, lv, sc.regs[:0])
+	for _, r := range sc.regs {
+		if ph, ok := phys[r]; ok && !sc.seen[ph] {
+			sc.seen[ph] = true
+			sc.cnt[ph%opts.Banks]++
+		}
+	}
+	for bank, n := range sc.cnt {
+		if int(n) > opts.Cons.MaxWritesPerBank {
 			return fmt.Errorf("regalloc: block %s writes %d registers in bank %d (max %d)",
-				b, len(set), bank, opts.Cons.MaxWritesPerBank)
+				b, n, bank, opts.Cons.MaxWritesPerBank)
 		}
 	}
 	return nil
@@ -582,6 +646,7 @@ func splitBlock(f *ir.Function, b *ir.Block) bool {
 	f.AdoptBlock(nb)
 	b.Instrs = append(b.Instrs[:cut:cut], &ir.Instr{Op: ir.OpBr, Dst: ir.NoReg,
 		A: ir.NoReg, B: ir.NoReg, Pred: ir.NoReg, Target: nb})
+	f.MarkDirty() // b.Instrs rewritten in place above
 	return true
 }
 

@@ -150,6 +150,9 @@ func (s *Scheduler) InsertFanout(f *ir.Function, b *ir.Block) int {
 		}
 	}
 	b.Instrs = out
+	if inserted > 0 {
+		f.MarkDirty() // operand rewrites and block rebuild above
+	}
 	return inserted
 }
 
@@ -361,6 +364,7 @@ func splitForCapacity(f *ir.Function, b *ir.Block) bool {
 		br.Pred = ir.NoReg
 	}
 	b.Instrs = append(b.Instrs, br)
+	f.MarkDirty() // b.Instrs rewritten in place above
 	return true
 }
 

@@ -46,6 +46,12 @@ func (s Stats) MispredictRate() float64 {
 var ErrFuel = errors.New("timing: instruction budget exhausted")
 
 // Machine is the cycle-level simulator.
+//
+// All per-block and per-call scratch state (issue-slot occupancy,
+// activation frames, argument marshalling, operand-use buffers) is
+// owned by the Machine and reused across blocks and calls, so a run
+// is allocation-free in steady state: buffers grow while the run
+// discovers its deepest call chain and widest block, then stabilize.
 type Machine struct {
 	Prog *ir.Program
 	Cfg  Config
@@ -73,6 +79,32 @@ type Machine struct {
 	// watchdog's StuckReport (reused across blocks).
 	recs []instrRec
 
+	// Issue-slot scratch: issueCnt[i] is the number of instructions
+	// issued at cycle readyBase+i in the current block, valid only when
+	// issueGen[i] == issueGenID. Bumping the generation per block makes
+	// clearing O(1) and the dense ring replaces the per-block
+	// map[int64]int the hot loop used to allocate.
+	issueCnt   []int32
+	issueGen   []int64
+	issueGenID int64
+
+	// frames pools one activation per call depth; argv/argt pool the
+	// call-argument marshalling slices per depth (safe because call()
+	// copies them into the callee frame before executing it).
+	frames []*frame
+	argv   [][]int64
+	argt   [][]int64
+
+	// useBuf is the shared Instr.Uses scratch; runTimes the Run()
+	// argument-time scratch.
+	useBuf   []ir.Reg
+	runTimes []int64
+
+	// fnMeta caches per-function predictor inputs (name hash,
+	// per-block single-exit classification). The program is immutable
+	// while the machine runs, so entries never invalidate.
+	fnMeta map[*ir.Function]*funcMeta
+
 	// ctx, when non-nil, is polled between blocks so a canceled run
 	// returns instead of simulating on (see RunContext).
 	ctx context.Context
@@ -84,6 +116,53 @@ type Machine struct {
 	// summary for each execution of that block (debugging aid).
 	TraceBlock string
 	traced     int
+}
+
+// funcMeta is the per-function cache backing the predictor fast path:
+// the function-name FNV hash (a predictor key component) and a lazy
+// per-block classification of single- vs multi-exit blocks, so the
+// O(instrs) singleExitOutcome scan runs once per static block instead
+// of once per dynamic execution.
+type funcMeta struct {
+	hash       uint64
+	singleExit []int8 // by block ID: 0 unknown, 1 multi-exit, 2 single-exit
+}
+
+func (fm *funcMeta) isSingleExit(b *ir.Block) bool {
+	for b.ID >= len(fm.singleExit) {
+		fm.singleExit = append(fm.singleExit, 0)
+	}
+	switch fm.singleExit[b.ID] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	_, single := singleExitOutcome(b)
+	if single {
+		fm.singleExit[b.ID] = 2
+	} else {
+		fm.singleExit[b.ID] = 1
+	}
+	return single
+}
+
+func (m *Machine) meta(f *ir.Function) *funcMeta {
+	if fm, ok := m.fnMeta[f]; ok {
+		return fm
+	}
+	if m.fnMeta == nil {
+		m.fnMeta = make(map[*ir.Function]*funcMeta)
+	}
+	maxID := 0
+	for _, b := range f.Blocks {
+		if b.ID > maxID {
+			maxID = b.ID
+		}
+	}
+	fm := &funcMeta{hash: fnv1a(f.Name), singleExit: make([]int8, maxID+1)}
+	m.fnMeta[f] = fm
+	return fm
 }
 
 // New creates a machine over prog with the given configuration.
@@ -118,7 +197,11 @@ func (m *Machine) Run(fn string, args ...int64) (int64, error) {
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("timing: %s takes %d args, got %d", fn, len(f.Params), len(args))
 	}
-	times := make([]int64, len(args))
+	if cap(m.runTimes) < len(args) {
+		m.runTimes = make([]int64, len(args))
+	}
+	times := m.runTimes[:len(args)]
+	clear(times)
 	v, _, err := m.call(f, args, times)
 	m.Stats.Cycles = m.lastCommitDone
 	m.Stats.ExitLookups = m.pred.Lookups
@@ -155,10 +238,45 @@ type instrRec struct {
 }
 
 // frame is a function activation: register values and readiness
-// times.
+// times. Frames are pooled by call depth; an activation at depth d is
+// dead by the time another call reaches depth d, so reuse is safe.
 type frame struct {
 	val  []int64
 	time []int64
+}
+
+// frameAt returns the pooled frame for the given depth, sized and
+// zeroed for nregs registers (matching the fresh-allocation semantics
+// the simulator was written against: unwritten registers read 0).
+func (m *Machine) frameAt(depth, nregs int) *frame {
+	for len(m.frames) <= depth {
+		m.frames = append(m.frames, &frame{})
+	}
+	fr := m.frames[depth]
+	if cap(fr.val) < nregs {
+		fr.val = make([]int64, nregs)
+		fr.time = make([]int64, nregs)
+	} else {
+		fr.val = fr.val[:nregs]
+		fr.time = fr.time[:nregs]
+		clear(fr.val)
+		clear(fr.time)
+	}
+	return fr
+}
+
+// argScratch returns the pooled argument value/time slices for the
+// given depth. The contents are fully overwritten by the caller.
+func (m *Machine) argScratch(depth, n int) (vals, times []int64) {
+	for len(m.argv) <= depth {
+		m.argv = append(m.argv, nil)
+		m.argt = append(m.argt, nil)
+	}
+	if cap(m.argv[depth]) < n {
+		m.argv[depth] = make([]int64, n)
+		m.argt[depth] = make([]int64, n)
+	}
+	return m.argv[depth][:n], m.argt[depth][:n]
 }
 
 func (m *Machine) call(f *ir.Function, args, argTimes []int64) (int64, int64, error) {
@@ -169,17 +287,15 @@ func (m *Machine) call(f *ir.Function, args, argTimes []int64) (int64, int64, er
 	defer func() { m.depth-- }()
 	m.Stats.Calls++
 
-	fr := &frame{
-		val:  make([]int64, f.NumRegs()),
-		time: make([]int64, f.NumRegs()),
-	}
+	fr := m.frameAt(m.depth, f.NumRegs())
 	for i, p := range f.Params {
 		fr.val[p] = args[i]
 		fr.time[p] = argTimes[i]
 	}
+	fm := m.meta(f)
 	b := f.Entry()
 	for {
-		res, err := m.execBlock(f, b, fr)
+		res, err := m.execBlock(f, fm, b, fr)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -197,7 +313,7 @@ type blockResult struct {
 	retTime int64
 }
 
-func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult, error) {
+func (m *Machine) execBlock(f *ir.Function, fm *funcMeta, b *ir.Block, fr *frame) (blockResult, error) {
 	cfg := m.Cfg
 	var res blockResult
 
@@ -243,12 +359,15 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 	watchGap, cycleBudget := cfg.watchdogGap(), cfg.maxCycles()
 	watching := watchGap > 0 || cycleBudget > 0
 
-	issueUsed := map[int64]int{}
+	// Fresh issue-slot generation: every slot of the dense ring is
+	// logically zero again without touching the backing arrays.
+	m.issueGenID++
+	gen := m.issueGenID
+	issueSlots := 0 // distinct issue cycles used (trace reporting)
 	blockDone := readyBase
 	exitOutcome := 0
 	exitResolve := int64(0)
 	exits := 0
-	var buf []ir.Reg
 	m.recs = m.recs[:0]
 
 	for idx, in := range b.Instrs {
@@ -268,19 +387,36 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 		// instruction is "waiting on" in a StuckReport.
 		ready := readyBase
 		waits := ir.NoReg
-		buf = in.Uses(buf)
-		for _, r := range buf {
+		m.useBuf = in.Uses(m.useBuf[:0])
+		for _, r := range m.useBuf {
 			if t := fr.time[r]; t > ready {
 				ready = t
 				waits = r
 			}
 		}
-		// Issue-width contention within the block.
-		issueAt := ready
-		for issueUsed[issueAt] >= cfg.IssueWidth {
-			issueAt++
+		// Issue-width contention within the block. ready >= readyBase,
+		// so the slot offset is non-negative; the ring grows (amortized)
+		// to the block's longest dependence chain and is then reused.
+		off := ready - readyBase
+		for int64(len(m.issueCnt)) <= off {
+			m.issueCnt = append(m.issueCnt, 0)
+			m.issueGen = append(m.issueGen, 0)
 		}
-		issueUsed[issueAt]++
+		for m.issueGen[off] == gen && int(m.issueCnt[off]) >= cfg.IssueWidth {
+			off++
+			if int64(len(m.issueCnt)) <= off {
+				m.issueCnt = append(m.issueCnt, 0)
+				m.issueGen = append(m.issueGen, 0)
+			}
+		}
+		if m.issueGen[off] != gen {
+			m.issueGen[off] = gen
+			m.issueCnt[off] = 1
+			issueSlots++
+		} else {
+			m.issueCnt[off]++
+		}
+		issueAt := readyBase + off
 
 		// Injection point: operand-network hop jitter on the result's
 		// route to its consumers.
@@ -346,8 +482,7 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 			if callee == nil {
 				return res, fmt.Errorf("timing: unknown callee %q", in.Callee)
 			}
-			vals := make([]int64, len(in.Args))
-			times := make([]int64, len(in.Args))
+			vals, times := m.argScratch(m.depth, len(in.Args))
 			for i, a := range in.Args {
 				vals[i] = fr.val[a]
 				times[i] = fr.time[a]
@@ -425,26 +560,31 @@ func (m *Machine) execBlock(f *ir.Function, b *ir.Block, fr *frame) (blockResult
 	m.lastCommitDone = commitDone
 	m.inflight = append(m.inflight, inflightBlock{commit: commitDone, fn: f.Name, block: b.Name})
 	// Trim the history to the window the fetch throttle (and the
-	// watchdog report) can still reference. An unbounded window keeps a
-	// report-only tail.
+	// watchdog report) can still reference. The tail is shifted down in
+	// place, so after the slice's one-time growth to keep+64 entries
+	// the trim allocates nothing.
 	keep := cfg.MaxInflight
 	if keep <= 0 {
 		keep = 64
 	}
 	if len(m.inflight) > keep+64 {
-		m.inflight = append(m.inflight[:0:0], m.inflight[len(m.inflight)-keep:]...)
+		n := copy(m.inflight, m.inflight[len(m.inflight)-keep:])
+		m.inflight = m.inflight[:n]
 	}
 
 	if m.TraceBlock == f.Name+"."+b.Name && m.traced < 8 {
 		m.traced++
 		fmt.Printf("trace %s: fetch=%d readyBase=%d blockDone=%d span=%d commit=%d exec=%d\n",
-			m.TraceBlock, fetchStart, readyBase, blockDone, blockDone-readyBase, commitDone, len(issueUsed))
+			m.TraceBlock, fetchStart, readyBase, blockDone, blockDone-readyBase, commitDone, issueSlots)
 	}
 
 	// Next-block prediction (returns and calls are handled by
 	// RAS/direct-target hardware and treated as predicted).
 	if exitOutcome != retOutcome {
-		correct := m.pred.observe(f.Name, b, exitOutcome)
+		correct := true
+		if !fm.isSingleExit(b) {
+			correct = m.pred.observeHashed(fm.hash, b.ID, exitOutcome)
+		}
 		// Injection point: force a flush as if the prediction had been
 		// wrong. The predictor's tables still trained on the actual
 		// outcome above, so only timing is perturbed.

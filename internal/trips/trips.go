@@ -7,6 +7,7 @@ package trips
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -74,8 +75,6 @@ type BlockStats struct {
 func Measure(b *ir.Block, lv *analysis.Liveness) BlockStats {
 	var s BlockStats
 	s.Instrs = len(b.Instrs)
-	useCount := map[ir.Reg]int{}
-	var buf []ir.Reg
 	for _, in := range b.Instrs {
 		switch in.Op {
 		case ir.OpLoad, ir.OpStore:
@@ -83,15 +82,20 @@ func Measure(b *ir.Block, lv *analysis.Liveness) BlockStats {
 		case ir.OpBr, ir.OpRet:
 			s.Exits++
 		}
-		buf = in.Uses(buf)
-		for _, r := range buf {
-			useCount[r]++
-		}
 	}
 	s.RegReads = lv.UEVar[b].Count()
 	s.RegWrites = len(analysis.LiveOutWrites(b, lv))
 	return s
 }
+
+// fanoutScratch is the pooled working state of MeasureWithFanout.
+type fanoutScratch struct {
+	buf   []ir.Reg
+	all   []ir.Reg
+	count []int32
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanoutScratch) }}
 
 // MeasureWithFanout is Measure plus the fanout instruction estimate:
 // each register with more than FanoutFactor uses in the block charges
@@ -99,22 +103,38 @@ func Measure(b *ir.Block, lv *analysis.Liveness) BlockStats {
 func MeasureWithFanout(b *ir.Block, lv *analysis.Liveness, c Constraints) BlockStats {
 	s := Measure(b, lv)
 	if c.FanoutFactor > 0 {
-		useCount := map[ir.Reg]int{}
-		var buf []ir.Reg
+		sc := fanoutPool.Get().(*fanoutScratch)
+		all := sc.all[:0]
+		maxR := ir.NoReg
 		for _, in := range b.Instrs {
-			buf = in.Uses(buf)
-			for _, r := range buf {
-				useCount[r]++
+			sc.buf = in.Uses(sc.buf)
+			for _, r := range sc.buf {
+				all = append(all, r)
+				if r > maxR {
+					maxR = r
+				}
 			}
 		}
+		n := int(maxR) + 1
+		if cap(sc.count) < n {
+			sc.count = make([]int32, n)
+		} else {
+			sc.count = sc.count[:n]
+			clear(sc.count)
+		}
+		for _, r := range all {
+			sc.count[r]++
+		}
 		extra := 0
-		for _, n := range useCount {
-			if n > c.FanoutFactor {
-				extra += (n + c.FanoutFactor - 1) / c.FanoutFactor
+		for _, cnt := range sc.count {
+			if int(cnt) > c.FanoutFactor {
+				extra += (int(cnt) + c.FanoutFactor - 1) / c.FanoutFactor
 				extra--
 			}
 		}
 		s.Instrs += extra
+		sc.all = all
+		fanoutPool.Put(sc)
 	}
 	return s
 }
@@ -174,28 +194,30 @@ func NormalizeOutputs(b *ir.Block, lv *analysis.Liveness) int {
 	StripNullOps(b)
 	out := lv.Out[b]
 
-	type predLeg struct {
-		pred  ir.Reg
-		sense bool
-	}
-	// For each live-out register written in the block, collect the
-	// predicate legs under which it is written.
-	writes := map[ir.Reg][]predLeg{}
-	covered := map[ir.Reg]bool{} // has an unpredicated write
-	var order []ir.Reg
+	// Pass 1: collect the distinct live-out written registers in
+	// first-write order and whether each has an unpredicated
+	// (covering) write. Linear find — blocks have at most a few dozen
+	// outputs.
+	sc := normPool.Get().(*normScratch)
+	ws := sc.ws[:0]
 	for _, in := range b.Instrs {
 		d := in.Def()
 		if !d.Valid() || !out.Has(d) {
 			continue
 		}
-		if _, seen := writes[d]; !seen {
-			order = append(order, d)
-			writes[d] = nil
+		wi := -1
+		for i := range ws {
+			if ws[i].r == d {
+				wi = i
+				break
+			}
+		}
+		if wi < 0 {
+			ws = append(ws, regWrite{r: d})
+			wi = len(ws) - 1
 		}
 		if !in.Predicated() {
-			covered[d] = true
-		} else {
-			writes[d] = append(writes[d], predLeg{in.Pred, in.PredSense})
+			ws[wi].covered = true
 		}
 	}
 
@@ -212,29 +234,33 @@ func NormalizeOutputs(b *ir.Block, lv *analysis.Liveness) int {
 	}
 
 	inserted := 0
-	for _, r := range order {
-		if covered[r] {
+	for wi := range ws {
+		if ws[wi].covered {
 			continue
 		}
-		legs := writes[r]
-		// Group by predicate register; a register written under both
-		// senses of the same predicate is covered for that predicate.
-		bySense := map[ir.Reg][2]bool{}
-		for _, l := range legs {
-			e := bySense[l.pred]
-			if l.sense {
-				e[0] = true
-			} else {
-				e[1] = true
+		r := ws[wi].r
+		// Pass 2 (uncovered registers only — usually none): the
+		// predicate legs under which r is written. Inserted NullW
+		// instructions define other registers, so scanning the block
+		// again here sees the same legs pass 1 did.
+		legs := sc.legs[:0]
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpNullW && in.Def() == r && in.Predicated() {
+				legs = append(legs, predLeg{in.Pred, in.PredSense})
 			}
-			bySense[l.pred] = e
 		}
+		// A register written under both senses of the same predicate
+		// is covered for that predicate.
 		fullyCovered := false
-		for _, e := range bySense {
-			if e[0] && e[1] {
-				fullyCovered = true
+		for i := range legs {
+			for j := range legs {
+				if j != i && legs[j].pred == legs[i].pred &&
+					legs[j].sense != legs[i].sense {
+					fullyCovered = true
+				}
 			}
 		}
+		sc.legs = legs
 		if fullyCovered {
 			continue
 		}
@@ -242,19 +268,51 @@ func NormalizeOutputs(b *ir.Block, lv *analysis.Liveness) int {
 		// deduplicated. Placement: at the end of the block's
 		// non-exit region is fine (order is data-dependence order and
 		// NullW only reads r and the predicate).
-		seen := map[predLeg]bool{}
+		comp := sc.comp[:0]
 		for _, l := range legs {
-			comp := predLeg{l.pred, !l.sense}
-			if seen[comp] {
+			c := predLeg{l.pred, !l.sense}
+			dup := false
+			for _, e := range comp {
+				if e == c {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[comp] = true
+			comp = append(comp, c)
 			nw := &ir.Instr{Op: ir.OpNullW, Dst: r, A: ir.NoReg, B: ir.NoReg,
-				Pred: comp.pred, PredSense: comp.sense}
+				Pred: c.pred, PredSense: c.sense}
 			b.InsertBefore(insertAt, nw)
 			insertAt++
 			inserted++
 		}
+		sc.comp = comp
 	}
+	sc.ws = ws
+	normPool.Put(sc)
 	return inserted
 }
+
+// predLeg is a (predicate register, sense) pair.
+type predLeg struct {
+	pred  ir.Reg
+	sense bool
+}
+
+// regWrite tracks one live-out written register during output
+// normalization.
+type regWrite struct {
+	r       ir.Reg
+	covered bool
+}
+
+// normScratch is the pooled working state of NormalizeOutputs.
+type normScratch struct {
+	ws   []regWrite
+	legs []predLeg
+	comp []predLeg
+}
+
+var normPool = sync.Pool{New: func() any { return new(normScratch) }}
