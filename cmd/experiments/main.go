@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/workloads"
 )
 
@@ -44,7 +45,13 @@ func main() {
 	traceOut := flag.String("trace", "", "write a JSON execution trace to this file")
 	traceStream := flag.String("trace-stream", "", "stream per-job trace events to this file as NDJSON while running")
 	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+	defer stopProf()
 
 	cache := engine.NewCache()
 	if *cacheDir != "" {
@@ -53,12 +60,34 @@ func main() {
 		fail(err)
 	}
 	tracer := engine.NewTracer()
+	var streamFile *os.File
 	if *traceStream != "" {
 		f, err := os.Create(*traceStream)
 		fail(err)
 		defer f.Close()
+		streamFile = f
 		tracer = engine.NewStreamTracer(f)
 	}
+
+	// A table run interrupted mid-sweep still leaves its partial trace
+	// behind: the tracer flushes events per job, so whatever finished
+	// is already observable — write it out, sync the NDJSON stream,
+	// and finish the profiles before exiting 128+signum.
+	stopSig := perf.OnShutdownSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: flushing partial trace and profiles\n", sig)
+		if *traceOut != "" {
+			if f, err := os.Create(*traceOut); err == nil {
+				_ = tracer.WriteJSON(f)
+				_ = f.Close()
+			}
+		}
+		if streamFile != nil {
+			_ = streamFile.Sync()
+			_ = streamFile.Close()
+		}
+		stopProf()
+	})
+	defer stopSig()
 	eng := engine.New(engine.Config{
 		Workers: *jobs,
 		Cache:   cache,

@@ -44,6 +44,12 @@ func main() {
 	stop, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)
 	defer stop()
+	// A benchmark run killed mid-flight still writes its profiles.
+	stopSig := perf.OnShutdownSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "hbbench: %s: flushing profiles before exit\n", sig)
+		stop()
+	})
+	defer stopSig()
 
 	rep := perf.Collect(func(name string) {
 		fmt.Fprintf(os.Stderr, "hbbench: running %s\n", name)

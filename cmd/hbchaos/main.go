@@ -50,6 +50,13 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
+	// An interrupted campaign still writes its profiles: deferred
+	// stops never run through os.Exit, so flush on the signal path.
+	stopSig := perf.OnShutdownSignal(func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "hbchaos: %s: flushing profiles before exit\n", sig)
+		stopProf()
+	})
+	defer stopSig()
 
 	orderings, err := parseOrderings(*orderingsFlag)
 	if err != nil {

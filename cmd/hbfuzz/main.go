@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/fuzz"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	maxSteps := flag.Int64("maxsteps", fuzz.DefaultMaxSteps, "functional simulator fuel per run")
 	workers := flag.Int("workers", 0, "parallel workers (0: GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log every program checked")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	orderings, err := parseOrderings(*orderingsFlag)
@@ -41,6 +44,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hbfuzz:", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbfuzz:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	w := *workers
 	if w <= 0 {
@@ -58,6 +68,18 @@ func main() {
 	}
 	var mu sync.Mutex
 	var failures []failure
+
+	// An interrupted campaign reports how far it got and flushes the
+	// profiles before exiting 128+signum.
+	stopSig := perf.OnShutdownSignal(func(sig os.Signal) {
+		mu.Lock()
+		nfail := len(failures)
+		mu.Unlock()
+		fmt.Fprintf(os.Stderr, "hbfuzz: %s: interrupted after %d/%d programs (%d skipped, %d failures); flushing profiles\n",
+			sig, checked.Load(), *n, skipped.Load(), nfail)
+		stopProf()
+	})
+	defer stopSig()
 
 	idx := make(chan int64)
 	var wg sync.WaitGroup

@@ -1,0 +1,189 @@
+// Command hbserved runs the resilient compile-and-simulate service
+// (internal/server) as an HTTP daemon:
+//
+//	hbserved [-addr 127.0.0.1:8080] [-addr-file FILE]
+//	         [-workers 0] [-queue 64]
+//	         [-timeout 10s] [-max-timeout 60s] [-max-queue-age 5s]
+//	         [-drain 10s] [-cache-dir DIR]
+//	         [-trace FILE] [-trace-stream FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-chaos-seed 0]
+//
+// Endpoints:
+//
+//	POST /v1/jobs  — compile/simulate a named workload or inline tl
+//	GET  /healthz  — liveness
+//	GET  /readyz   — admission readiness (503 while draining)
+//	GET  /statusz  — queue, breaker, cache, and taxonomy counters
+//
+// Every response carries a structured error class (ok, invalid-input,
+// degraded, quarantined, timeout, shed, internal); see DESIGN.md's
+// "Serving architecture" section for the full taxonomy, the breaker
+// state machine, and the drain sequence.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops
+// admitting (readyz goes 503, new submits are shed), lets in-flight
+// requests finish within -drain, hard-cancels stragglers through
+// their contexts, flushes the trace and profiles, and exits 0. A
+// second signal aborts immediately with the conventional 128+signum
+// status after flushing what it can.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/perf"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 0, "concurrent jobs (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-supplied deadlines")
+	maxQueueAge := flag.Duration("max-queue-age", 5*time.Second, "shed requests queued longer than this")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget for in-flight requests")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory")
+	traceOut := flag.String("trace", "", "write a JSON execution trace to this file on exit")
+	traceStream := flag.String("trace-stream", "", "stream per-job trace events to this file as NDJSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0: off; testing only)")
+	flag.Parse()
+
+	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
+	fail(err)
+
+	cache := engine.NewCache()
+	if *cacheDir != "" {
+		cache, err = engine.NewDiskCache(*cacheDir)
+		fail(err)
+	}
+	tracer := engine.NewTracer()
+	var streamFile *os.File
+	if *traceStream != "" {
+		streamFile, err = os.Create(*traceStream)
+		fail(err)
+		tracer = engine.NewStreamTracer(streamFile)
+	}
+	var plan *chaos.Plan
+	if *chaosSeed != 0 {
+		p := chaos.Plans(*chaosSeed, 1)[0]
+		plan = &p
+		fmt.Fprintf(os.Stderr, "hbserved: chaos armed: %s\n", p.Name())
+	}
+	eng := engine.New(engine.Config{
+		Workers: *workers,
+		Cache:   cache,
+		Tracer:  tracer,
+		Chaos:   plan,
+	})
+	srv, err := server.New(server.Config{
+		Engine:         eng,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxQueueAge:    *maxQueueAge,
+		DrainBudget:    *drain,
+	})
+	fail(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	fail(err)
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		fail(os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644))
+	}
+	fmt.Fprintf(os.Stderr, "hbserved: listening on %s (%d workers, queue %d, timeout %s, drain %s)\n",
+		bound, effectiveWorkers(*workers), *queue, *timeout, *drain)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// flush writes the trace and finishes the profiles; it runs
+	// exactly once, on whichever exit path fires first.
+	flushed := false
+	flush := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if *traceOut != "" {
+			if f, err := os.Create(*traceOut); err == nil {
+				_ = tracer.WriteJSON(f)
+				_ = f.Close()
+			} else {
+				fmt.Fprintln(os.Stderr, "hbserved:", err)
+			}
+		}
+		if streamFile != nil {
+			_ = streamFile.Sync()
+			_ = streamFile.Close()
+		}
+		stopProf()
+	}
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		// The listener died out from under us; nothing to drain.
+		flush()
+		fail(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "hbserved: received %s, draining (budget %s)\n", sig, *drain)
+		// A second signal during drain aborts immediately, but still
+		// flushes: an operator mashing ^C gets their trace.
+		go func() {
+			sig2 := <-sigc
+			fmt.Fprintf(os.Stderr, "hbserved: received second %s, aborting drain\n", sig2)
+			flush()
+			os.Exit(perf.ShutdownExitCode(sig2))
+		}()
+		drainErr := srv.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = hs.Shutdown(sctx)
+		cancel()
+		flush()
+		if drainErr != nil {
+			fmt.Fprintln(os.Stderr, "hbserved:", drainErr)
+			os.Exit(1)
+		}
+		st := srv.StatusSnapshot()
+		var answered int64
+		for _, n := range st.Classes {
+			answered += n
+		}
+		fmt.Fprintf(os.Stderr, "hbserved: drained cleanly after %s (%d responses, cache %d/%d hits)\n",
+			time.Duration(st.UptimeMS)*time.Millisecond, answered, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)
+		os.Exit(0)
+	}
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbserved:", err)
+		os.Exit(1)
+	}
+}

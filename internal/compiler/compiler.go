@@ -18,6 +18,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -80,6 +81,14 @@ type Options struct {
 	// the IR instead of surfacing at the end of the pipeline. Debug
 	// aid; off by default.
 	VerifyEachPhase bool
+	// Checkpoint, when non-nil, is the cooperative-cancellation hook:
+	// it is polled at every phase boundary and inside the formation
+	// convergence loop (via core.Config.Checkpoint), and its first
+	// non-nil error aborts the compile. CompileContext wires it to a
+	// context automatically. Checkpoint never affects the output of a
+	// compile that runs to completion, so it is excluded from
+	// content-addressed cache keys.
+	Checkpoint func() error
 }
 
 // CoreTweaks are optional formation knobs (extensions and ablation
@@ -129,21 +138,73 @@ type Result struct {
 
 // Compile runs the full pipeline on tl source.
 func Compile(src string, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	return CompileContext(context.Background(), src, opts)
+}
 
+// CompileContext is Compile with cooperative cancellation: the
+// pipeline checks ctx at every phase boundary, the formation
+// convergence loop polls it between merge attempts, and the
+// profiling training run polls it between blocks, so a deadline or
+// request cancellation stops the compile at the next checkpoint
+// instead of waiting for the whole pipeline. The returned error wraps
+// ctx.Err() for classification with errors.Is.
+func CompileContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	opts.Checkpoint = chainCheckpoint(ctx, opts.Checkpoint)
+
+	if err := opts.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("compiler: canceled before front end: %w", err)
+	}
 	// Front end: parse, check, for-loop unroll, lower.
 	prog, err := lang.CompileUnrolled(src, opts.FrontUnroll)
 	if err != nil {
 		return nil, err
 	}
-	return CompileProgram(prog, opts)
+	return compileProgram(ctx, prog, opts)
+}
+
+// chainCheckpoint combines the ctx poll with a caller-supplied
+// checkpoint so both sources of cancellation are honoured.
+func chainCheckpoint(ctx context.Context, next func() error) func() error {
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if next != nil {
+			return next()
+		}
+		return nil
+	}
 }
 
 // CompileProgram runs the mid- and back-end phases on lowered IR. The
 // program is consumed (transformed in place).
 func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
+	return CompileProgramContext(context.Background(), prog, opts)
+}
+
+// CompileProgramContext is CompileProgram with cooperative
+// cancellation (see CompileContext).
+func CompileProgramContext(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	opts.Checkpoint = chainCheckpoint(ctx, opts.Checkpoint)
+	return compileProgram(ctx, prog, opts)
+}
+
+func compileProgram(ctx context.Context, prog *ir.Program, opts Options) (*Result, error) {
 	res := &Result{Prog: prog}
+
+	// cp aborts the pipeline at a phase boundary once the checkpoint
+	// reports cancellation.
+	cp := func(phase string) error {
+		if opts.Checkpoint == nil {
+			return nil
+		}
+		if err := opts.Checkpoint(); err != nil {
+			return fmt.Errorf("compiler: canceled before %s: %w", phase, err)
+		}
+		return nil
+	}
 
 	// vp localizes IR breakage to a phase when VerifyEachPhase is on.
 	vp := func(phase string) error {
@@ -157,6 +218,9 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// Classical scalar optimizations (front-end level).
+	if err := cp("scalar opt"); err != nil {
+		return nil, err
+	}
 	opt.OptimizeProgram(prog)
 	if err := vp("scalar opt"); err != nil {
 		return nil, err
@@ -169,11 +233,14 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// Profile on the functional simulator (or reuse a preloaded
-	// profile).
+	// profile). The training run polls ctx between blocks.
+	if err := cp("profiling"); err != nil {
+		return nil, err
+	}
 	if opts.Profile != nil {
 		res.Profile = opts.Profile
 	} else if opts.ProfileFn != "" {
-		prof, _, err := profile.Collect(ir.CloneProgram(prog), opts.ProfileFn, opts.ProfileArgs...)
+		prof, _, err := profile.CollectContext(ctx, ir.CloneProgram(prog), opts.ProfileFn, opts.ProfileArgs...)
 		if err != nil {
 			return nil, fmt.Errorf("compiler: profiling failed: %w", err)
 		}
@@ -185,6 +252,9 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 	// degrades only that function to its pre-phase form (recorded in
 	// res.Degraded) instead of aborting the compile.
 	form := func(headDup, iterOpt bool) error {
+		if err := cp("formation"); err != nil {
+			return err
+		}
 		cfg := core.Config{
 			Cons:          opts.Cons,
 			Policy:        opts.Policy,
@@ -192,19 +262,30 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 			HeadDup:       headDup && !opts.CoreTweaks.NoHeadDup,
 			NoChain:       opts.CoreTweaks.NoChain,
 			SplitOversize: opts.CoreTweaks.SplitOversize,
+			Checkpoint:    opts.Checkpoint,
 		}
 		var deg []core.Degradation
-		res.FormStats, deg = core.FormProgram(prog, cfg, res.Profile)
+		var cerr error
+		res.FormStats, deg, cerr = core.FormProgram(prog, cfg, res.Profile)
+		if cerr != nil {
+			return fmt.Errorf("compiler: %w", cerr)
+		}
 		res.Degraded = append(res.Degraded, deg...)
 		return vp("formation")
 	}
 	up := func() error {
+		if err := cp("unroll/peel"); err != nil {
+			return err
+		}
 		var deg []core.Degradation
 		res.UPStats, deg = UnrollPeelProgram(prog, res.Profile, opts.UnrollPeel)
 		res.Degraded = append(res.Degraded, deg...)
 		return vp("unroll/peel")
 	}
 	midOpt := func() error {
+		if err := cp("mid-end scalar opt"); err != nil {
+			return err
+		}
 		opt.OptimizeProgram(prog)
 		return vp("mid-end scalar opt")
 	}
@@ -238,6 +319,9 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 
 	// Output normalization for every block (cheap no-op for blocks
 	// already normalized during formation).
+	if err := cp("normalization"); err != nil {
+		return nil, err
+	}
 	NormalizeProgram(prog)
 
 	if err := ir.VerifyProgram(prog); err != nil {
@@ -246,6 +330,9 @@ func CompileProgram(prog *ir.Program, opts Options) (*Result, error) {
 
 	// Back end: register allocation + reverse if-conversion.
 	if opts.RegAlloc {
+		if err := cp("register allocation"); err != nil {
+			return nil, err
+		}
 		res.Alloc, res.AllocErrs = regalloc.AllocateProgram(prog, opts.RegAllocOpts)
 		if err := ir.VerifyProgram(prog); err != nil {
 			return nil, fmt.Errorf("compiler: register allocation broke IR: %w", err)

@@ -122,6 +122,15 @@ type Config struct {
 	// (ablation knob; formation stays correct, merged loop-carried
 	// values just wait for their predicated commits).
 	NoChain bool
+	// Checkpoint, when non-nil, is polled between merge attempts and
+	// between seed expansions: the first non-nil error it returns
+	// aborts formation cooperatively (the error propagates out of
+	// FormFunction/FormProgram). Drivers set it to ctx.Err so a
+	// deadline or request cancellation stops a long convergence loop
+	// instead of relying on goroutine abandonment. It is excluded
+	// from content-addressed cache keys (it never affects the result
+	// of a completed formation).
+	Checkpoint func() error
 }
 
 func (c Config) withDefaults() Config {

@@ -248,7 +248,7 @@ func main(n) {
 		t.Fatal(err)
 	}
 	f := prog.Func("main")
-	nf, _ := FormFunction(f, relaxed())
+	nf, _, _ := FormFunction(f, relaxed())
 	// Any block containing a call must not have been merged with
 	// anything else that would place instructions after the call's
 	// continuation... specifically, every call-containing block must

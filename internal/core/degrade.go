@@ -32,22 +32,27 @@ func (d Degradation) String() string {
 func GuardFunction(fn *ir.Function, phaseName string, phase func(*ir.Function) *ir.Function) (*ir.Function, *Degradation) {
 	snapshot := ir.CloneFunction(fn)
 	nf, err := runRecovered(fn, phase)
-	if err == nil {
-		if verr := ir.Verify(nf); verr != nil {
-			err = fmt.Errorf("post-phase verify: %w", verr)
-		}
-	}
 	if err != nil {
 		return snapshot, &Degradation{Func: fn.Name, Phase: phaseName, Err: err.Error()}
 	}
 	return nf, nil
 }
 
+// runRecovered executes the phase and the post-phase verification
+// under one recover scope: a phase that returns IR broken enough to
+// make the verifier itself panic (a nil block, a dangling branch
+// target) must restore the snapshot exactly like a phase panic or an
+// ordinary verifier failure — a crash in the checker is still a
+// failed phase, never an escape hatch past the guard.
 func runRecovered(fn *ir.Function, phase func(*ir.Function) *ir.Function) (nf *ir.Function, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			nf, err = nil, fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return phase(fn), nil
+	nf = phase(fn)
+	if verr := ir.Verify(nf); verr != nil {
+		return nil, fmt.Errorf("post-phase verify: %w", verr)
+	}
+	return nf, nil
 }

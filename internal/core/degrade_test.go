@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestGuardFunctionPanicDuringPostVerify covers the nastiest guard
+// path: the phase returns normally but hands back IR so broken that
+// the post-phase verifier itself panics (a nil block dereferences
+// before any verifier check can reject it). The recover scope spans
+// the verification, so this must degrade and restore the snapshot
+// exactly like a phase panic — not crash the compile.
+func TestGuardFunctionPanicDuringPostVerify(t *testing.T) {
+	f, _ := figure2CFG(t)
+	before := len(f.Blocks)
+
+	nf, deg := GuardFunction(f, "formation", func(fn *ir.Function) *ir.Function {
+		// Mutate first so restoration is observable, then smuggle a
+		// nil block past the phase: ir.Verify dereferences b.ID and
+		// panics.
+		fn.Blocks = append(fn.Blocks[:1], nil)
+		return fn
+	})
+	if deg == nil {
+		t.Fatal("expected a degradation when the verifier panics")
+	}
+	if deg.Phase != "formation" || !strings.Contains(deg.Err, "panic") {
+		t.Fatalf("degradation should record the panic: %+v", deg)
+	}
+	if len(nf.Blocks) != before {
+		t.Fatalf("snapshot not restored: %d blocks, want %d", len(nf.Blocks), before)
+	}
+	for i, b := range nf.Blocks {
+		if b == nil {
+			t.Fatalf("restored snapshot contains the poisoned nil block at %d", i)
+		}
+	}
+	if err := ir.Verify(nf); err != nil {
+		t.Fatalf("restored snapshot fails verification: %v", err)
+	}
+	if got := runFn(t, nf, 3, 5); got != 8 {
+		t.Fatalf("restored snapshot misbehaves: got %d, want 8", got)
+	}
+}
+
+// TestFormFunctionCheckpointAborts proves the formation loop polls the
+// checkpoint between convergence iterations and surfaces its error
+// instead of finishing the pass.
+func TestFormFunctionCheckpointAborts(t *testing.T) {
+	f, _ := figure2CFG(t)
+	stop := errors.New("checkpoint says stop")
+	calls := 0
+	cfg := relaxed()
+	cfg.Checkpoint = func() error {
+		calls++
+		if calls > 1 {
+			return stop
+		}
+		return nil
+	}
+	_, _, err := FormFunction(f, cfg)
+	if !errors.Is(err, stop) {
+		t.Fatalf("FormFunction err = %v, want wrapped %v", err, stop)
+	}
+	if calls < 2 {
+		t.Fatalf("checkpoint polled %d times, want >= 2", calls)
+	}
+
+	// A checkpoint that never fires leaves formation untouched.
+	f2, _ := figure2CFG(t)
+	cfg2 := relaxed()
+	cfg2.Checkpoint = func() error { return nil }
+	if _, _, err := FormFunction(f2, cfg2); err != nil {
+		t.Fatalf("benign checkpoint aborted formation: %v", err)
+	}
+}
+
+// TestFormProgramCheckpointLeavesFunctionUntouched proves an aborted
+// FormProgram does not publish a half-formed function: the function
+// the checkpoint interrupted keeps its original body.
+func TestFormProgramCheckpointLeavesFunctionUntouched(t *testing.T) {
+	f, _ := figure2CFG(t)
+	p := ir.NewProgram()
+	p.AddFunc(f)
+	before := len(f.Blocks)
+
+	stop := errors.New("canceled")
+	cfg := relaxed()
+	cfg.Checkpoint = func() error { return stop }
+	_, _, err := FormProgram(p, cfg, nil)
+	if !errors.Is(err, stop) {
+		t.Fatalf("FormProgram err = %v, want wrapped %v", err, stop)
+	}
+	got := p.Funcs["fig2"]
+	if len(got.Blocks) != before {
+		t.Fatalf("aborted formation published a transformed function: %d blocks, want %d",
+			len(got.Blocks), before)
+	}
+	if err := ir.Verify(got); err != nil {
+		t.Fatalf("function after aborted formation fails verification: %v", err)
+	}
+}

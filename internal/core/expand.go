@@ -63,6 +63,13 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 	addCandidates()
 
 	for len(candidates) > 0 && merges < fo.cfg.MaxMergesPerBlock {
+		// Cooperative cancellation: a deadline hit mid-convergence
+		// stops expanding here; the committed merges so far leave the
+		// function valid (each commit is individually legal), and the
+		// latched error propagates out of FormFunction.
+		if fo.checkpoint() != nil {
+			break
+		}
 		i := pol.Select(ctx, candidates)
 		if i < 0 {
 			break
@@ -121,11 +128,14 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 // of f: blocks are visited in reverse postorder and each not-yet-
 // consumed block seeds one ExpandBlock pass. It returns the resulting
 // function (the input function must be considered consumed) and the
-// accumulated statistics.
-func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
+// accumulated statistics. The error is non-nil only when
+// Config.Checkpoint aborted formation; the returned function is then
+// the valid partial result (every committed merge was legal), which
+// callers should discard when they propagate the cancellation.
+func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats, error) {
 	fo := NewFormer(f, cfg)
 	done := map[int]bool{}
-	for {
+	for fo.checkpoint() == nil {
 		seed := -1
 		for _, b := range fo.cache.RPO(fo.f) {
 			if !done[b.ID] {
@@ -139,7 +149,7 @@ func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
 		done[seed] = true
 		fo.ExpandBlock(seed)
 	}
-	return fo.f, fo.stats
+	return fo.f, fo.stats, fo.err
 }
 
 // FormProgram applies FormFunction to every function of p, replacing
@@ -151,7 +161,12 @@ func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats) {
 // basic-block (pre-formation) form and reported in the returned
 // degradations; every other function still forms normally. Degraded
 // functions contribute nothing to the aggregate stats.
-func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Degradation) {
+//
+// A Config.Checkpoint abort is not a degradation: the first
+// checkpoint error stops the walk and is returned, with the
+// in-progress function rolled back to its pre-formation snapshot so
+// the program is never left half-formed.
+func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Degradation, error) {
 	var total Stats
 	var degraded []Degradation
 	for _, name := range p.FuncOrder {
@@ -160,11 +175,18 @@ func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Deg
 			c.Prof = prof.Get(name)
 		}
 		var st Stats
-		nf, deg := GuardFunction(p.Funcs[name], "formation", func(f *ir.Function) *ir.Function {
+		var cerr error
+		fn := p.Funcs[name]
+		nf, deg := GuardFunction(fn, "formation", func(f *ir.Function) *ir.Function {
 			var formed *ir.Function
-			formed, st = FormFunction(f, c)
+			formed, st, cerr = FormFunction(f, c)
 			return formed
 		})
+		if cerr != nil {
+			// Canceled mid-function: keep the untouched original so
+			// callers that ignore the error still hold valid IR.
+			return total, degraded, cerr
+		}
 		if deg != nil {
 			degraded = append(degraded, *deg)
 			st = Stats{}
@@ -173,5 +195,5 @@ func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Deg
 		p.Funcs[name] = nf
 		total.Add(st)
 	}
-	return total, degraded
+	return total, degraded, nil
 }

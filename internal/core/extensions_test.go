@@ -46,11 +46,11 @@ func TestSplitOversizeExtension(t *testing.T) {
 
 	// Without splitting: merges of the big block are rejected.
 	p1 := ir.CloneProgram(base)
-	st1, _ := FormProgram(p1, Config{Cons: cons, IterOpt: false, HeadDup: true}, nil)
+	st1, _, _ := FormProgram(p1, Config{Cons: cons, IterOpt: false, HeadDup: true}, nil)
 	// With splitting: the rejected candidate is split and halves
 	// merged.
 	p2 := ir.CloneProgram(base)
-	st2, _ := FormProgram(p2, Config{Cons: cons, IterOpt: false, HeadDup: true,
+	st2, _, _ := FormProgram(p2, Config{Cons: cons, IterOpt: false, HeadDup: true,
 		SplitOversize: true}, nil)
 	if st2.Splits == 0 {
 		t.Fatalf("expected splits with SplitOversize; stats %+v vs %+v", st2, st1)
@@ -124,9 +124,9 @@ func main(n) {
 	}
 
 	pOn := ir.CloneProgram(base)
-	stOn, _ := FormProgram(pOn, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
+	stOn, _, _ := FormProgram(pOn, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true}, nil)
 	pOff := ir.CloneProgram(base)
-	stOff, _ := FormProgram(pOff, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true,
+	stOff, _, _ := FormProgram(pOff, Config{Cons: trips.Default(), IterOpt: true, HeadDup: true,
 		NoChain: true}, nil)
 
 	if stOn.ChainHits == 0 {

@@ -103,6 +103,10 @@ type Former struct {
 	// function's mutation version, so the convergence loop only
 	// recomputes analyses after a committed change.
 	cache analysis.Cache
+	// err latches the first Config.Checkpoint error; once set, the
+	// expansion loops stop merging and the error propagates out of
+	// FormFunction.
+	err error
 }
 
 // NewFormer creates a Former for f with the given configuration. The
@@ -120,6 +124,20 @@ func NewFormer(f *ir.Function, cfg Config) *Former {
 
 // Result returns the current working function.
 func (fo *Former) Result() *ir.Function { return fo.f }
+
+// Err returns the first checkpoint (cancellation) error observed, or
+// nil while formation may continue.
+func (fo *Former) Err() error { return fo.err }
+
+// checkpoint polls Config.Checkpoint and latches its first error.
+func (fo *Former) checkpoint() error {
+	if fo.err == nil && fo.cfg.Checkpoint != nil {
+		if err := fo.cfg.Checkpoint(); err != nil {
+			fo.err = fmt.Errorf("core: formation canceled: %w", err)
+		}
+	}
+	return fo.err
+}
 
 // Stats returns the accumulated formation statistics.
 func (fo *Former) Stats() Stats { return fo.stats }

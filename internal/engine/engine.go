@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaos"
@@ -30,6 +31,11 @@ var ErrPanic = errors.New("engine: job panicked")
 // forever would burn a worker slot on every submission — so further
 // submissions fail fast with this error until a new engine is built.
 var ErrQuarantined = errors.New("engine: job quarantined after repeated watchdog trips")
+
+// ErrCanceled marks a job aborted because its submission context was
+// canceled (errors.Is(err, context.Canceled) also holds). A canceled
+// job is never retried: the caller has already walked away.
+var ErrCanceled = errors.New("engine: job canceled")
 
 // watchdogQuarantineThreshold is the number of watchdog trips (across
 // attempts and submissions) after which a job is quarantined.
@@ -82,6 +88,10 @@ type Engine struct {
 	qmu         sync.Mutex
 	wdTrips     map[string]int
 	quarantined map[string]bool
+
+	// submitSeq indexes Submit results in trace events (Run indexes
+	// by slice position instead).
+	submitSeq atomic.Int64
 }
 
 // New builds an engine. The zero Config is valid: GOMAXPROCS workers,
@@ -170,7 +180,7 @@ func (e *Engine) Run(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runOne(i, jobs[i])
+				results[i] = e.runOne(context.Background(), i, jobs[i])
 			}
 		}()
 	}
@@ -187,6 +197,18 @@ func (e *Engine) Run(jobs []Job) []Result {
 func RunJob(j Job) (Metrics, error) {
 	r := New(Config{Workers: 1}).Run([]Job{j})[0]
 	return r.Metrics, r.Err
+}
+
+// Submit runs one job synchronously under the caller's context,
+// sharing the engine's cache, quarantine ledger, chaos plan, and
+// tracer with every other submission. It is the serving-layer entry
+// point: ctx cancellation propagates end-to-end (parse → formation
+// checkpoints → simulator block polls), a canceled job is never
+// retried, and exactly one trace event is flushed per call no matter
+// how the attempts ended. Concurrency control is the caller's job —
+// Submit does not queue.
+func (e *Engine) Submit(ctx context.Context, j Job) Result {
+	return e.runOne(ctx, int(e.submitSeq.Add(1)-1), j)
 }
 
 // quarantineKey identifies a job for watchdog bookkeeping: its
@@ -227,7 +249,7 @@ func (e *Engine) injector(j Job) timing.Injector {
 	return *e.chaos
 }
 
-func (e *Engine) runOne(i int, j Job) Result {
+func (e *Engine) runOne(ctx context.Context, i int, j Job) Result {
 	r := Result{Job: j, Index: i}
 	start := time.Now()
 	finish := func() Result {
@@ -269,7 +291,7 @@ func (e *Engine) runOne(i int, j Job) Result {
 	if timeout == 0 {
 		timeout = e.timeout
 	}
-	r.Metrics, r.Err = runIsolated(j, timeout, inj)
+	r.Metrics, r.Err = runIsolated(ctx, j, timeout, inj)
 	if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
 		r.WatchdogTrips++
 	}
@@ -278,14 +300,19 @@ func (e *Engine) runOne(i int, j Job) Result {
 	// fault plan): retry once after a short backoff before giving the
 	// row up. Deterministic failures just fail again — and a job
 	// whose retry also trips the watchdog is quarantined rather than
-	// resubmitted forever.
-	if e.backoff >= 0 && r.Err != nil &&
+	// resubmitted forever. A submission whose own context has ended
+	// (deadline passed, caller gone) is never retried: the second
+	// attempt would be stillborn, and the caller must still receive
+	// exactly one terminal result (and one trace event) promptly.
+	if e.backoff >= 0 && r.Err != nil && ctx.Err() == nil &&
 		(errors.Is(r.Err, ErrTimeout) || errors.Is(r.Err, ErrPanic) || errors.Is(r.Err, timing.ErrWatchdog)) {
 		time.Sleep(e.backoff)
-		r.Retries = 1
-		r.Metrics, r.Err = runIsolated(j, timeout, inj)
-		if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
-			r.WatchdogTrips++
+		if ctx.Err() == nil {
+			r.Retries = 1
+			r.Metrics, r.Err = runIsolated(ctx, j, timeout, inj)
+			if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
+				r.WatchdogTrips++
+			}
 		}
 	}
 	if r.WatchdogTrips > 0 {
@@ -299,18 +326,19 @@ func (e *Engine) runOne(i int, j Job) Result {
 
 // runIsolated executes the job body in its own goroutine so that a
 // panic is converted to an error and a deadline can be enforced. The
-// deadline context is passed to the body, where the timing simulator
-// polls it between blocks: on timeout the simulator exits
+// deadline context (derived from the submission's parent context) is
+// passed to the body, where the compiler's phase checkpoints and both
+// simulators poll it: on timeout or cancellation the body exits
 // cooperatively instead of the goroutine being abandoned mid-run.
-func runIsolated(j Job, timeout time.Duration, inj timing.Injector) (Metrics, error) {
+func runIsolated(parent context.Context, j Job, timeout time.Duration, inj timing.Injector) (Metrics, error) {
 	type outcome struct {
 		m   Metrics
 		err error
 	}
-	ctx := context.Background()
+	ctx := parent
 	cancel := context.CancelFunc(func() {})
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(parent, timeout)
 	}
 	defer cancel()
 	done := make(chan outcome, 1)
@@ -327,16 +355,46 @@ func runIsolated(j Job, timeout time.Duration, inj timing.Injector) (Metrics, er
 	timeoutErr := func() error {
 		return fmt.Errorf("engine: job %s/%s exceeded %s: %w", j.Workload, j.Config, timeout, ErrTimeout)
 	}
+	canceledErr := func() error {
+		return fmt.Errorf("%w: job %s/%s: %w", ErrCanceled, j.Workload, j.Config, context.Canceled)
+	}
+	classify := func(m Metrics, err error) (Metrics, error) {
+		// The body may have observed the context itself and returned
+		// its error; normalize deadline hits to ErrTimeout and caller
+		// cancellations to ErrCanceled so every path classifies the
+		// same way.
+		switch {
+		case err == nil:
+			return m, nil
+		case errors.Is(err, context.DeadlineExceeded):
+			return m, timeoutErr()
+		case errors.Is(err, context.Canceled):
+			return m, canceledErr()
+		}
+		return m, err
+	}
 	select {
 	case o := <-done:
-		// The body may have observed the cancellation itself and
-		// returned the context's error; normalize it to ErrTimeout so
-		// callers classify it the same either way.
-		if o.err != nil && errors.Is(o.err, context.DeadlineExceeded) {
-			return o.m, timeoutErr()
-		}
-		return o.m, o.err
+		return classify(o.m, o.err)
 	case <-ctx.Done():
+		// The body may be one context poll away from returning its
+		// own, more informative outcome (a watchdog trip, partial
+		// metrics): give it one brief grace interval before
+		// synthesizing the abort error, so a cooperative exit that
+		// raced the select never loses its result.
+		grace := time.NewTimer(5 * time.Millisecond)
+		defer grace.Stop()
+		select {
+		case o := <-done:
+			return classify(o.m, o.err)
+		case <-grace.C:
+		}
+		// Hard abort: the body is wedged in a non-cooperative phase.
+		// It still holds a goroutine until it reaches its next
+		// checkpoint, but the submission resolves now.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return Metrics{}, canceledErr()
+		}
 		return Metrics{}, timeoutErr()
 	}
 }

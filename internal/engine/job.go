@@ -151,7 +151,7 @@ func (j Job) execute(ctx context.Context, inj timing.Injector) (Metrics, error) 
 	m := Metrics{Workload: j.Workload, Config: j.Config, Sim: j.Sim}
 
 	t0 := time.Now()
-	res, err := compiler.Compile(j.Source, j.Opts)
+	res, err := compiler.CompileContext(ctx, j.Source, j.Opts)
 	m.CompileNS = time.Since(t0).Nanoseconds()
 	if err != nil {
 		return m, fmt.Errorf("%s/%s: %w", j.Workload, j.Config, err)
@@ -187,7 +187,7 @@ func (j Job) execute(ctx context.Context, inj timing.Injector) (Metrics, error) 
 		}
 	case SimFunctional:
 		mach := functional.New(res.Prog)
-		v, err := mach.Run(j.entry(), j.Args...)
+		v, err := mach.RunContext(ctx, j.entry(), j.Args...)
 		if err != nil {
 			return m, fmt.Errorf("%s/%s: %w", j.Workload, j.Config, err)
 		}

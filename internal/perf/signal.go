@@ -1,0 +1,52 @@
+package perf
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// ShutdownExitCode returns the conventional exit status for a process
+// killed by sig: 128+signum (130 for SIGINT, 143 for SIGTERM), so
+// supervisors and shell scripts can tell a signal-interrupted run from
+// an ordinary failure (exit 1) or a usage error (exit 2).
+func ShutdownExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 128 + int(syscall.SIGTERM)
+}
+
+// OnShutdownSignal installs a SIGINT/SIGTERM handler that runs flush
+// once and exits with ShutdownExitCode. It exists so the long-running
+// CLIs (hbchaos, hbfuzz, experiments, hbbench) do not lose their
+// partial traces and -cpuprofile/-memprofile output when an operator
+// interrupts a campaign: a deferred stop function never runs through
+// os.Exit, so the flush must happen on the signal path itself.
+//
+// The returned cancel uninstalls the handler; call it (or defer it)
+// before the normal exit path flushes the same state, so a signal
+// arriving during shutdown cannot double-flush.
+func OnShutdownSignal(flush func(sig os.Signal)) (cancel func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			if flush != nil {
+				flush(sig)
+			}
+			os.Exit(ShutdownExitCode(sig))
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

@@ -219,7 +219,7 @@ func TestBFMergesMoreThanDF(t *testing.T) {
 	formWith := func(pol core.Policy) int {
 		p := ir.CloneProgram(prog)
 		cfg := core.Config{Cons: trips.Default(), IterOpt: true, HeadDup: false, Policy: pol}
-		st, _ := core.FormProgram(p, cfg, prof)
+		st, _, _ := core.FormProgram(p, cfg, prof)
 		return st.Merges
 	}
 	bf := formWith(BreadthFirst{})

@@ -6,6 +6,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -101,6 +102,15 @@ func (fp *FuncProfile) DominantTrip(header *ir.Block) (trip int64, frac float64,
 // Collect runs the program functionally under instrumentation and
 // returns the gathered profile plus the run's result and error.
 func Collect(prog *ir.Program, fn string, args ...int64) (*Profile, int64, error) {
+	return CollectContext(context.Background(), prog, fn, args...)
+}
+
+// CollectContext is Collect with cooperative cancellation: the
+// training run polls ctx between blocks, so a compile deadline also
+// bounds profiling instead of letting a long training run overshoot
+// it. The partial profile gathered before cancellation is returned
+// alongside the wrapped ctx error.
+func CollectContext(ctx context.Context, prog *ir.Program, fn string, args ...int64) (*Profile, int64, error) {
 	p := &Profile{Funcs: map[string]*FuncProfile{}}
 	get := func(f *ir.Function) *FuncProfile {
 		fp, ok := p.Funcs[f.Name]
@@ -178,7 +188,7 @@ func Collect(prog *ir.Program, fn string, args ...int64) (*Profile, int64, error
 			}
 		}
 	}
-	v, err := m.Run(fn, args...)
+	v, err := m.RunContext(ctx, fn, args...)
 	// Finalize any counters still live (function returned from inside
 	// a loop).
 	for k, on := range active {

@@ -1,0 +1,679 @@
+// Package server is the serving layer over the experiment engine: a
+// long-running compile-and-simulate service with the full resilience
+// stack the batch CLIs never needed — bounded admission with
+// backpressure, per-request deadlines propagated end-to-end (front
+// end → formation checkpoints → simulator block polls), per-workload-
+// class circuit breakers, load shedding on queue age and heap
+// watermarks, and graceful drain. Every outcome maps into one
+// structured error class (ErrClass); /healthz, /readyz and /statusz
+// expose liveness, admission state, and the full counter surface.
+//
+// The invariant the whole package is built around: every admitted
+// request receives exactly one terminal response. Workers send
+// exactly one response per task into a buffered channel, handlers
+// read exactly one, and drain refuses to tear the queue down until
+// the in-flight count reaches zero (hard-canceling cooperatively past
+// the drain budget rather than abandoning work).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/engine"
+	"repro/internal/lang"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine executes the jobs (required; New fails without it). The
+	// engine's cache, chaos plan, tracer, and quarantine ledger are
+	// shared across all requests.
+	Engine *engine.Engine
+	// Workers bounds concurrently executing requests (<= 0:
+	// GOMAXPROCS). The admission queue sits in front of the pool.
+	Workers int
+	// QueueDepth bounds queued-but-not-executing requests (<= 0: 64).
+	// A full queue sheds with 429 + Retry-After.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request does not carry one (<= 0: 10s); MaxTimeout clamps
+	// client-supplied deadlines (<= 0: 60s). The deadline spans queue
+	// wait plus execution.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxQueueAge sheds requests that waited in the queue longer than
+	// this before starting (<= 0: half the default timeout). Stale
+	// work is the first thing an overloaded server must stop doing.
+	MaxQueueAge time.Duration
+	// HeapWatermark sheds new admissions while the sampled heap size
+	// is above this many bytes (<= 0: 2 GiB).
+	HeapWatermark uint64
+	// DrainBudget bounds graceful drain: in-flight requests get this
+	// long to finish before they are hard-canceled (cooperatively,
+	// through their contexts). <= 0: 10s.
+	DrainBudget time.Duration
+	// Breaker tunes the per-workload-class circuit breakers.
+	Breaker BreakerConfig
+	// Workloads is the named-workload catalog (nil: Micro ∪ Spec).
+	Workloads []workloads.Workload
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxQueueAge <= 0 {
+		c.MaxQueueAge = c.DefaultTimeout / 2
+	}
+	if c.HeapWatermark == 0 {
+		c.HeapWatermark = 2 << 30
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	if c.Workloads == nil {
+		c.Workloads = append(workloads.Micro(), workloads.Spec()...)
+	}
+	return c
+}
+
+// Request is the POST /v1/jobs body: either a named workload or
+// inline tl source, plus compile/simulate options.
+type Request struct {
+	// Workload names a catalog workload; Source is inline tl. Exactly
+	// one must be set.
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+	// Class overrides the workload class used for circuit breaking
+	// and reporting (default: the workload name, or "adhoc" for
+	// inline source).
+	Class string `json:"class,omitempty"`
+	// Ordering is the phase ordering (default "(IUPO)").
+	Ordering string `json:"ordering,omitempty"`
+	// Sim selects the simulator: "timing", "functional", or "" for
+	// compile-only.
+	Sim string `json:"sim,omitempty"`
+	// Entry and Args parameterize the simulated run (default main
+	// with the workload's measurement args, or no args for source).
+	Entry string  `json:"entry,omitempty"`
+	Args  []int64 `json:"args,omitempty"`
+	// Profile requests a training run before formation (named
+	// workloads profile with their TrainArgs; inline source with
+	// Args).
+	Profile bool `json:"profile,omitempty"`
+	// TimeoutMS is the end-to-end deadline, admission to terminal
+	// response, clamped to the server's MaxTimeout (0: the server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is the terminal JSON response for one request. Exactly one
+// is produced per submit, whatever happened.
+type Response struct {
+	// Class is the structured outcome; Error carries detail for every
+	// class except ok.
+	Class ErrClass `json:"class"`
+	Error string   `json:"error,omitempty"`
+	// RetryAfterMS advises shed clients when to come back.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Workload/ClassName echo the request for correlation.
+	Workload  string `json:"workload,omitempty"`
+	ClassName string `json:"workload_class,omitempty"`
+	// CacheHit/Retries/Quarantined/WallMS summarize execution.
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Retries     int     `json:"retries,omitempty"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
+	// Metrics is the measurement payload (ok and degraded only).
+	Metrics *engine.Metrics `json:"metrics,omitempty"`
+}
+
+// task is one admitted request moving through the queue.
+type task struct {
+	req      Request
+	job      engine.Job
+	class    string
+	deadline time.Time
+	enqueued time.Time
+	ctx      context.Context // the HTTP request's context
+	done     chan Response   // buffered(1); exactly one send
+}
+
+// Server is the resilient compile-and-simulate service.
+type Server struct {
+	cfg      Config
+	eng      *engine.Engine
+	byName   map[string]*workloads.Workload
+	breakers *BreakerSet
+
+	queue    chan *task
+	workerWG sync.WaitGroup
+
+	// admitMu serializes admission against drain: handlers hold the
+	// read side while checking the draining flag and enqueueing, so
+	// once Drain holds the write side and flips the flag, no handler
+	// can race a send onto a queue about to be closed.
+	admitMu  sync.RWMutex
+	draining bool
+
+	// inflight counts admitted-but-unanswered tasks; drain waits on
+	// the WaitGroup, /statusz reads the gauge.
+	inflight    sync.WaitGroup
+	inflightN   atomic.Int64
+	hardCtx     context.Context // canceled when drain exceeds its budget
+	hardCancel  context.CancelFunc
+	heapBytes   atomic.Uint64
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+
+	start     time.Time
+	counts    map[ErrClass]*atomic.Int64
+	shedFull  atomic.Int64 // shed: queue full
+	shedAge   atomic.Int64 // shed: queue age
+	shedHeap  atomic.Int64 // shed: heap watermark
+	shedBrk   atomic.Int64 // shed: breaker open
+	shedDrain atomic.Int64 // shed: draining
+
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// New builds and starts a server: workers and the heap sampler run
+// immediately; attach Handler() to an http.Server to serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		eng:         cfg.Engine,
+		byName:      map[string]*workloads.Workload{},
+		breakers:    NewBreakerSet(cfg.Breaker),
+		queue:       make(chan *task, cfg.QueueDepth),
+		hardCtx:     hardCtx,
+		hardCancel:  hardCancel,
+		samplerStop: make(chan struct{}),
+		samplerDone: make(chan struct{}),
+		start:       time.Now(),
+		counts:      map[ErrClass]*atomic.Int64{},
+	}
+	for i := range cfg.Workloads {
+		w := &cfg.Workloads[i]
+		s.byName[w.Name] = w
+	}
+	for _, c := range Classes {
+		s.counts[c] = &atomic.Int64{}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	go s.sampleHeap()
+	return s, nil
+}
+
+// sampleHeap keeps a fresh heap-size reading for the admission
+// watermark without paying ReadMemStats on every request.
+func (s *Server) sampleHeap() {
+	defer close(s.samplerDone)
+	var ms runtime.MemStats
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	runtime.ReadMemStats(&ms)
+	s.heapBytes.Store(ms.HeapAlloc)
+	for {
+		select {
+		case <-s.samplerStop:
+			return
+		case <-t.C:
+			runtime.ReadMemStats(&ms)
+			s.heapBytes.Store(ms.HeapAlloc)
+		}
+	}
+}
+
+// worker drains the admission queue, executing each task under its
+// deadline and answering exactly once.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		t.done <- s.process(t)
+		s.inflightN.Add(-1)
+		s.inflight.Done()
+	}
+}
+
+// process executes one dequeued task: shed it if it aged out in the
+// queue, otherwise run it through the engine under the remaining
+// deadline budget, wired for drain hard-cancel.
+func (s *Server) process(t *task) Response {
+	now := time.Now()
+	if age := now.Sub(t.enqueued); age > s.cfg.MaxQueueAge {
+		s.shedAge.Add(1)
+		return Response{
+			Class:        ClassShed,
+			Error:        fmt.Sprintf("server: shed after %s in queue (max queue age %s)", age.Round(time.Millisecond), s.cfg.MaxQueueAge),
+			RetryAfterMS: s.cfg.MaxQueueAge.Milliseconds(),
+			ClassName:    t.class,
+		}
+	}
+	remaining := time.Until(t.deadline)
+	if remaining <= 0 {
+		return Response{
+			Class:     ClassTimeout,
+			Error:     "server: deadline expired while queued",
+			ClassName: t.class,
+		}
+	}
+	// The request context carries client disconnects; the drain hard
+	// context cancels in-flight work once the drain budget is spent;
+	// the deadline rides on the parent so the engine's retry guard
+	// (ctx.Err() == nil) can never grant a timed-out attempt a second
+	// full budget. All three propagate cooperatively end-to-end.
+	ctx, cancel := context.WithDeadline(t.ctx, t.deadline)
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	job := t.job
+	job.Timeout = remaining
+	res := s.eng.Submit(ctx, job)
+	class := Classify(res)
+	resp := Response{
+		Class:       class,
+		Workload:    t.job.Workload,
+		ClassName:   t.class,
+		CacheHit:    res.CacheHit,
+		Retries:     res.Retries,
+		Quarantined: res.Quarantined,
+		WallMS:      float64(res.WallNS) / 1e6,
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if class == ClassOK || class == ClassDegraded {
+		m := res.Metrics
+		resp.Metrics = &m
+	}
+	return resp
+}
+
+// admitErr says why admission refused a task.
+type admitErr int
+
+const (
+	admitOK admitErr = iota
+	admitDraining
+	admitFull
+)
+
+// admit enqueues t unless the server is draining or the queue is
+// full. It holds the admission read-lock across the flag check and
+// the send so drain can never close the queue between them.
+func (s *Server) admit(t *task) admitErr {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return admitDraining
+	}
+	select {
+	case s.queue <- t:
+		s.inflight.Add(1)
+		s.inflightN.Add(1)
+		return admitOK
+	default:
+		return admitFull
+	}
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: stop admitting (readyz
+// flips to 503, new submits shed), let in-flight requests finish
+// within the drain budget, then hard-cancel stragglers through their
+// contexts and wait for them to unwind cooperatively. It returns nil
+// when every admitted request received its terminal response;
+// subsequent calls return the first call's result. The HTTP listener
+// (if any) should be shut down by the caller after Drain returns.
+func (s *Server) Drain() error {
+	s.drainOnce.Do(func() {
+		s.admitMu.Lock()
+		s.draining = true
+		s.admitMu.Unlock()
+
+		finished := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(finished)
+		}()
+		budget := time.NewTimer(s.cfg.DrainBudget)
+		defer budget.Stop()
+		select {
+		case <-finished:
+		case <-budget.C:
+			// Budget spent: cancel everything in flight. The engine,
+			// compiler checkpoints, and simulators unwind
+			// cooperatively; give them a grace period bounded by the
+			// same budget again before declaring the drain wedged.
+			s.hardCancel()
+			grace := time.NewTimer(s.cfg.DrainBudget)
+			defer grace.Stop()
+			select {
+			case <-finished:
+			case <-grace.C:
+				s.drainErr = fmt.Errorf("server: drain wedged: %d requests still in flight after hard cancel", s.inflightN.Load())
+			}
+		}
+		// No admitters can be mid-send (draining flag is set under the
+		// write lock), and in-flight work is done: the queue can close
+		// so workers exit.
+		close(s.queue)
+		s.workerWG.Wait()
+		close(s.samplerStop)
+		<-s.samplerDone
+		s.hardCancel()
+	})
+	return s.drainErr
+}
+
+// respond writes the terminal JSON response and bumps the class
+// counters. Every handler path funnels through here exactly once.
+func (s *Server) respond(w http.ResponseWriter, resp Response) {
+	if !resp.Class.Valid() {
+		resp.Class = ClassInternal
+	}
+	s.counts[resp.Class].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hbserved-Class", string(resp.Class))
+	if resp.RetryAfterMS > 0 {
+		secs := (resp.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(resp.Class.HTTPStatus())
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(resp)
+}
+
+// shed builds a ClassShed response.
+func shed(class string, detail string, retryAfter time.Duration) Response {
+	return Response{
+		Class:        ClassShed,
+		Error:        "server: shed: " + detail,
+		RetryAfterMS: retryAfter.Milliseconds(),
+		ClassName:    class,
+	}
+}
+
+// buildJob validates the request and translates it into an engine
+// job. Validation failures return a ClassInvalidInput response.
+func (s *Server) buildJob(req Request) (engine.Job, string, *Response) {
+	invalid := func(format string, args ...any) (engine.Job, string, *Response) {
+		return engine.Job{}, "", &Response{
+			Class: ClassInvalidInput,
+			Error: fmt.Sprintf("server: invalid input: "+format, args...),
+		}
+	}
+	if (req.Workload == "") == (req.Source == "") {
+		return invalid("exactly one of workload or source must be set")
+	}
+	var job engine.Job
+	class := req.Class
+	if req.Workload != "" {
+		w, ok := s.byName[req.Workload]
+		if !ok {
+			return invalid("unknown workload %q", req.Workload)
+		}
+		job.Workload = w.Name
+		job.Source = w.Source
+		job.Args = w.Args
+		if req.Args != nil {
+			job.Args = req.Args
+		}
+		if req.Profile {
+			job.Opts.ProfileFn = "main"
+			job.Opts.ProfileArgs = w.TrainArgs
+		}
+		if class == "" {
+			class = w.Name
+		}
+	} else {
+		// Inline source: the front end is cheap, so malformed input
+		// is rejected here (taxonomy: invalid-input) instead of
+		// burning a worker slot to find out.
+		f, err := lang.Parse(req.Source)
+		if err != nil {
+			return invalid("%v", err)
+		}
+		if err := lang.Check(f); err != nil {
+			return invalid("%v", err)
+		}
+		job.Workload = "adhoc"
+		job.Source = req.Source
+		job.Args = req.Args
+		if req.Profile {
+			job.Opts.ProfileFn = "main"
+			job.Opts.ProfileArgs = req.Args
+		}
+		if class == "" {
+			class = "adhoc"
+		}
+	}
+	if req.Ordering != "" {
+		known := false
+		for _, o := range compiler.Orderings {
+			if string(o) == req.Ordering {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return invalid("unknown ordering %q (have %v)", req.Ordering, compiler.Orderings)
+		}
+		job.Opts.Ordering = compiler.Ordering(req.Ordering)
+	}
+	switch engine.SimKind(req.Sim) {
+	case engine.SimNone, engine.SimTiming, engine.SimFunctional:
+		job.Sim = engine.SimKind(req.Sim)
+	default:
+		return invalid("unknown simulator %q", req.Sim)
+	}
+	job.Entry = req.Entry
+	job.Config = string(job.Opts.Ordering)
+	if job.Config == "" {
+		job.Config = string(compiler.OrderIUPO1)
+	}
+	return job, class, nil
+}
+
+// timeout clamps the request deadline to server policy.
+func (s *Server) timeout(req Request) time.Duration {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// handleJobs is POST /v1/jobs: validate, gate (drain, heap, breaker),
+// admit, wait for the one terminal response, feed the breaker.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.respond(w, Response{
+			Class: ClassInvalidInput,
+			Error: fmt.Sprintf("server: invalid input: bad JSON: %v", err),
+		})
+		return
+	}
+	job, class, inv := s.buildJob(req)
+	if inv != nil {
+		s.respond(w, *inv)
+		return
+	}
+
+	now := time.Now()
+	if s.Draining() {
+		s.shedDrain.Add(1)
+		s.respond(w, shed(class, "draining", s.cfg.DrainBudget))
+		return
+	}
+	if heap := s.heapBytes.Load(); heap > s.cfg.HeapWatermark {
+		s.shedHeap.Add(1)
+		s.respond(w, shed(class, fmt.Sprintf("heap %d bytes above watermark %d", heap, s.cfg.HeapWatermark), time.Second))
+		return
+	}
+	br := s.breakers.Get(class)
+	allowed, retryAfter := br.Allow(now)
+	if !allowed {
+		s.shedBrk.Add(1)
+		s.respond(w, shed(class, fmt.Sprintf("circuit breaker open for class %q", class), retryAfter))
+		return
+	}
+
+	t := &task{
+		req:      req,
+		job:      job,
+		class:    class,
+		deadline: now.Add(s.timeout(req)),
+		enqueued: now,
+		ctx:      r.Context(),
+		done:     make(chan Response, 1),
+	}
+	switch s.admit(t) {
+	case admitDraining:
+		br.ReleaseProbe()
+		s.shedDrain.Add(1)
+		s.respond(w, shed(class, "draining", s.cfg.DrainBudget))
+		return
+	case admitFull:
+		br.ReleaseProbe()
+		s.shedFull.Add(1)
+		s.respond(w, shed(class, fmt.Sprintf("admission queue full (%d)", s.cfg.QueueDepth), s.cfg.MaxQueueAge))
+		return
+	}
+
+	resp := <-t.done
+	if failure, countable := resp.Class.BreakerSignal(); countable {
+		br.Record(time.Now(), failure)
+	} else {
+		// The task was shed after admission (queue age): the breaker
+		// learned nothing about the backend.
+		br.ReleaseProbe()
+	}
+	s.respond(w, resp)
+}
+
+// Status is the /statusz document.
+type Status struct {
+	UptimeMS  int64  `json:"uptime_ms"`
+	Draining  bool   `json:"draining"`
+	Workers   int    `json:"workers"`
+	QueueLen  int    `json:"queue_len"`
+	QueueCap  int    `json:"queue_cap"`
+	InFlight  int64  `json:"in_flight"`
+	HeapBytes uint64 `json:"heap_bytes"`
+	HeapMark  uint64 `json:"heap_watermark"`
+	// Classes counts terminal responses per error class; Shed breaks
+	// the shed class down by cause.
+	Classes map[ErrClass]int64 `json:"classes"`
+	Shed    map[string]int64   `json:"shed"`
+	// Breakers snapshots every workload-class breaker.
+	Breakers map[string]BreakerStatus `json:"breakers"`
+	// Cache is the engine result cache's hit/miss surface.
+	Cache engine.CacheStats `json:"cache"`
+}
+
+// StatusSnapshot assembles the current Status (also used by tests,
+// which assert on it directly instead of re-parsing JSON).
+func (s *Server) StatusSnapshot() Status {
+	st := Status{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Draining:  s.Draining(),
+		Workers:   s.cfg.Workers,
+		QueueLen:  len(s.queue),
+		QueueCap:  s.cfg.QueueDepth,
+		InFlight:  s.inflightN.Load(),
+		HeapBytes: s.heapBytes.Load(),
+		HeapMark:  s.cfg.HeapWatermark,
+		Classes:   map[ErrClass]int64{},
+		Shed: map[string]int64{
+			"queue_full":     s.shedFull.Load(),
+			"queue_age":      s.shedAge.Load(),
+			"heap_watermark": s.shedHeap.Load(),
+			"breaker_open":   s.shedBrk.Load(),
+			"draining":       s.shedDrain.Load(),
+		},
+		Breakers: s.breakers.Status(time.Now()),
+		Cache:    s.eng.Cache().Stats(),
+	}
+	for c, n := range s.counts {
+		st.Classes[c] = n.Load()
+	}
+	return st
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	POST /v1/jobs  — submit a compile/simulate request
+//	GET  /healthz  — liveness (always 200 while the process serves)
+//	GET  /readyz   — admission readiness (503 once draining)
+//	GET  /statusz  — JSON status document
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.StatusSnapshot())
+	})
+	return mux
+}

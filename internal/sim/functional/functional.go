@@ -14,6 +14,7 @@
 package functional
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -67,6 +68,10 @@ type Machine struct {
 	// MaxDepth bounds call nesting (0 = default 512).
 	MaxDepth int
 
+	// ctx, when non-nil, is polled between blocks so a canceled run
+	// returns instead of executing on (see RunContext).
+	ctx context.Context
+
 	steps int64
 	depth int
 }
@@ -117,6 +122,19 @@ func (m *Machine) Reset() {
 	m.depth = 0
 }
 
+// RunContext is Run with cooperative cancellation: the machine polls
+// ctx between block executions and aborts with ctx's error once it is
+// done, so a driver's deadline (or a serving layer's request
+// cancellation) stops the execution instead of abandoning it
+// mid-flight. The returned error wraps ctx.Err(), so callers can
+// classify it with errors.Is(err, context.DeadlineExceeded) or
+// errors.Is(err, context.Canceled).
+func (m *Machine) RunContext(ctx context.Context, fn string, args ...int64) (int64, error) {
+	m.ctx = ctx
+	defer func() { m.ctx = nil }()
+	return m.Run(fn, args...)
+}
+
 // Run executes the named function with the given arguments and
 // returns its result.
 func (m *Machine) Run(fn string, args ...int64) (int64, error) {
@@ -165,6 +183,15 @@ func (m *Machine) call(f *ir.Function, args []int64) (int64, error) {
 // execBlock runs one block to completion. It returns the successor
 // block, or ret=true with the return value.
 func (m *Machine) execBlock(f *ir.Function, b *ir.Block, regs []int64) (next *ir.Block, ret bool, retVal int64, err error) {
+	// Cooperative cancellation: one cheap poll per block execution
+	// (free for plain Run, where m.ctx is nil).
+	if m.ctx != nil {
+		select {
+		case <-m.ctx.Done():
+			return nil, false, 0, fmt.Errorf("functional: %s.%s: %w", f.Name, b.Name, m.ctx.Err())
+		default:
+		}
+	}
 	if m.Hooks.OnBlock != nil {
 		m.Hooks.OnBlock(f, b)
 	}
