@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/perf"
@@ -47,7 +48,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "experiments")
+		return
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)
@@ -163,6 +169,11 @@ func main() {
 		fail(f.Close())
 	}
 	fmt.Fprintln(os.Stderr, tracer.Summary().Format())
+	fmt.Fprintln(os.Stderr, cache.Stats().Format())
+	if fs := eng.FlightStats(); fs.Coalesced > 0 {
+		fmt.Fprintf(os.Stderr, "engine: single-flight: %d flights, %d joins coalesced\n",
+			fs.Flights, fs.Coalesced)
+	}
 	if len(cellErrs) > 0 {
 		for _, err := range cellErrs {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -19,6 +19,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/buildinfo"
 	"repro/internal/perf"
 )
 
@@ -31,7 +32,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	testing.Init()
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbbench")
+		return
+	}
 
 	bt := *benchtime
 	if *short {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -47,7 +48,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the compile stats as a single JSON object on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbc")
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hbc [flags] file.tl")

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/compiler"
 	"repro/internal/fuzz"
@@ -42,7 +43,12 @@ func main() {
 	verbose := flag.Bool("v", false, "log every program swept")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbchaos")
+		return
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/fuzz"
 	"repro/internal/perf"
@@ -37,7 +38,12 @@ func main() {
 	verbose := flag.Bool("v", false, "log every program checked")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbfuzz")
+		return
+	}
 
 	orderings, err := parseOrderings(*orderingsFlag)
 	if err != nil {

@@ -5,15 +5,26 @@
 //	         [-workers 0] [-queue 64]
 //	         [-timeout 10s] [-max-timeout 60s] [-max-queue-age 5s]
 //	         [-drain 10s] [-cache-dir DIR]
+//	         [-shard-id ID] [-peers URL,URL,...] [-store-url URL]
 //	         [-trace FILE] [-trace-stream FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-chaos-seed 0]
+//	         [-version]
 //
 // Endpoints:
 //
-//	POST /v1/jobs  — compile/simulate a named workload or inline tl
-//	GET  /healthz  — liveness
-//	GET  /readyz   — admission readiness (503 while draining)
-//	GET  /statusz  — queue, breaker, cache, and taxonomy counters
+//	POST /v1/jobs        — compile/simulate a named workload or inline tl
+//	GET  /healthz        — liveness
+//	GET  /readyz         — admission readiness (503 while draining)
+//	GET  /statusz        — queue, breaker, cache, store, and taxonomy counters
+//	GET/PUT /artifact/K  — peer-addressable content-addressed artifact store
+//
+// Cluster mode: -peers lists sibling shards' base URLs — on a local
+// cache miss the shard fetches the artifact from the rendezvous-ranked
+// peers before compiling (and verifies the content hash before
+// trusting it). -store-url names a shared deeper store consulted
+// after the peers. -shard-id tags responses (X-Hbserved-Shard) and
+// /statusz so hbfront's routing decisions are auditable. See
+// DESIGN.md's "Cluster architecture" section.
 //
 // Every response carries a structured error class (ok, invalid-input,
 // degraded, quarantined, timeout, shed, internal); see DESIGN.md's
@@ -37,13 +48,16 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/perf"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -56,21 +70,48 @@ func main() {
 	maxQueueAge := flag.Duration("max-queue-age", 5*time.Second, "shed requests queued longer than this")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget for in-flight requests")
 	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory")
+	shardID := flag.String("shard-id", "", "shard identity tag for responses and /statusz")
+	peers := flag.String("peers", "", "comma-separated sibling shard base URLs to fetch artifacts from")
+	storeURL := flag.String("store-url", "", "shared deeper artifact store base URL (consulted after peers)")
 	traceOut := flag.String("trace", "", "write a JSON execution trace to this file on exit")
 	traceStream := flag.String("trace-stream", "", "stream per-job trace events to this file as NDJSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0: off; testing only)")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbserved")
+		return
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)
 
-	cache := engine.NewCache()
+	// The artifact topology: a local tier (disk if -cache-dir, memory
+	// otherwise) is always the tier the /artifact/ handler serves —
+	// never the tiered chain, or two peers would bounce a miss back
+	// and forth. Peer and shared-store tiers stack behind it
+	// read-through/write-back.
+	var local store.Store
 	if *cacheDir != "" {
-		cache, err = engine.NewDiskCache(*cacheDir)
+		local, err = store.NewDisk(*cacheDir, engine.KeySchema)
 		fail(err)
+	} else {
+		local = store.NewMem()
 	}
+	tiers := []store.Store{local}
+	if urls := splitURLs(*peers); len(urls) > 0 {
+		tiers = append(tiers, store.NewPeer("peers", engine.KeySchema, urls, nil))
+	}
+	if *storeURL != "" {
+		tiers = append(tiers, store.NewPeer("store", engine.KeySchema, []string{*storeURL}, nil))
+	}
+	var backing store.Store = local
+	if len(tiers) > 1 {
+		backing = store.NewTiered(tiers...)
+	}
+	cache := engine.NewStoreCache(backing)
 	tracer := engine.NewTracer()
 	var streamFile *os.File
 	if *traceStream != "" {
@@ -98,6 +139,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxQueueAge:    *maxQueueAge,
 		DrainBudget:    *drain,
+		ShardID:        *shardID,
+		ArtifactStore:  local,
 	})
 	fail(err)
 
@@ -109,6 +152,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hbserved: listening on %s (%d workers, queue %d, timeout %s, drain %s)\n",
 		bound, effectiveWorkers(*workers), *queue, *timeout, *drain)
+	if *shardID != "" || *peers != "" || *storeURL != "" {
+		fmt.Fprintf(os.Stderr, "hbserved: cluster mode: shard=%q peers=%q store=%q key-schema=%d\n",
+			*shardID, *peers, *storeURL, engine.KeySchema)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -158,6 +205,11 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		_ = hs.Shutdown(sctx)
 		cancel()
+		// Drained: no request can reach the cache anymore, so the
+		// store chain (write-back worker included) can close.
+		if cerr := cache.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "hbserved: store close:", cerr)
+		}
 		flush()
 		if drainErr != nil {
 			fmt.Fprintln(os.Stderr, "hbserved:", drainErr)
@@ -172,6 +224,17 @@ func main() {
 			time.Duration(st.UptimeMS)*time.Millisecond, answered, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)
 		os.Exit(0)
 	}
+}
+
+// splitURLs parses a comma-separated URL list, dropping empties.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 func effectiveWorkers(w int) int {

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/engine"
 	"repro/internal/perf"
@@ -32,7 +33,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the metrics as a single JSON object on stdout")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbsim")
+		return
+	}
 
 	stopProf, err := perf.StartProfiles(*cpuprofile, *memprofile)
 	fail(err)

@@ -1,0 +1,77 @@
+// Package buildinfo reports what a binary was built from — Go
+// version, VCS revision, and the engine's cache key schema — so a
+// mixed-version cluster is detectable at a glance: every binary grows
+// a -version flag and every serving node reports the same Info on
+// /statusz. Two nodes whose KeySchema differ will refuse to exchange
+// artifacts (the store protocol negotiates the schema per request);
+// this package is how an operator sees that before wondering where
+// the cluster-wide hit rate went.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/engine"
+)
+
+// Info is the build identity document.
+type Info struct {
+	// Binary is the reporting command's name ("hbserved", "hbfront", …).
+	Binary string `json:"binary,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (short), with "+dirty" when the
+	// working tree was modified; "unknown" outside a VCS stamp.
+	Revision string `json:"revision"`
+	// KeySchema is the engine's cache-key schema version: nodes with
+	// different schemas never exchange artifacts.
+	KeySchema int `json:"key_schema"`
+}
+
+// Collect assembles the Info for the running binary.
+func Collect(binary string) Info {
+	info := Info{
+		Binary:    binary,
+		GoVersion: runtime.Version(),
+		Revision:  "unknown",
+		KeySchema: engine.KeySchema,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		info.Revision = rev
+	}
+	return info
+}
+
+// String renders the one-line -version output.
+func (i Info) String() string {
+	return fmt.Sprintf("%s %s (rev %s, key-schema %d)",
+		i.Binary, i.GoVersion, i.Revision, i.KeySchema)
+}
+
+// Print writes the -version line for the named binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintln(w, Collect(binary).String())
+}

@@ -1,12 +1,11 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,14 +13,17 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/regalloc"
 	"repro/internal/sim/timing"
+	"repro/internal/store"
 	"repro/internal/trips"
 )
 
-// keySchema versions the cache-key layout; bump it whenever the
+// KeySchema versions the cache-key layout; bump it whenever the
 // payload below or the semantics of a hashed field change, so stale
-// on-disk entries from older builds can never be returned. Schema 3:
-// timing.Config gained the MaxCycles/WatchdogGap watchdog bounds.
-const keySchema = 3
+// entries from older builds can never be returned — locally or from a
+// peer store (the artifact protocol refuses cross-schema exchanges
+// outright). Schema 3: timing.Config gained the MaxCycles/WatchdogGap
+// watchdog bounds.
+const KeySchema = 3
 
 // keyPayload is the canonical serialization hashed into a job's cache
 // key: everything that determines the job's Metrics, and nothing that
@@ -60,7 +62,7 @@ func Key(j Job) (string, error) {
 	}
 	opts := j.Opts.Canonical()
 	p := keyPayload{
-		Schema:      keySchema,
+		Schema:      KeySchema,
 		Source:      j.Source,
 		Ordering:    opts.Ordering,
 		Cons:        opts.Cons,
@@ -105,23 +107,41 @@ func Key(j Job) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// CacheStats are the cache's hit/miss counters.
+// CacheStats are the cache's operation counters.
 type CacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// DiskHits counts hits served by the backing store rather than
+	// the in-memory layer — local disk on a single node, possibly a
+	// peer's store in a cluster (the tiered store's Stats break the
+	// provenance down further).
 	DiskHits int64 `json:"disk_hits"`
+	// Puts counts stored results; Evicts counts in-memory entries
+	// dropped by the Limit policy (evicted entries persisted by the
+	// backing store come back as DiskHits).
+	Puts   int64 `json:"puts"`
+	Evicts int64 `json:"evicts"`
+}
+
+// Format renders the counters as the one-line summary the CLIs print.
+func (s CacheStats) Format() string {
+	return fmt.Sprintf("cache: %d hits (%d from store), %d misses, %d puts, %d evictions",
+		s.Hits, s.DiskHits, s.Misses, s.Puts, s.Evicts)
 }
 
 // Cache is a content-addressed Metrics store with an in-memory layer
-// and optional on-disk persistence. All methods are safe for
-// concurrent use.
+// and an optional backing store.Store (local disk, a peer store, or a
+// read-through tier chain). All methods are safe for concurrent use.
 type Cache struct {
-	dir string
+	backing store.Store // nil: memory-only
 
-	mu  sync.RWMutex
-	mem map[string]Metrics
+	mu    sync.RWMutex
+	mem   map[string]Metrics
+	order []string // insertion order, for Limit's FIFO eviction
+	limit int      // max in-memory entries (0: unbounded)
 
-	hits, misses, diskHits atomic.Int64
+	hits, misses, storeHits atomic.Int64
+	puts, evicts            atomic.Int64
 }
 
 // NewCache returns an in-memory cache.
@@ -130,18 +150,47 @@ func NewCache() *Cache {
 }
 
 // NewDiskCache returns a cache that persists entries under dir (one
-// JSON file per key) in addition to the in-memory layer, so results
-// survive across runs.
+// enveloped JSON file per key, written atomically) in addition to the
+// in-memory layer, so results survive across runs and can be shared
+// between concurrent processes.
 func NewDiskCache(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	d, err := store.NewDisk(dir, KeySchema)
+	if err != nil {
 		return nil, fmt.Errorf("engine: cache dir: %w", err)
 	}
-	return &Cache{dir: dir, mem: map[string]Metrics{}}, nil
+	return NewStoreCache(d), nil
 }
 
-// Get looks the key up in memory and then on disk. Disk hits are
-// promoted into memory.
+// NewStoreCache returns a cache over an arbitrary backing store —
+// the cluster entry point: hand it a tiered disk+peer store and every
+// node's results become every other node's warm cache.
+func NewStoreCache(s store.Store) *Cache {
+	return &Cache{backing: s, mem: map[string]Metrics{}}
+}
+
+// Store exposes the backing store (nil for a memory-only cache), e.g.
+// for mounting the artifact handler or reporting tier stats.
+func (c *Cache) Store() store.Store { return c.backing }
+
+// Limit bounds the in-memory layer to n entries; the oldest entries
+// are evicted first (the backing store keeps them). n <= 0 removes
+// the bound. Call before heavy use; it does not shrink retroactively
+// below the current population until the next insert.
+func (c *Cache) Limit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.mu.Unlock()
+}
+
+// Get looks the key up in memory and then in the backing store, using
+// a background context. Store hits are promoted into memory.
 func (c *Cache) Get(key string) (Metrics, bool) {
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get under the caller's context (which bounds backing-
+// store reads — a peer fetch respects the request deadline).
+func (c *Cache) GetContext(ctx context.Context, key string) (Metrics, bool) {
 	c.mu.RLock()
 	m, ok := c.mem[key]
 	c.mu.RUnlock()
@@ -149,14 +198,12 @@ func (c *Cache) Get(key string) (Metrics, bool) {
 		c.hits.Add(1)
 		return m, true
 	}
-	if c.dir != "" {
-		raw, err := os.ReadFile(c.path(key))
-		if err == nil && json.Unmarshal(raw, &m) == nil {
-			c.mu.Lock()
-			c.mem[key] = m
-			c.mu.Unlock()
+	if c.backing != nil {
+		payload, ok, _ := c.backing.Get(ctx, key)
+		if ok && json.Unmarshal(payload, &m) == nil {
+			c.insert(key, m)
 			c.hits.Add(1)
-			c.diskHits.Add(1)
+			c.storeHits.Add(1)
 			return m, true
 		}
 	}
@@ -164,33 +211,52 @@ func (c *Cache) Get(key string) (Metrics, bool) {
 	return Metrics{}, false
 }
 
-// Put stores the metrics under key, writing through to disk when
-// persistence is enabled. Disk writes are atomic (temp file + rename)
-// so a concurrent reader never sees a torn entry.
-func (c *Cache) Put(key string, m Metrics) {
+// peek is the lock-cheap in-memory-only probe the single-flight path
+// uses for its post-join double check; it counts a hit (the caller is
+// about to report CacheHit) but never a miss.
+func (c *Cache) peek(key string) (Metrics, bool) {
+	c.mu.RLock()
+	m, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return m, ok
+}
+
+// insert adds the entry to the in-memory layer, evicting FIFO past
+// the limit.
+func (c *Cache) insert(key string, m Metrics) {
 	c.mu.Lock()
+	if _, exists := c.mem[key]; !exists {
+		c.order = append(c.order, key)
+	}
 	c.mem[key] = m
+	for c.limit > 0 && len(c.mem) > c.limit && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.mem[victim]; ok {
+			delete(c.mem, victim)
+			c.evicts.Add(1)
+		}
+	}
 	c.mu.Unlock()
-	if c.dir == "" {
+}
+
+// Put stores the metrics under key, writing through to the backing
+// store when one is attached (the local tier synchronously, deeper
+// tiers on the store's write-back policy).
+func (c *Cache) Put(key string, m Metrics) {
+	c.insert(key, m)
+	c.puts.Add(1)
+	if c.backing == nil {
 		return
 	}
-	raw, err := json.Marshal(m)
+	payload, err := json.Marshal(m)
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(raw)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	_ = c.backing.Put(context.Background(), key, payload)
 }
 
 // Len reports the number of in-memory entries.
@@ -200,15 +266,35 @@ func (c *Cache) Len() int {
 	return len(c.mem)
 }
 
-// Stats returns the hit/miss counters.
+// Stats returns the operation counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
-		DiskHits: c.diskHits.Load(),
+		DiskHits: c.storeHits.Load(),
+		Puts:     c.puts.Load(),
+		Evicts:   c.evicts.Load(),
 	}
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".json")
+// StoreStats snapshots the backing store's counters (nil Stats name
+// when the cache is memory-only).
+func (c *Cache) StoreStats() *store.Stats {
+	if c.backing == nil {
+		return nil
+	}
+	st, err := c.backing.Stat(context.Background())
+	if err != nil {
+		return nil
+	}
+	return &st
+}
+
+// Close flushes and closes the backing store (write-back tiers drain
+// their deferred writes here).
+func (c *Cache) Close() error {
+	if c.backing == nil {
+		return nil
+	}
+	return c.backing.Close()
 }

@@ -89,6 +89,15 @@ type Engine struct {
 	wdTrips     map[string]int
 	quarantined map[string]bool
 
+	// Single-flight: identical in-flight cacheable jobs coalesce onto
+	// one execution (see singleflight.go).
+	fmu     sync.Mutex
+	flights map[string]*flight
+	fstats  flightCounters
+	// flightHook, when set (tests only), runs in the flight runner
+	// just before the compile starts.
+	flightHook func(key string)
+
 	// submitSeq indexes Submit results in trace events (Run indexes
 	// by slice position instead).
 	submitSeq atomic.Int64
@@ -113,6 +122,7 @@ func New(cfg Config) *Engine {
 		workers: w, cache: c, timeout: cfg.Timeout, tracer: cfg.Tracer,
 		backoff: backoff, chaos: cfg.Chaos,
 		wdTrips: map[string]int{}, quarantined: map[string]bool{},
+		flights: map[string]*flight{},
 	}
 }
 
@@ -130,9 +140,14 @@ type Result struct {
 	Job   Job
 	Index int
 	// Key is the content-addressed cache key ("" for uncacheable
-	// jobs); CacheHit reports that Metrics came from the cache.
-	Key      string
-	CacheHit bool
+	// jobs); CacheHit reports that Metrics came from the cache;
+	// Coalesced reports that this submission joined another identical
+	// in-flight submission instead of compiling (cluster-wide
+	// single-flight: N concurrent identical requests cost one
+	// compile).
+	Key       string
+	CacheHit  bool
+	Coalesced bool
 	// Metrics and Err are the job's outcome. Err is non-nil for
 	// compile/sim failures, panics (wrapped with the stack), timeouts
 	// (errors.Is(err, ErrTimeout)), watchdog aborts (errors.Is(err,
@@ -273,11 +288,11 @@ func (e *Engine) runOne(ctx context.Context, i int, j Job) Result {
 
 	inj := e.injector(j)
 	// Chaos perturbs the metrics, so chaos runs neither read nor
-	// write the cache: a cached fault-free cycle count must never be
-	// returned for a chaos job, and vice versa.
+	// write the cache (nor coalesce): a cached fault-free cycle count
+	// must never be returned for a chaos job, and vice versa.
 	cacheable := kerr == nil && inj == nil
 	if cacheable {
-		if m, ok := e.cache.Get(key); ok {
+		if m, ok := e.cache.GetContext(ctx, key); ok {
 			// Labels are display-only and excluded from the key, so
 			// restamp them from this job rather than trusting the
 			// entry's provenance.
@@ -291,37 +306,57 @@ func (e *Engine) runOne(ctx context.Context, i int, j Job) Result {
 	if timeout == 0 {
 		timeout = e.timeout
 	}
-	r.Metrics, r.Err = runIsolated(ctx, j, timeout, inj)
-	if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
-		r.WatchdogTrips++
+	if cacheable {
+		// Identical concurrent submissions coalesce onto one compile;
+		// the shared outcome lands in the cache once.
+		e.runCoalesced(ctx, &r, j, key, qkey, timeout)
+		return finish()
 	}
-	// Panics, timeouts, and watchdog trips may be environmental
-	// (resource pressure, a scheduling hiccup, an over-aggressive
-	// fault plan): retry once after a short backoff before giving the
-	// row up. Deterministic failures just fail again — and a job
-	// whose retry also trips the watchdog is quarantined rather than
-	// resubmitted forever. A submission whose own context has ended
-	// (deadline passed, caller gone) is never retried: the second
-	// attempt would be stillborn, and the caller must still receive
-	// exactly one terminal result (and one trace event) promptly.
-	if e.backoff >= 0 && r.Err != nil && ctx.Err() == nil &&
-		(errors.Is(r.Err, ErrTimeout) || errors.Is(r.Err, ErrPanic) || errors.Is(r.Err, timing.ErrWatchdog)) {
-		time.Sleep(e.backoff)
-		if ctx.Err() == nil {
-			r.Retries = 1
-			r.Metrics, r.Err = runIsolated(ctx, j, timeout, inj)
-			if r.Err != nil && errors.Is(r.Err, timing.ErrWatchdog) {
-				r.WatchdogTrips++
-			}
-		}
-	}
+	o := e.attempt(ctx, j, timeout, inj)
+	r.Metrics, r.Err, r.Retries, r.WatchdogTrips = o.m, o.err, o.retries, o.wdTrips
 	if r.WatchdogTrips > 0 {
 		r.Quarantined = e.recordWatchdogTrips(qkey, r.WatchdogTrips)
 	}
-	if r.Err == nil && cacheable {
-		e.cache.Put(key, r.Metrics)
-	}
 	return finish()
+}
+
+// attemptOutcome is one execution's result: the metrics, the error,
+// and the retry/watchdog bookkeeping that feeds quarantine.
+type attemptOutcome struct {
+	m       Metrics
+	err     error
+	retries int
+	wdTrips int
+}
+
+// attempt executes the job body once, plus the engine's single
+// transient-failure retry. Panics, timeouts, and watchdog trips may
+// be environmental (resource pressure, a scheduling hiccup, an
+// over-aggressive fault plan): retry once after a short backoff
+// before giving the row up. Deterministic failures just fail again —
+// and a job whose retry also trips the watchdog is quarantined by the
+// caller rather than resubmitted forever. An attempt whose own
+// context has ended (deadline passed, caller gone) is never retried:
+// the second attempt would be stillborn, and the caller must still
+// receive exactly one terminal result promptly.
+func (e *Engine) attempt(ctx context.Context, j Job, timeout time.Duration, inj timing.Injector) attemptOutcome {
+	var o attemptOutcome
+	o.m, o.err = runIsolated(ctx, j, timeout, inj)
+	if o.err != nil && errors.Is(o.err, timing.ErrWatchdog) {
+		o.wdTrips++
+	}
+	if e.backoff >= 0 && o.err != nil && ctx.Err() == nil &&
+		(errors.Is(o.err, ErrTimeout) || errors.Is(o.err, ErrPanic) || errors.Is(o.err, timing.ErrWatchdog)) {
+		time.Sleep(e.backoff)
+		if ctx.Err() == nil {
+			o.retries = 1
+			o.m, o.err = runIsolated(ctx, j, timeout, inj)
+			if o.err != nil && errors.Is(o.err, timing.ErrWatchdog) {
+				o.wdTrips++
+			}
+		}
+	}
+	return o
 }
 
 // runIsolated executes the job body in its own goroutine so that a

@@ -17,7 +17,10 @@ type Event struct {
 	Sim      SimKind `json:"sim,omitempty"`
 	Key      string  `json:"key,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
-	Error    string  `json:"error,omitempty"`
+	// Coalesced marks a submission that joined an identical in-flight
+	// compile instead of executing (single-flight).
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// Retries counts re-executions after a panic, timeout, or
 	// watchdog trip; a flaky cell that recovered has Retries > 0 with
 	// no Error.
@@ -100,6 +103,7 @@ func (t *Tracer) observe(r *Result) {
 		Sim:           r.Job.Sim,
 		Key:           r.Key,
 		CacheHit:      r.CacheHit,
+		Coalesced:     r.Coalesced,
 		Retries:       r.Retries,
 		Faults:        m.FaultsInjected,
 		WatchdogTrips: r.WatchdogTrips,

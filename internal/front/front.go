@@ -1,0 +1,526 @@
+// Package front is the cluster's front tier: a thin, stateless-ish
+// router that turns a fleet of hbserved shards into one service.
+//
+// Three mechanisms do the work:
+//
+//   - Rendezvous routing: every request's content-addressed cache key
+//     (the same key the shard's engine will compute) ranks the shards
+//     by highest-random-weight hashing. The top-ranked healthy shard
+//     owns the key, so identical requests always land where the
+//     artifact already is, and adding or removing one shard only
+//     remaps the keys that ranked it first.
+//
+//   - Hedged retries: the primary gets a budget derived from its own
+//     recent latency distribution (a configurable quantile, clamped);
+//     past the budget the same request is issued to the second-ranked
+//     shard and the first response wins — the loser is canceled
+//     through its context. A transport failure fails over to the
+//     second choice immediately. Per-shard circuit breakers (the same
+//     state machine the server uses per workload class) stop the
+//     front from hammering a dead shard, and shard failures map into
+//     the server's ErrClass taxonomy.
+//
+//   - Single-flight: identical concurrent requests coalesce on the
+//     front by (generation, cache key) before any shard is touched,
+//     so a thundering herd of N identical requests crosses the
+//     network once, coalesces again on the shard, and costs exactly
+//     one compile cluster-wide.
+//
+// Hot-swap: Swap atomically installs a new shard set (e.g. a new
+// compiler version) under a new generation. Flights in progress keep
+// the generation they started on and drain naturally; new requests
+// start flights on the new set. A waiter is bound to exactly one
+// flight, so the cutover can never deliver duplicate (or zero)
+// terminal responses — the seamless-handoff-with-dedup idiom.
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes a Front.
+type Config struct {
+	// Shards are the initial backend base URLs (required, >= 1).
+	Shards []string
+	// Workloads is the named-workload catalog used to derive cache
+	// keys (nil: Micro ∪ Spec — must match the shards').
+	Workloads []workloads.Workload
+	// HedgeAfter is the floor (and cold-start value) of the hedge
+	// budget; HedgeMax caps it; HedgeQuantile picks the point of the
+	// primary's recent latency distribution used once enough samples
+	// exist. Defaults: 50ms, 2s, 0.95.
+	HedgeAfter    time.Duration
+	HedgeMax      time.Duration
+	HedgeQuantile float64
+	// DefaultTimeout/MaxTimeout mirror the server's request-deadline
+	// policy (defaults 10s/60s). A flight itself is bounded by the
+	// initiating request's clamped deadline.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Breaker tunes the per-shard circuit breakers.
+	Breaker server.BreakerConfig
+	// Client issues backend requests (nil: a fresh http.Client; per-
+	// try deadlines come from contexts, not a client timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workloads == nil {
+		c.Workloads = append(workloads.Micro(), workloads.Spec()...)
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 50 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// flightKey identifies a coalescable request: the engine cache key
+// (which hashes everything that determines the result), the client
+// deadline (excluded from the engine key but visible in behavior),
+// and the shard-set generation (flights never span a hot-swap).
+type flightKey struct {
+	gen       int
+	key       string
+	timeoutMS int64
+}
+
+// upstream is one terminal backend outcome: either an HTTP response
+// (whatever its class) or a transport-level error.
+type upstream struct {
+	status    int
+	class     server.ErrClass
+	body      []byte
+	shard     string
+	hedged    bool // served by the hedge/failover try, not the primary
+	cacheHit  bool
+	coalesced bool
+	err       error
+}
+
+// flight is one coalesced in-flight request on the front tier.
+type flight struct {
+	done chan struct{}
+	out  upstream
+}
+
+// Front is the router. Build with New, mount Handler, Drain on
+// shutdown.
+type Front struct {
+	cfg    Config
+	byName map[string]*workloads.Workload
+	client *http.Client
+
+	// mu guards set, flights and draining; admission holds the read
+	// side (same discipline as the server's drain).
+	mu       sync.RWMutex
+	set      *shardSet
+	flights  map[flightKey]*flight
+	draining bool
+
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
+
+	start     time.Time
+	requests  atomic.Int64
+	coalesced atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	failovers atomic.Int64
+	swaps     atomic.Int64
+	cacheHits atomic.Int64 // responses served from a shard cache or coalesce
+	counts    map[server.ErrClass]*atomic.Int64
+
+	drainOnce sync.Once
+}
+
+// New builds a front over the configured shard set.
+func New(cfg Config) (*Front, error) {
+	cfg = cfg.withDefaults()
+	set := newShardSet(1, cfg.Shards, cfg.Breaker)
+	if len(set.urls) == 0 {
+		return nil, fmt.Errorf("front: Config.Shards must name at least one shard URL")
+	}
+	f := &Front{
+		cfg:     cfg,
+		byName:  map[string]*workloads.Workload{},
+		client:  cfg.Client,
+		set:     set,
+		flights: map[flightKey]*flight{},
+		start:   time.Now(),
+		counts:  map[server.ErrClass]*atomic.Int64{},
+	}
+	for i := range cfg.Workloads {
+		w := &cfg.Workloads[i]
+		f.byName[w.Name] = w
+	}
+	for _, c := range server.Classes {
+		f.counts[c] = &atomic.Int64{}
+	}
+	return f, nil
+}
+
+// Swap installs a new shard set under the next generation: new
+// requests route to it immediately, flights in progress finish on the
+// set they started with. Returns the old and new generation numbers.
+func (f *Front) Swap(urls []string) (from, to int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := newShardSet(f.set.gen+1, urls, f.cfg.Breaker)
+	if len(next.urls) == 0 {
+		return f.set.gen, f.set.gen, fmt.Errorf("front: swap needs at least one shard URL")
+	}
+	from = f.set.gen
+	f.set = next
+	f.swaps.Add(1)
+	return from, next.gen, nil
+}
+
+// Draining reports whether drain has begun.
+func (f *Front) Draining() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.draining
+}
+
+// Drain stops admitting (new requests shed, readyz 503) and waits for
+// every admitted request to receive its terminal response.
+func (f *Front) Drain() error {
+	f.drainOnce.Do(func() {
+		f.mu.Lock()
+		f.draining = true
+		f.mu.Unlock()
+		f.inflight.Wait()
+	})
+	return nil
+}
+
+// timeout clamps the request deadline to policy (same as the server).
+func (f *Front) timeout(req server.Request) time.Duration {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = f.cfg.DefaultTimeout
+	}
+	if d > f.cfg.MaxTimeout {
+		d = f.cfg.MaxTimeout
+	}
+	return d
+}
+
+// respond writes one terminal response and bumps the class counter.
+func (f *Front) respond(w http.ResponseWriter, u upstream) {
+	if !u.class.Valid() {
+		u.class = server.ClassInternal
+	}
+	f.counts[u.class].Add(1)
+	if u.cacheHit || u.coalesced {
+		f.cacheHits.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hbserved-Class", string(u.class))
+	if u.shard != "" {
+		w.Header().Set("X-Hbfront-Shard", u.shard)
+	}
+	if u.hedged {
+		w.Header().Set("X-Hbfront-Hedged", "1")
+	}
+	if u.status == 0 {
+		u.status = u.class.HTTPStatus()
+	}
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+// synthesize builds a front-originated terminal outcome (sheds,
+// routing failures, coalesced-wait timeouts) in the server's response
+// schema so clients see one format no matter who answered.
+func synthesize(class server.ErrClass, detail string, retryAfter time.Duration) upstream {
+	resp := server.Response{Class: class, Error: detail}
+	if retryAfter > 0 {
+		resp.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	body, _ := json.Marshal(resp)
+	return upstream{status: class.HTTPStatus(), class: class, body: body}
+}
+
+// handleJobs is POST /v1/jobs: validate, coalesce, route, hedge,
+// respond exactly once.
+func (f *Front) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	f.requests.Add(1)
+	var req server.Request
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		f.respond(w, synthesize(server.ClassInvalidInput,
+			fmt.Sprintf("front: invalid input: bad JSON: %v", err), 0))
+		return
+	}
+	job, _, inv := server.BuildJob(f.byName, req)
+	if inv != nil {
+		f.respond(w, upstream{status: inv.Class.HTTPStatus(), class: inv.Class, body: mustJSON(*inv)})
+		return
+	}
+	key, err := engine.Key(job)
+	if err != nil {
+		f.respond(w, synthesize(server.ClassInvalidInput,
+			fmt.Sprintf("front: unroutable request: %v", err), 0))
+		return
+	}
+	timeout := f.timeout(req)
+	body, _ := json.Marshal(req)
+
+	// Admission: the read lock spans the draining check, the flight
+	// join/create, and the in-flight increment, so Drain (write lock)
+	// can never slip between them.
+	f.mu.RLock()
+	if f.draining {
+		f.mu.RUnlock()
+		f.respond(w, synthesize(server.ClassShed, "front: shed: draining", time.Second))
+		return
+	}
+	set := f.set
+	fk := flightKey{gen: set.gen, key: key, timeoutMS: req.TimeoutMS}
+	f.mu.RUnlock()
+
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		f.respond(w, synthesize(server.ClassShed, "front: shed: draining", time.Second))
+		return
+	}
+	f.inflight.Add(1)
+	f.inflightN.Add(1)
+	defer func() {
+		f.inflightN.Add(-1)
+		f.inflight.Done()
+	}()
+	fl, joined := f.flights[fk]
+	if !joined {
+		fl = &flight{done: make(chan struct{})}
+		f.flights[fk] = fl
+		go f.runFlight(fk, fl, set, body, timeout)
+	}
+	f.mu.Unlock()
+	if joined {
+		f.coalesced.Add(1)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	select {
+	case <-fl.done:
+		u := fl.out
+		if joined {
+			u.coalesced = true
+		}
+		f.respond(w, u)
+	case <-ctx.Done():
+		// This waiter's deadline (or client) ended first; the flight
+		// keeps running for the others. Exactly one response either
+		// way.
+		f.respond(w, synthesize(server.ClassTimeout,
+			"front: deadline expired waiting for the coalesced flight", 0))
+	}
+}
+
+// runFlight executes one coalesced request against the shard set and
+// publishes the outcome. The flight's own deadline matches the
+// initiating request's, anchored now, independent of any one waiter's
+// connection.
+func (f *Front) runFlight(fk flightKey, fl *flight, set *shardSet, body []byte, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	fl.out = f.hedgedDo(ctx, set, fk.key, body)
+	cancel()
+	f.mu.Lock()
+	if f.flights[fk] == fl {
+		delete(f.flights, fk)
+	}
+	f.mu.Unlock()
+	close(fl.done)
+}
+
+// nextAllowed walks the rendezvous order from position i and returns
+// the first shard whose breaker admits a request, with the position
+// after it. Allow is consumed at launch time only — a breaker probe
+// is never reserved for a try that does not happen.
+func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, int) {
+	for ; i < len(order); i++ {
+		s := set.shards[order[i]]
+		if ok, _ := s.breaker.Allow(now); ok {
+			return s, i + 1
+		}
+	}
+	return nil, i
+}
+
+// hedgedDo routes one request: primary by rendezvous rank, hedge to
+// the next healthy choice after the latency budget (or instantly on a
+// transport failure), first HTTP response wins, loser canceled.
+func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []byte) upstream {
+	order := store.Rank(key, set.urls)
+	now := time.Now()
+	primary, next := nextAllowed(set, order, 0, now)
+	if primary == nil {
+		return synthesize(server.ClassShed,
+			"front: shed: every shard's circuit breaker is open", f.cfg.Breaker.Backoff)
+	}
+
+	tryCtx, cancelTries := context.WithCancel(ctx)
+	defer cancelTries()
+	resc := make(chan upstream, 2)
+	launch := func(s *shard, hedged bool) {
+		go func() { resc <- f.tryShard(tryCtx, s, body, hedged) }()
+	}
+	launch(primary, false)
+	outstanding := 1
+	hedged := false
+
+	budget := primary.hedgeBudget(f.cfg)
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+
+	hedge := func(reason *atomic.Int64) {
+		if hedged {
+			return
+		}
+		if s, _ := nextAllowed(set, order, next, time.Now()); s != nil {
+			reason.Add(1)
+			hedged = true
+			outstanding++
+			launch(s, true)
+		}
+	}
+
+	var lastErr upstream
+	for {
+		select {
+		case u := <-resc:
+			outstanding--
+			if u.err == nil {
+				if u.hedged {
+					f.hedgeWins.Add(1)
+				}
+				return u
+			}
+			lastErr = u
+			// Transport failure: fail over immediately if a second
+			// choice exists and none is already in flight.
+			hedge(&f.failovers)
+			if outstanding == 0 {
+				return synthesize(server.ClassInternal,
+					fmt.Sprintf("front: all shard attempts failed: %v", lastErr.err), 0)
+			}
+		case <-timer.C:
+			hedge(&f.hedges)
+		case <-ctx.Done():
+			return synthesize(server.ClassTimeout,
+				"front: request deadline expired while routing", 0)
+		}
+	}
+}
+
+// probeBody is the slice of the shard response the front's gauges
+// care about.
+type probeBody struct {
+	CacheHit  bool `json:"cache_hit"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// tryShard issues one POST to one shard and classifies the result:
+// any HTTP response is terminal (its class comes from the
+// X-Hbserved-Class header), a transport failure is err. Breaker and
+// latency bookkeeping happen here so every try — hedged or not —
+// feeds the shard's health state.
+func (f *Front) tryShard(ctx context.Context, s *shard, body []byte, hedged bool) upstream {
+	s.requests.Add(1)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		s.errors.Add(1)
+		s.breaker.Record(time.Now(), true)
+		return upstream{shard: s.url, hedged: hedged, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		s.errors.Add(1)
+		// A canceled loser try says nothing about shard health.
+		if ctx.Err() == nil {
+			s.breaker.Record(time.Now(), true)
+		} else {
+			s.breaker.ReleaseProbe()
+		}
+		return upstream{shard: s.url, hedged: hedged, err: err}
+	}
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		s.errors.Add(1)
+		s.breaker.Record(time.Now(), true)
+		return upstream{shard: s.url, hedged: hedged, err: rerr}
+	}
+	s.lat.record(time.Since(start))
+
+	class := server.ErrClass(resp.Header.Get("X-Hbserved-Class"))
+	if !class.Valid() {
+		// A reply without the taxonomy header is not an hbserved
+		// shard answering properly; treat it as a backend fault.
+		class = server.ClassInternal
+	}
+	if failure, countable := class.BreakerSignal(); countable {
+		s.breaker.Record(time.Now(), failure)
+	} else {
+		s.breaker.ReleaseProbe()
+	}
+	var pb probeBody
+	_ = json.Unmarshal(raw, &pb)
+	return upstream{
+		status:    resp.StatusCode,
+		class:     class,
+		body:      raw,
+		shard:     s.url,
+		hedged:    hedged,
+		cacheHit:  pb.CacheHit,
+		coalesced: pb.Coalesced,
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"class":"internal","error":"front: encode failure"}`)
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package front
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// latRing keeps the last latWindow observed latencies per shard; the
+// hedge budget is a quantile over it, so "slow" is defined by what
+// this shard has actually been doing lately, not a static guess.
+const latWindow = 64
+
+type latRing struct {
+	mu sync.Mutex
+	ns [latWindow]int64
+	n  int // samples recorded (capped at latWindow)
+	i  int // next write position
+}
+
+// record adds one latency sample.
+func (l *latRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.ns[l.i] = d.Nanoseconds()
+	l.i = (l.i + 1) % latWindow
+	if l.n < latWindow {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the recorded samples and
+// how many samples back it; with no samples it returns (0, 0).
+func (l *latRing) quantile(q float64) (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	buf := make([]int64, n)
+	copy(buf, l.ns[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	idx := int(q * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(buf[idx]), n
+}
+
+// shard is one backend hbserved node as the front tier sees it: its
+// URL, its circuit breaker, and its recent latency history.
+type shard struct {
+	url     string
+	breaker *server.Breaker
+	lat     latRing
+
+	requests atomic.Int64 // tries issued to this shard
+	errors   atomic.Int64 // transport-level failures
+}
+
+// hedgeBudget computes how long to wait on this shard before hedging:
+// the configured quantile of its recent latencies, clamped to
+// [HedgeAfter, HedgeMax]. Until minHedgeSamples responses have been
+// observed the floor is used unmodified — hedging aggressively off
+// two data points would hedge on noise.
+const minHedgeSamples = 8
+
+func (s *shard) hedgeBudget(cfg Config) time.Duration {
+	q, n := s.lat.quantile(cfg.HedgeQuantile)
+	if n < minHedgeSamples || q < cfg.HedgeAfter {
+		return cfg.HedgeAfter
+	}
+	if q > cfg.HedgeMax {
+		return cfg.HedgeMax
+	}
+	return q
+}
+
+// shardSet is one generation of backends. Swap replaces the whole
+// set; in-flight work keeps the generation it started on, so a
+// cutover can never deliver two responses (one per generation) to the
+// same waiter.
+type shardSet struct {
+	gen    int
+	urls   []string // rendezvous node names, same order as shards
+	shards map[string]*shard
+}
+
+func newShardSet(gen int, urls []string, bcfg server.BreakerConfig) *shardSet {
+	set := &shardSet{gen: gen, shards: make(map[string]*shard, len(urls))}
+	seen := map[string]bool{}
+	for _, u := range urls {
+		for len(u) > 0 && u[len(u)-1] == '/' {
+			u = u[:len(u)-1]
+		}
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		set.urls = append(set.urls, u)
+		set.shards[u] = &shard{url: u, breaker: server.NewBreaker(bcfg, saltOf(u))}
+	}
+	return set
+}
+
+// saltOf seeds a shard breaker's jitter stream from its URL (FNV-1a,
+// same convention as the server's per-class breakers).
+func saltOf(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,161 @@
+package front
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+// ShardStatus is one backend's health as the front tier sees it.
+type ShardStatus struct {
+	URL      string `json:"url"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// P50MS/P95MS summarize the recent latency ring (0 until samples
+	// exist); HedgeBudgetMS is the wait this shard currently earns
+	// before a hedge launches.
+	P50MS         float64              `json:"p50_ms"`
+	P95MS         float64              `json:"p95_ms"`
+	HedgeBudgetMS float64              `json:"hedge_budget_ms"`
+	Breaker       server.BreakerStatus `json:"breaker"`
+}
+
+// Status is the front tier's /statusz document.
+type Status struct {
+	Build         buildinfo.Info `json:"build"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Draining      bool           `json:"draining"`
+	// Gen is the current shard-set generation; Swaps counts hot-swaps.
+	Gen   int   `json:"gen"`
+	Swaps int64 `json:"swaps"`
+
+	Requests int64 `json:"requests"`
+	Inflight int64 `json:"inflight"`
+	// Coalesced counts requests that joined an existing flight;
+	// CacheHits counts responses satisfied without a fresh compile
+	// (shard cache hit, shard coalesce, or front coalesce); HitRate is
+	// CacheHits/Requests.
+	Coalesced int64   `json:"coalesced"`
+	CacheHits int64   `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	// Hedges counts budget-expiry hedges, HedgeWins those won by the
+	// hedged try, Failovers immediate retries after transport errors.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	Failovers int64 `json:"failovers"`
+
+	Classes map[server.ErrClass]int64 `json:"classes"`
+	Shards  []ShardStatus             `json:"shards"`
+}
+
+// StatusSnapshot assembles the current Status.
+func (f *Front) StatusSnapshot() Status {
+	f.mu.RLock()
+	set := f.set
+	draining := f.draining
+	f.mu.RUnlock()
+
+	st := Status{
+		Build:         buildinfo.Collect("hbfront"),
+		UptimeSeconds: time.Since(f.start).Seconds(),
+		Draining:      draining,
+		Gen:           set.gen,
+		Swaps:         f.swaps.Load(),
+		Requests:      f.requests.Load(),
+		Inflight:      f.inflightN.Load(),
+		Coalesced:     f.coalesced.Load(),
+		CacheHits:     f.cacheHits.Load(),
+		Hedges:        f.hedges.Load(),
+		HedgeWins:     f.hedgeWins.Load(),
+		Failovers:     f.failovers.Load(),
+		Classes:       map[server.ErrClass]int64{},
+	}
+	if st.Requests > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(st.Requests)
+	}
+	for c, n := range f.counts {
+		if v := n.Load(); v > 0 {
+			st.Classes[c] = v
+		}
+	}
+	now := time.Now()
+	for _, u := range set.urls {
+		s := set.shards[u]
+		p50, _ := s.lat.quantile(0.50)
+		p95, _ := s.lat.quantile(0.95)
+		st.Shards = append(st.Shards, ShardStatus{
+			URL:           s.url,
+			Requests:      s.requests.Load(),
+			Errors:        s.errors.Load(),
+			P50MS:         float64(p50.Nanoseconds()) / 1e6,
+			P95MS:         float64(p95.Nanoseconds()) / 1e6,
+			HedgeBudgetMS: float64(s.hedgeBudget(f.cfg).Nanoseconds()) / 1e6,
+			Breaker:       s.breaker.Status(now),
+		})
+	}
+	return st
+}
+
+// handleSwap is POST /admin/swap: {"shards": ["url", ...]} installs a
+// new shard set under the next generation.
+func (f *Front) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Shards []string `json:"shards"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	from, to, err := f.Swap(req.Shards)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"from_gen": from, "to_gen": to})
+}
+
+// Handler mounts the front tier's HTTP surface:
+//
+//	POST /v1/jobs    submit (same schema as hbserved)
+//	GET  /healthz    liveness
+//	GET  /readyz     admission (503 while draining)
+//	GET  /statusz    Status JSON
+//	POST /admin/swap hot-swap the shard set
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", f.handleJobs)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if f.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f.StatusSnapshot())
+	})
+	mux.HandleFunc("/admin/swap", f.handleSwap)
+	return mux
+}

@@ -27,9 +27,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/compiler"
 	"repro/internal/engine"
 	"repro/internal/lang"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -66,6 +68,14 @@ type Config struct {
 	Breaker BreakerConfig
 	// Workloads is the named-workload catalog (nil: Micro ∪ Spec).
 	Workloads []workloads.Workload
+	// ShardID names this node in /statusz and the X-Hbserved-Shard
+	// response header (cluster deployments; "" for standalone).
+	ShardID string
+	// ArtifactStore, when non-nil, is the node's local artifact tier,
+	// served to peers at /artifact/{key}. It must be the local store
+	// (disk or memory), never the read-through tier chain — serving
+	// the chain would recurse a peer's request back out to peers.
+	ArtifactStore store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -138,8 +148,11 @@ type Response struct {
 	// Workload/ClassName echo the request for correlation.
 	Workload  string `json:"workload,omitempty"`
 	ClassName string `json:"workload_class,omitempty"`
-	// CacheHit/Retries/Quarantined/WallMS summarize execution.
+	// CacheHit/Coalesced/Retries/Quarantined/WallMS summarize
+	// execution (Coalesced: the request joined an identical in-flight
+	// compile instead of running its own — single-flight).
 	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
 	Retries     int     `json:"retries,omitempty"`
 	Quarantined bool    `json:"quarantined,omitempty"`
 	WallMS      float64 `json:"wall_ms"`
@@ -305,6 +318,7 @@ func (s *Server) process(t *task) Response {
 		Workload:    t.job.Workload,
 		ClassName:   t.class,
 		CacheHit:    res.CacheHit,
+		Coalesced:   res.Coalesced,
 		Retries:     res.Retries,
 		Quarantined: res.Quarantined,
 		WallMS:      float64(res.WallNS) / 1e6,
@@ -411,6 +425,9 @@ func (s *Server) respond(w http.ResponseWriter, resp Response) {
 	s.counts[resp.Class].Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hbserved-Class", string(resp.Class))
+	if s.cfg.ShardID != "" {
+		w.Header().Set("X-Hbserved-Shard", s.cfg.ShardID)
+	}
 	if resp.RetryAfterMS > 0 {
 		secs := (resp.RetryAfterMS + 999) / 1000
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
@@ -433,6 +450,17 @@ func shed(class string, detail string, retryAfter time.Duration) Response {
 // buildJob validates the request and translates it into an engine
 // job. Validation failures return a ClassInvalidInput response.
 func (s *Server) buildJob(req Request) (engine.Job, string, *Response) {
+	return BuildJob(s.byName, req)
+}
+
+// BuildJob validates a request against a workload catalog and
+// translates it into an engine job plus its breaker class. Validation
+// failures return a ClassInvalidInput response. It is shared with the
+// front tier (internal/front), which must derive the same engine job
+// — and therefore the same content-addressed cache key — as the shard
+// that will execute it, so routing, coalescing, and the shard's own
+// cache all agree on the request's identity.
+func BuildJob(byName map[string]*workloads.Workload, req Request) (engine.Job, string, *Response) {
 	invalid := func(format string, args ...any) (engine.Job, string, *Response) {
 		return engine.Job{}, "", &Response{
 			Class: ClassInvalidInput,
@@ -445,7 +473,7 @@ func (s *Server) buildJob(req Request) (engine.Job, string, *Response) {
 	var job engine.Job
 	class := req.Class
 	if req.Workload != "" {
-		w, ok := s.byName[req.Workload]
+		w, ok := byName[req.Workload]
 		if !ok {
 			return invalid("unknown workload %q", req.Workload)
 		}
@@ -601,6 +629,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // Status is the /statusz document.
 type Status struct {
+	// Build identifies the binary (Go version, VCS revision, cache
+	// key schema); ShardID names the node in a cluster.
+	Build   buildinfo.Info `json:"build"`
+	ShardID string         `json:"shard_id,omitempty"`
+
 	UptimeMS  int64  `json:"uptime_ms"`
 	Draining  bool   `json:"draining"`
 	Workers   int    `json:"workers"`
@@ -615,14 +648,20 @@ type Status struct {
 	Shed    map[string]int64   `json:"shed"`
 	// Breakers snapshots every workload-class breaker.
 	Breakers map[string]BreakerStatus `json:"breakers"`
-	// Cache is the engine result cache's hit/miss surface.
-	Cache engine.CacheStats `json:"cache"`
+	// Cache is the engine result cache's hit/miss surface; Store
+	// breaks the backing artifact tiers down (nil when memory-only);
+	// Flights is the engine's single-flight coalescing surface.
+	Cache   engine.CacheStats  `json:"cache"`
+	Store   *store.Stats       `json:"store,omitempty"`
+	Flights engine.FlightStats `json:"flights"`
 }
 
 // StatusSnapshot assembles the current Status (also used by tests,
 // which assert on it directly instead of re-parsing JSON).
 func (s *Server) StatusSnapshot() Status {
 	st := Status{
+		Build:     buildinfo.Collect("hbserved"),
+		ShardID:   s.cfg.ShardID,
 		UptimeMS:  time.Since(s.start).Milliseconds(),
 		Draining:  s.Draining(),
 		Workers:   s.cfg.Workers,
@@ -641,6 +680,8 @@ func (s *Server) StatusSnapshot() Status {
 		},
 		Breakers: s.breakers.Status(time.Now()),
 		Cache:    s.eng.Cache().Stats(),
+		Store:    s.eng.Cache().StoreStats(),
+		Flights:  s.eng.FlightStats(),
 	}
 	for c, n := range s.counts {
 		st.Classes[c] = n.Load()
@@ -650,13 +691,18 @@ func (s *Server) StatusSnapshot() Status {
 
 // Handler returns the server's HTTP mux:
 //
-//	POST /v1/jobs  — submit a compile/simulate request
-//	GET  /healthz  — liveness (always 200 while the process serves)
-//	GET  /readyz   — admission readiness (503 once draining)
-//	GET  /statusz  — JSON status document
+//	POST /v1/jobs        — submit a compile/simulate request
+//	GET  /healthz        — liveness (always 200 while the process serves)
+//	GET  /readyz         — admission readiness (503 once draining)
+//	GET  /statusz        — JSON status document
+//	GET/PUT /artifact/…  — the peer artifact protocol (when
+//	                       Config.ArtifactStore is set)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	if s.cfg.ArtifactStore != nil {
+		mux.Handle(store.ArtifactPath, store.NewHandler(s.cfg.ArtifactStore, engine.KeySchema))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

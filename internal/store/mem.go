@@ -1,0 +1,62 @@
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// Mem is the in-process store: a plain map of verified payloads. It
+// backs cache-dir-less hbserved nodes so their artifacts are still
+// peer-addressable, and it is the natural test double.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+	counters
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{m: map[string][]byte{}}
+}
+
+// Get returns a copy of the stored payload.
+func (s *Mem) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	s.gets.Add(1)
+	s.mu.RLock()
+	p, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, true, nil
+}
+
+// Put stores a copy of the payload.
+func (s *Mem) Put(ctx context.Context, key string, payload []byte) error {
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	s.mu.Lock()
+	s.m[key] = p
+	s.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// Len reports the number of stored entries.
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Stat snapshots the counters.
+func (s *Mem) Stat(ctx context.Context) (Stats, error) {
+	return s.counters.snapshot("mem"), nil
+}
+
+// Close is a no-op.
+func (s *Mem) Close() error { return nil }

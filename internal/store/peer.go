@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Artifact-protocol wire details, shared by the peer client and the
+// handler.
+const (
+	// SchemaHeader carries the sender's key schema on every request
+	// and response; a node that sees a different schema refuses the
+	// exchange (412 on the server, a miss on the client) so
+	// mixed-version clusters never trade stale entries.
+	SchemaHeader = "X-Hb-Key-Schema"
+	// ArtifactPath is the prefix every node mounts its store under.
+	ArtifactPath = "/artifact/"
+	// maxArtifactBytes bounds a fetched envelope: engine metrics are
+	// a few KB; anything near this limit is garbage, not an artifact.
+	maxArtifactBytes = 16 << 20
+)
+
+// Peer is the HTTP client side of the artifact protocol: a read
+// (-through) and write (-back) view of one or more remote stores.
+// Reads try peers in rendezvous order for the key and stop at the
+// first verified hit; writes go to the key's rendezvous-primary peer
+// only (each artifact has one canonical home; everyone else
+// read-throughs). Every fetched envelope is re-verified locally —
+// schema, key, and recomputed payload SHA-256 — so a byzantine or
+// bit-rotted peer degrades to a miss, never a poisoned cache.
+type Peer struct {
+	name   string
+	bases  []string
+	schema int
+	client *http.Client
+	counters
+}
+
+// NewPeer builds a peer-store client over the given base URLs
+// (scheme://host:port, no trailing slash needed). name labels the
+// tier in Stats.
+func NewPeer(name string, schema int, bases []string, client *http.Client) *Peer {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	cleaned := make([]string, 0, len(bases))
+	for _, b := range bases {
+		for len(b) > 0 && b[len(b)-1] == '/' {
+			b = b[:len(b)-1]
+		}
+		if b != "" {
+			cleaned = append(cleaned, b)
+		}
+	}
+	if name == "" {
+		name = "peer"
+	}
+	return &Peer{name: name, bases: cleaned, schema: schema, client: client}
+}
+
+// Get fetches and verifies key from the peers in rendezvous order.
+// Transport failures, 404s, schema refusals, and verification
+// failures all continue to the next peer; exhausting the list is a
+// miss.
+func (p *Peer) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	p.gets.Add(1)
+	if !ValidKey(key) || len(p.bases) == 0 {
+		p.misses.Add(1)
+		return nil, false, nil
+	}
+	var lastErr error
+	for _, base := range Rank(key, p.bases) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+ArtifactPath+key, nil)
+		if err != nil {
+			lastErr = err
+			p.errs.Add(1)
+			continue
+		}
+		req.Header.Set(SchemaHeader, strconv.Itoa(p.schema))
+		resp, err := p.client.Do(req)
+		if err != nil {
+			lastErr = err
+			p.errs.Add(1)
+			if ctx.Err() != nil {
+				break // the caller is gone; stop probing peers
+			}
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+		resp.Body.Close()
+		switch {
+		case err != nil:
+			lastErr = err
+			p.errs.Add(1)
+			continue
+		case resp.StatusCode == http.StatusNotFound:
+			continue
+		case resp.StatusCode == http.StatusPreconditionFailed:
+			p.schemaRej.Add(1)
+			continue
+		case resp.StatusCode != http.StatusOK:
+			lastErr = fmt.Errorf("store: peer %s: status %d", base, resp.StatusCode)
+			p.errs.Add(1)
+			continue
+		}
+		payload, err := Open(p.schema, key, raw)
+		if err != nil {
+			// A peer that serves bytes failing verification is worse
+			// than a miss — record which way it failed and move on.
+			p.counters.classify(err)
+			continue
+		}
+		p.hits.Add(1)
+		return payload, true, nil
+	}
+	p.misses.Add(1)
+	return nil, false, lastErr
+}
+
+// Put seals the payload and PUTs it to the key's rendezvous-primary
+// peer. Failures are counted and returned; callers in write-back
+// tiers treat them as best-effort.
+func (p *Peer) Put(ctx context.Context, key string, payload []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if len(p.bases) == 0 {
+		return nil
+	}
+	raw, err := Seal(p.schema, key, payload)
+	if err != nil {
+		p.errs.Add(1)
+		return err
+	}
+	base := Rank(key, p.bases)[0]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+ArtifactPath+key, bytes.NewReader(raw))
+	if err != nil {
+		p.errs.Add(1)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(SchemaHeader, strconv.Itoa(p.schema))
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errs.Add(1)
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		p.errs.Add(1)
+		return fmt.Errorf("store: peer %s: put status %d", base, resp.StatusCode)
+	}
+	p.puts.Add(1)
+	return nil
+}
+
+// Stat snapshots the counters.
+func (p *Peer) Stat(ctx context.Context) (Stats, error) {
+	return p.counters.snapshot(p.name), nil
+}
+
+// Close closes idle transport connections.
+func (p *Peer) Close() error {
+	p.client.CloseIdleConnections()
+	return nil
+}
