@@ -7,7 +7,7 @@
 //	hbfront -shards URL,URL,... [-addr 127.0.0.1:8090] [-addr-file FILE]
 //	        [-hedge-after 50ms] [-hedge-max 2s] [-hedge-quantile 0.95]
 //	        [-timeout 10s] [-max-timeout 60s] [-drain 10s]
-//	        [-version]
+//	        [-netchaos-seed 0] [-version]
 //
 // Endpoints:
 //
@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/chaos/netchaos"
 	"repro/internal/front"
 	"repro/internal/perf"
 )
@@ -49,6 +50,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-supplied deadlines")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget")
+	netchaosSeed := flag.Int64("netchaos-seed", 0, "arm a deterministic network fault schedule on shard requests (0 = off; test/chaos use only)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {
@@ -62,6 +64,13 @@ func main() {
 			urls = append(urls, u)
 		}
 	}
+	var client *http.Client
+	if *netchaosSeed != 0 {
+		injector := netchaos.New(netchaos.DefaultPlan(*netchaosSeed), "hbfront")
+		injector.Arm()
+		client = &http.Client{Transport: injector.Transport(nil)}
+		fmt.Fprintf(os.Stderr, "hbfront: netchaos armed, plan %s\n", injector.Plan().Name())
+	}
 	f, err := front.New(front.Config{
 		Shards:         urls,
 		HedgeAfter:     *hedgeAfter,
@@ -69,6 +78,7 @@ func main() {
 		HedgeQuantile:  *hedgeQuantile,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Client:         client,
 	})
 	fail(err)
 

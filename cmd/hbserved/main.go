@@ -4,10 +4,12 @@
 //	hbserved [-addr 127.0.0.1:8080] [-addr-file FILE]
 //	         [-workers 0] [-queue 64]
 //	         [-timeout 10s] [-max-timeout 60s] [-max-queue-age 5s]
-//	         [-drain 10s] [-cache-dir DIR]
+//	         [-drain 10s] [-cache-dir DIR] [-scrub]
 //	         [-shard-id ID] [-peers URL,URL,...] [-store-url URL]
+//	         [-replicas 1] [-antientropy-interval 0]
 //	         [-trace FILE] [-trace-stream FILE]
-//	         [-cpuprofile FILE] [-memprofile FILE] [-chaos-seed 0]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-chaos-seed 0] [-netchaos-seed 0]
 //	         [-version]
 //
 // Endpoints:
@@ -54,6 +56,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/chaos"
+	"repro/internal/chaos/netchaos"
 	"repro/internal/engine"
 	"repro/internal/perf"
 	"repro/internal/server"
@@ -73,11 +76,15 @@ func main() {
 	shardID := flag.String("shard-id", "", "shard identity tag for responses and /statusz")
 	peers := flag.String("peers", "", "comma-separated sibling shard base URLs to fetch artifacts from")
 	storeURL := flag.String("store-url", "", "shared deeper artifact store base URL (consulted after peers)")
+	replicas := flag.Int("replicas", 1, "artifact replication factor across peers (writes fan out to the top R, deep read hits repair earlier replicas)")
+	scrub := flag.Bool("scrub", false, "verify every on-disk artifact at startup, quarantining corrupt entries (needs -cache-dir)")
+	antiEntropy := flag.Duration("antientropy-interval", 0, "background replication-repair sweep interval (0: off; needs -peers)")
 	traceOut := flag.String("trace", "", "write a JSON execution trace to this file on exit")
 	traceStream := flag.String("trace-stream", "", "stream per-job trace events to this file as NDJSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	chaosSeed := flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0: off; testing only)")
+	netchaosSeed := flag.Int64("netchaos-seed", 0, "arm deterministic network/disk fault injection with this seed (0: off; testing only)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 	if *version {
@@ -95,21 +102,68 @@ func main() {
 	// read-through/write-back.
 	var local store.Store
 	if *cacheDir != "" {
-		local, err = store.NewDisk(*cacheDir, engine.KeySchema)
-		fail(err)
+		disk, derr := store.NewDisk(*cacheDir, engine.KeySchema)
+		fail(derr)
+		if *scrub {
+			rep, serr := disk.Scrub()
+			fail(serr)
+			fmt.Fprintf(os.Stderr, "hbserved: scrub: %d entries scanned, %d quarantined, %d other-schema skipped, %d orphaned temp files swept\n",
+				rep.Scanned, rep.Quarantined, rep.SchemaSkipped, rep.TmpSwept)
+		}
+		local = disk
 	} else {
 		local = store.NewMem()
 	}
-	tiers := []store.Store{local}
+
+	// Netchaos (like -chaos-seed): testing only. The injector sits on
+	// the outbound peer transport and the local store tier; the
+	// /artifact/ handler keeps serving the raw local store so peers
+	// always read verified bytes.
+	var injector *netchaos.Injector
+	peerClient := (*http.Client)(nil)
+	localTier := local
+	if *netchaosSeed != 0 {
+		p := netchaos.DefaultPlan(*netchaosSeed)
+		from := *shardID
+		if from == "" {
+			from = "hbserved"
+		}
+		injector = netchaos.New(p, from)
+		injector.Arm()
+		peerClient = &http.Client{Transport: injector.Transport(nil)}
+		localTier = injector.Store(local)
+		fmt.Fprintf(os.Stderr, "hbserved: netchaos armed: %s\n", p.Name())
+	}
+
+	var peerTier *store.Peer
+	tiers := []store.Store{localTier}
 	if urls := splitURLs(*peers); len(urls) > 0 {
-		tiers = append(tiers, store.NewPeer("peers", engine.KeySchema, urls, nil))
+		peerTier = store.NewPeerWith("peers", engine.KeySchema, urls, peerClient, store.PeerOpts{
+			Replicas:   *replicas,
+			OpTimeout:  *timeout / 2,
+			ReadRepair: *replicas > 1,
+		})
+		tiers = append(tiers, peerTier)
 	}
 	if *storeURL != "" {
-		tiers = append(tiers, store.NewPeer("store", engine.KeySchema, []string{*storeURL}, nil))
+		tiers = append(tiers, store.NewPeerWith("store", engine.KeySchema, []string{*storeURL}, peerClient, store.PeerOpts{}))
 	}
 	var backing store.Store = local
 	if len(tiers) > 1 {
 		backing = store.NewTiered(tiers...)
+	}
+
+	// Anti-entropy: the sweeper enumerates the raw local store and
+	// pushes under-replicated keys onto the top-R peers.
+	var sweeper *store.Sweeper
+	if *antiEntropy > 0 && peerTier != nil {
+		lister, ok := local.(store.Lister)
+		if !ok {
+			fail(fmt.Errorf("local store cannot enumerate keys for anti-entropy"))
+		}
+		sweeper = store.NewSweeper(lister, local, peerTier)
+		sweeper.Start(*antiEntropy)
+		fmt.Fprintf(os.Stderr, "hbserved: anti-entropy sweeping every %s at replication factor %d\n", *antiEntropy, *replicas)
 	}
 	cache := engine.NewStoreCache(backing)
 	tracer := engine.NewTracer()
@@ -141,6 +195,8 @@ func main() {
 		DrainBudget:    *drain,
 		ShardID:        *shardID,
 		ArtifactStore:  local,
+		Sweeper:        sweeper,
+		InjectedFaults: faultStats(injector),
 	})
 	fail(err)
 
@@ -205,6 +261,9 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		_ = hs.Shutdown(sctx)
 		cancel()
+		if sweeper != nil {
+			sweeper.Stop()
+		}
 		// Drained: no request can reach the cache anymore, so the
 		// store chain (write-back worker included) can close.
 		if cerr := cache.Close(); cerr != nil {
@@ -224,6 +283,15 @@ func main() {
 			time.Duration(st.UptimeMS)*time.Millisecond, answered, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)
 		os.Exit(0)
 	}
+}
+
+// faultStats adapts an optional injector to the server's /statusz
+// poll hook.
+func faultStats(in *netchaos.Injector) func() any {
+	if in == nil {
+		return nil
+	}
+	return func() any { return in.Stats() }
 }
 
 // splitURLs parses a comma-separated URL list, dropping empties.

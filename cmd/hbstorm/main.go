@@ -1,0 +1,119 @@
+// Command hbstorm is the cluster chaos driver: it boots an in-process
+// N-shard compile farm (real hbserved servers, a real hbfront router,
+// loopback wire), runs seeded traffic while deterministic netchaos
+// schedules maul the cluster — dropped and hung connections,
+// asymmetric partitions, 5xx bursts, corrupted artifact payloads,
+// failing disks — and asserts the serving invariants: every request
+// one terminal classed response, no hash-invalid artifact ever
+// served, full reconvergence once faults clear. With -kill it instead
+// kills a shard outright after replication and requires zero lost
+// responses from the survivors.
+//
+// Exit status 0 means every schedule held every invariant; 1 means a
+// violation (the structured report on stdout says which, and the
+// seed reproduces it); 2 means the harness itself failed.
+//
+//	hbstorm -seeds 1,2,3,4            # four schedules, 3-shard farm
+//	hbstorm -kill                     # shard-kill scenario
+//	hbstorm -seeds 7 -shards 5 -replicas 3 -requests 200 -v
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaos/netchaos"
+	"repro/internal/storm"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 3, "in-process farm size")
+		replicas = flag.Int("replicas", 2, "artifact replication factor R (clamped to shards-1)")
+		seeds    = flag.String("seeds", "1", "comma-separated netchaos seeds; each runs one full storm")
+		keys     = flag.Int("keys", 6, "distinct job keys in the traffic mix")
+		requests = flag.Int("requests", 48, "requests during each fault window")
+		workers  = flag.Int("workers", 8, "concurrent storm clients")
+		kill     = flag.Bool("kill", false, "kill shard 0 after replication instead of arming a fault schedule (zero-loss required)")
+		timeout  = flag.Duration("timeout", 8*time.Second, "per-request deadline")
+		budget   = flag.Duration("budget", 10*time.Minute, "wall-clock budget for the whole run")
+		verbose  = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *budget)
+	defer cancel()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hbstorm: "+format+"\n", args...)
+		}
+	}
+
+	var seedList []int64
+	for _, s := range strings.Split(*seeds, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbstorm: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		seedList = append(seedList, n)
+	}
+	if *kill && len(seedList) == 0 {
+		seedList = []int64{0}
+	}
+
+	var reports []*storm.Report
+	failed := false
+	for _, seed := range seedList {
+		cfg := storm.Config{
+			Shards:         *shards,
+			Replicas:       *replicas,
+			Keys:           *keys,
+			Requests:       *requests,
+			Workers:        *workers,
+			Kill:           *kill,
+			RequestTimeout: *timeout,
+			Logf:           logf,
+		}
+		if !*kill {
+			cfg.Plan = netchaos.DefaultPlan(seed)
+		} else {
+			cfg.Plan.Seed = seed
+		}
+		logf("seed %d: %s", seed, cfg.Plan.Name())
+		rep, err := storm.Run(ctx, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbstorm: seed %d: harness failure: %v\n", seed, err)
+			os.Exit(2)
+		}
+		reports = append(reports, rep)
+		if !rep.Passed() {
+			failed = true
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "hbstorm: seed %d: VIOLATION [%s] %s\n", seed, v.Invariant, v.Detail)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		fmt.Fprintf(os.Stderr, "hbstorm: encode report: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -495,9 +495,20 @@ func (f *Front) tryShard(ctx context.Context, s *shard, body []byte, hedged bool
 
 	class := server.ErrClass(resp.Header.Get("X-Hbserved-Class"))
 	if !class.Valid() {
-		// A reply without the taxonomy header is not an hbserved
-		// shard answering properly; treat it as a backend fault.
-		class = server.ClassInternal
+		// A reply without the taxonomy header is not an hbserved shard
+		// answering properly — an interposed proxy or LB erroring on
+		// the shard's behalf. Its body cannot be relayed (clients see
+		// one schema no matter who answered) and it says the same
+		// thing a connection error would: this shard is not serving.
+		// Report it as a transport-level failure so the failover path
+		// tries the next shard instead of terminating the request.
+		s.errors.Add(1)
+		s.breaker.Record(time.Now(), true)
+		return upstream{
+			shard:  s.url,
+			hedged: hedged,
+			err:    fmt.Errorf("front: shard %s replied status %d without a class header", s.url, resp.StatusCode),
+		}
 	}
 	if failure, countable := class.BreakerSignal(); countable {
 		s.breaker.Record(time.Now(), failure)

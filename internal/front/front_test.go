@@ -469,3 +469,130 @@ func TestFrontInvalidInput(t *testing.T) {
 		t.Fatalf("invalid input reached a shard %d times", touched.Load())
 	}
 }
+
+// TestFrontHalfOpenProbeRace: when a shard's breaker half-opens,
+// exactly one concurrent request may be admitted as the probe; every
+// racing loser is shed with ClassShed (429 + retry-after), not queued
+// behind the probe and not allowed to hammer the recovering shard. A
+// successful probe closes the breaker and normal traffic resumes.
+func TestFrontHalfOpenProbeRace(t *testing.T) {
+	const losers = 8
+
+	var (
+		phase    atomic.Int32 // 0: fail, 1: block as the probe, 2: healthy
+		arrivals atomic.Int32
+	)
+	release := make(chan struct{})
+	probeIn := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		switch phase.Load() {
+		case 0:
+			w.Header().Set("X-Hbserved-Class", string(server.ClassInternal))
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(server.Response{Class: server.ClassInternal, Error: "boom"})
+		case 1:
+			arrivals.Add(1)
+			select {
+			case probeIn <- struct{}{}:
+			default:
+			}
+			<-release // hold the probe open while the losers race
+			writeOK(w)
+		default:
+			arrivals.Add(1)
+			writeOK(w)
+		}
+	})
+	s := httptest.NewServer(mux)
+	defer s.Close()
+
+	const backoff = 30 * time.Millisecond
+	f, err := New(Config{
+		Shards: []string{s.URL},
+		Breaker: server.BreakerConfig{
+			Window: 4, MinSamples: 4, FailureRate: 0.5,
+			Backoff: backoff, MaxBackoff: backoff,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+
+	// Open the breaker with persistent failures (distinct keys so
+	// coalescing never merges the feed).
+	opened := false
+	for i := 0; i < 16 && !opened; i++ {
+		req := testRequest()
+		req.Args = []int64{int64(i)}
+		_, resp := post(t, h, req)
+		opened = resp.Class == server.ClassShed
+	}
+	if !opened {
+		t.Fatal("breaker never opened after persistent failures")
+	}
+
+	// Wait out the (jittered) backoff so the next Allow half-opens.
+	phase.Store(1)
+	time.Sleep(2 * backoff)
+
+	// Race 1+losers distinct requests at the half-open breaker. The
+	// stub holds whichever one is admitted, so every other request
+	// sees an in-flight probe.
+	type result struct {
+		code int
+		resp server.Response
+	}
+	results := make(chan result, 1+losers)
+	var wg sync.WaitGroup
+	for i := 0; i <= losers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := testRequest()
+			req.Args = []int64{int64(100 + i)}
+			w, resp := post(t, h, req)
+			results <- result{w.Code, resp}
+		}(i)
+	}
+
+	// Release the probe only after every loser has terminated: the
+	// losers' outcomes are then decided strictly while the probe was
+	// in flight.
+	<-probeIn
+	shed := 0
+	for shed < losers {
+		r := <-results
+		if r.resp.Class != server.ClassShed {
+			t.Fatalf("loser got class %s (status %d), want shed", r.resp.Class, r.code)
+		}
+		if r.code != http.StatusTooManyRequests || r.resp.RetryAfterMS <= 0 {
+			t.Fatalf("shed shape: status %d retry_after_ms %d", r.code, r.resp.RetryAfterMS)
+		}
+		shed++
+	}
+	close(release)
+	wg.Wait()
+	winner := <-results
+	if winner.resp.Class != server.ClassOK {
+		t.Fatalf("probe winner got class %s, want ok", winner.resp.Class)
+	}
+	if got := arrivals.Load(); got != 1 {
+		t.Fatalf("%d requests reached the half-open shard, want exactly 1", got)
+	}
+
+	// The successful probe closes the breaker; traffic flows again.
+	phase.Store(2)
+	st := f.StatusSnapshot()
+	if st.Shards[0].Breaker.State != server.BreakerClosed || st.Shards[0].Breaker.HalfOpens < 1 {
+		t.Fatalf("breaker after probe success: %+v", st.Shards[0].Breaker)
+	}
+	req := testRequest()
+	req.Args = []int64{999}
+	w, resp := post(t, h, req)
+	if w.Code != http.StatusOK || resp.Class != server.ClassOK {
+		t.Fatalf("post-recovery request: status %d class %s", w.Code, resp.Class)
+	}
+}

@@ -13,6 +13,8 @@ type counters struct {
 	integrityRej, schemaRej  atomic.Int64
 	corrupt                  atomic.Int64
 	promotes, wbDrops        atomic.Int64
+	readRepairs              atomic.Int64
+	quarantined, tmpSwept    atomic.Int64
 }
 
 // snapshot fills a Stats with the current counter values.
@@ -29,6 +31,9 @@ func (c *counters) snapshot(name string) Stats {
 		Corrupt:          c.corrupt.Load(),
 		Promotes:         c.promotes.Load(),
 		WritebackDrops:   c.wbDrops.Load(),
+		ReadRepairs:      c.readRepairs.Load(),
+		ScrubQuarantined: c.quarantined.Load(),
+		TmpSwept:         c.tmpSwept.Load(),
 	}
 }
 

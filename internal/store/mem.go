@@ -46,6 +46,18 @@ func (s *Mem) Put(ctx context.Context, key string, payload []byte) error {
 	return nil
 }
 
+// Keys lists the stored keys. Implements Lister for the anti-entropy
+// sweeper.
+func (s *Mem) Keys(ctx context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
 // Len reports the number of stored entries.
 func (s *Mem) Len() int {
 	s.mu.RLock()

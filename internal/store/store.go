@@ -42,6 +42,14 @@ type Store interface {
 	Close() error
 }
 
+// Lister is implemented by stores that can enumerate their keys (the
+// local tiers: Disk and Mem). The anti-entropy sweeper walks a
+// Lister to find under-replicated entries.
+type Lister interface {
+	// Keys returns the store's current key set (order unspecified).
+	Keys(ctx context.Context) ([]string, error)
+}
+
 // Stats is the common counter surface. Not every implementation uses
 // every field; Tiers carries per-tier breakdowns for combinators.
 type Stats struct {
@@ -69,6 +77,14 @@ type Stats struct {
 	// write-back queue was full (tiered store only).
 	Promotes       int64 `json:"promotes,omitempty"`
 	WritebackDrops int64 `json:"writeback_drops,omitempty"`
+	// ReadRepairs counts artifacts pushed back onto earlier-ranked
+	// replicas that missed while a later replica hit (peer store
+	// only); ScrubQuarantined counts entries the startup scrub moved
+	// to the quarantine directory, and TmpSwept counts orphaned
+	// temp files removed at open (disk store only).
+	ReadRepairs      int64 `json:"read_repairs,omitempty"`
+	ScrubQuarantined int64 `json:"scrub_quarantined,omitempty"`
+	TmpSwept         int64 `json:"tmp_swept,omitempty"`
 	// Tiers is the per-tier breakdown (tiered store only).
 	Tiers []Stats `json:"tiers,omitempty"`
 }

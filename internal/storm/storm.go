@@ -1,0 +1,511 @@
+// Package storm is the cluster fault-injection driver behind
+// cmd/hbstorm: it boots an in-process N-shard compile farm (real
+// servers, real engines, real artifact replication — only the wire is
+// loopback), runs seeded traffic through a real front tier while a
+// netchaos schedule mauls the cluster, and asserts the serving
+// invariants that no unit test can state:
+//
+//   - every issued request gets exactly one terminal response, with a
+//     valid error class, within its deadline plus slack — coalescing
+//     never loses a waiter, drain never abandons one;
+//   - no hash-invalid artifact is ever served: a request that reports
+//     ok must carry exactly the metrics the clean run recorded for
+//     its key, whatever the schedule did to envelopes in flight;
+//   - the cluster reconverges once faults clear: anti-entropy restores
+//     the replication factor and a final pass over every key is all
+//     cache hits with canonical payloads.
+//
+// Faults are deterministic per seed (see internal/chaos/netchaos), so
+// a red run reproduces from its report alone.
+package storm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos/netchaos"
+	"repro/internal/engine"
+	"repro/internal/front"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// stormSrc is the job template: Args[0] parameterizes the loop bound,
+// so every distinct argument is a distinct cache key with distinct
+// canonical metrics.
+const stormSrc = `
+func main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = s + i * i; }
+  return s;
+}`
+
+// Config parameterizes one storm run.
+type Config struct {
+	// Shards is the farm size (default 3); Replicas is the artifact
+	// replication factor R pushed by writes, read-repair, and the
+	// sweeper (default 2, clamped to Shards-1).
+	Shards   int
+	Replicas int
+	// Plan is the fault schedule; Plan.Seed also seeds the traffic
+	// mix. A zero plan still exercises the clean path.
+	Plan netchaos.Plan
+	// Keys is the number of distinct jobs (default 6); Requests is the
+	// traffic volume during the fault window (default 48); Workers is
+	// client concurrency (default 8).
+	Keys     int
+	Requests int
+	Workers  int
+	// Kill replaces the fault window with a shard kill: after the
+	// clean phase replicates artifacts, shard 0 dies abruptly and the
+	// storm phase requires zero lost responses — every request must be
+	// served ok from the survivors' replicas.
+	Kill bool
+	// RequestTimeout is the per-request deadline (default 8s); faults
+	// must resolve to a terminal class inside it.
+	RequestTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Replicas > c.Shards-1 {
+		c.Replicas = c.Shards - 1
+	}
+	if c.Keys <= 0 {
+		c.Keys = 6
+	}
+	if c.Requests <= 0 {
+		c.Requests = 48
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 8 * time.Second
+	}
+	return c
+}
+
+// Violation is one broken invariant, with enough detail to reproduce.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// Report is the structured outcome of one run.
+type Report struct {
+	Seed     int64  `json:"seed"`
+	Plan     string `json:"plan"`
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+	Kill     bool   `json:"kill,omitempty"`
+
+	// Issued counts requests sent across all phases; Lost counts
+	// requests that never produced a terminal response inside the
+	// deadline plus slack (always a violation).
+	Issued int `json:"issued"`
+	Lost   int `json:"lost"`
+	// OKWarm/OKStorm/OKFinal count ok-class responses per phase;
+	// StormClasses breaks the fault-window responses down by class.
+	OKWarm       int            `json:"ok_warm"`
+	OKStorm      int            `json:"ok_storm"`
+	OKFinal      int            `json:"ok_final"`
+	StormClasses map[string]int `json:"storm_classes,omitempty"`
+	// Faults aggregates injected faults across every node's injector.
+	Faults netchaos.Stats `json:"faults"`
+	// Sweeps snapshots each surviving shard's anti-entropy stats after
+	// the heal phase.
+	Sweeps []store.SweepStats `json:"sweeps,omitempty"`
+
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// node is one in-process shard.
+type node struct {
+	url      string
+	local    *store.Mem
+	injector *netchaos.Injector
+	sweeper  *store.Sweeper
+	srv      *server.Server
+	hs       *httptest.Server
+	dead     bool
+}
+
+// handlerBox/hswap mirror the front cluster tests: a swappable
+// handler so servers can be built after their listener address is
+// known (injectors hash node addresses).
+type handlerBox struct{ h http.Handler }
+
+type hswap struct{ v atomic.Value }
+
+func (h *hswap) store(hh http.Handler) { h.v.Store(handlerBox{hh}) }
+func (h *hswap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+// canonical is the clean-phase ground truth for one key.
+type canonical struct {
+	result int64
+	cycles int64
+}
+
+// Run executes one storm and returns its report. The error is
+// reserved for harness failures (a server that would not boot);
+// invariant breaks land in the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		Seed:     cfg.Plan.Seed,
+		Plan:     cfg.Plan.Name(),
+		Shards:   cfg.Shards,
+		Replicas: cfg.Replicas,
+		Kill:     cfg.Kill,
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	// Short breaker backoffs everywhere: the run must watch breakers
+	// reclose after the fault window, not wait out production timers.
+	brk := server.BreakerConfig{Backoff: 200 * time.Millisecond, MaxBackoff: time.Second}
+
+	// --- Boot the farm -------------------------------------------------
+	nodes := make([]*node, cfg.Shards)
+	urls := make([]string, cfg.Shards)
+	for i := range nodes {
+		sw := &hswap{}
+		sw.store(http.NotFoundHandler())
+		hs := httptest.NewUnstartedServer(sw)
+		nodes[i] = &node{
+			local: store.NewMem(),
+			hs:    hs,
+			url:   "http://" + hs.Listener.Addr().String(),
+		}
+		urls[i] = nodes[i].url
+	}
+	injectors := make([]*netchaos.Injector, 0, cfg.Shards+1)
+	for i, n := range nodes {
+		n.injector = netchaos.New(cfg.Plan, n.url)
+		injectors = append(injectors, n.injector)
+		var peerURLs []string
+		for j, u := range urls {
+			if j != i {
+				peerURLs = append(peerURLs, u)
+			}
+		}
+		peer := store.NewPeerWith("peers", engine.KeySchema, peerURLs,
+			&http.Client{Transport: n.injector.Transport(nil)},
+			store.PeerOpts{
+				Replicas:   cfg.Replicas,
+				OpTimeout:  750 * time.Millisecond,
+				ReadRepair: true,
+			})
+		backing := store.NewTiered(n.injector.Store(n.local), peer)
+		eng := engine.New(engine.Config{Workers: 4, Cache: engine.NewStoreCache(backing)})
+		n.sweeper = store.NewSweeper(n.local, n.local, peer)
+		inj := n.injector
+		srv, err := server.New(server.Config{
+			Engine:         eng,
+			Workers:        4,
+			QueueDepth:     64,
+			ShardID:        fmt.Sprintf("storm-%d", i),
+			ArtifactStore:  n.local,
+			Sweeper:        n.sweeper,
+			InjectedFaults: func() any { return inj.Stats() },
+			Breaker:        brk,
+			DefaultTimeout: cfg.RequestTimeout,
+			MaxTimeout:     2 * cfg.RequestTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("storm: shard %d: %w", i, err)
+		}
+		n.srv = srv
+		sw := n.hs.Config.Handler.(*hswap)
+		sw.store(srv.Handler())
+		n.hs.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			if !n.dead {
+				n.srv.Drain()
+				n.hs.Close()
+			}
+		}
+	}()
+
+	// --- Front tier ----------------------------------------------------
+	frontInj := netchaos.New(cfg.Plan, "front")
+	injectors = append(injectors, frontInj)
+	f, err := front.New(front.Config{
+		Shards:         urls,
+		Client:         &http.Client{Transport: frontInj.Transport(nil)},
+		Breaker:        brk,
+		HedgeAfter:     50 * time.Millisecond,
+		DefaultTimeout: cfg.RequestTimeout,
+		MaxTimeout:     2 * cfg.RequestTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storm: front: %w", err)
+	}
+	fs := httptest.NewServer(f.Handler())
+	defer func() {
+		f.Drain()
+		fs.Close()
+	}()
+	client := fs.Client()
+
+	// --- Traffic -------------------------------------------------------
+	reqFor := func(k int) server.Request {
+		return server.Request{
+			Source:    stormSrc,
+			Args:      []int64{int64(4 + k)},
+			Sim:       "timing",
+			TimeoutMS: cfg.RequestTimeout.Milliseconds(),
+		}
+	}
+	// issue sends one request and classifies the outcome. A transport
+	// error or timeout with no HTTP response at all counts as lost —
+	// the front's one-terminal-response invariant broke (its own
+	// deadline handling should have synthesized a class).
+	// Concurrency-safe: issue never touches the report; callers count.
+	var issued atomic.Int64
+	issue := func(ctx context.Context, k int) (server.Response, error) {
+		issued.Add(1)
+		body, _ := json.Marshal(reqFor(k))
+		rctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout+5*time.Second)
+		defer cancel()
+		hreq, _ := http.NewRequestWithContext(rctx, http.MethodPost, fs.URL+"/v1/jobs", bytes.NewReader(body))
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := client.Do(hreq)
+		if err != nil {
+			return server.Response{}, fmt.Errorf("transport: %w", err)
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+		hresp.Body.Close()
+		if rerr != nil {
+			return server.Response{}, fmt.Errorf("body read (status %d): %w", hresp.StatusCode, rerr)
+		}
+		var resp server.Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return server.Response{}, fmt.Errorf("non-JSON terminal response (status %d): %.120q", hresp.StatusCode, raw)
+		}
+		return resp, nil
+	}
+
+	// --- Phase A: clean warmup -----------------------------------------
+	logf("phase A: clean warmup, %d keys", cfg.Keys)
+	truth := make(map[int]canonical, cfg.Keys)
+	for k := 0; k < cfg.Keys; k++ {
+		resp, ierr := issue(ctx, k)
+		if ierr != nil {
+			rep.Lost++
+			rep.violate("terminal-response", "warmup key %d: %v", k, ierr)
+			continue
+		}
+		if resp.Class != server.ClassOK || resp.Metrics == nil {
+			rep.violate("clean-phase-ok", "warmup key %d: class %s (%s)", k, resp.Class, resp.Error)
+			continue
+		}
+		rep.OKWarm++
+		truth[k] = canonical{result: resp.Metrics.Result, cycles: resp.Metrics.Cycles}
+	}
+	if len(truth) != cfg.Keys {
+		// Without ground truth the payload oracle is vacuous; report
+		// what broke and stop.
+		return rep, nil
+	}
+
+	// checkPayload asserts the no-hash-invalid-artifact oracle for an
+	// ok response.
+	checkPayload := func(phase string, k int, resp server.Response) bool {
+		c := truth[k]
+		if resp.Metrics == nil {
+			rep.violate("payload-integrity", "%s key %d: ok with no metrics", phase, k)
+			return false
+		}
+		if resp.Metrics.Result != c.result || resp.Metrics.Cycles != c.cycles {
+			rep.violate("payload-integrity",
+				"%s key %d: served result=%d cycles=%d, canonical result=%d cycles=%d",
+				phase, k, resp.Metrics.Result, resp.Metrics.Cycles, c.result, c.cycles)
+			return false
+		}
+		return true
+	}
+
+	// --- Replicate before the storm ------------------------------------
+	// One sweep round guarantees every warm key sits at full
+	// replication before faults (or the kill) start.
+	for _, n := range nodes {
+		if _, err := n.sweeper.SweepOnce(ctx); err != nil {
+			logf("pre-storm sweep: %v", err)
+		}
+	}
+
+	// --- Phase B: the storm --------------------------------------------
+	rep.StormClasses = map[string]int{}
+	if cfg.Kill {
+		logf("phase B: killing shard 0 (%s), %d requests through survivors", nodes[0].url, cfg.Requests)
+		nodes[0].dead = true
+		nodes[0].hs.CloseClientConnections()
+		nodes[0].hs.Close()
+	} else {
+		logf("phase B: arming %s, %d requests", cfg.Plan.Name(), cfg.Requests)
+		for _, in := range injectors {
+			in.Arm()
+		}
+	}
+	// Workers only issue; the main goroutine owns the report, so
+	// invariant accounting needs no locks.
+	type outcome struct {
+		k    int
+		resp server.Response
+		err  error
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	results := make(chan outcome, cfg.Requests)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				resp, err := issue(ctx, k)
+				results <- outcome{k: k, resp: resp, err: err}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		work <- i % cfg.Keys
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+	for out := range results {
+		if out.err != nil {
+			rep.Lost++
+			rep.violate("terminal-response", "storm key %d: %v", out.k, out.err)
+			continue
+		}
+		resp := out.resp
+		if !resp.Class.Valid() {
+			rep.violate("valid-class", "storm key %d: invalid class %q", out.k, resp.Class)
+		}
+		rep.StormClasses[string(resp.Class)]++
+		if resp.Class == server.ClassOK {
+			rep.OKStorm++
+			checkPayload("storm", out.k, resp)
+		} else if cfg.Kill {
+			rep.violate("kill-zero-loss", "key %d after shard kill: class %s (%s)", out.k, resp.Class, resp.Error)
+		}
+	}
+	if !cfg.Kill {
+		for _, in := range injectors {
+			in.Disarm()
+		}
+	}
+
+	// --- Phase C: heal and reconverge ----------------------------------
+	logf("phase C: anti-entropy sweep and reconvergence check")
+	for _, n := range nodes {
+		if n.dead {
+			continue
+		}
+		if _, err := n.sweeper.SweepOnce(ctx); err != nil {
+			logf("heal sweep: %v", err)
+		}
+		rep.Sweeps = append(rep.Sweeps, n.sweeper.Stats())
+	}
+	if !cfg.Kill {
+		// With every node alive, every key must sit at exactly R
+		// confirmed copies after one full sweep round.
+		for i, n := range nodes {
+			if n.dead {
+				continue
+			}
+			st := n.sweeper.Stats()
+			for bucket, cnt := range st.Replication {
+				if bucket != fmt.Sprintf("%d", cfg.Replicas) {
+					rep.violate("replication-factor",
+						"shard %d: %d keys at %s copies, want all at %d (hist %v)",
+						i, cnt, bucket, cfg.Replicas, st.Replication)
+				}
+			}
+		}
+	}
+	// Give reopened breakers a beat past their short backoff.
+	time.Sleep(400 * time.Millisecond)
+	deadline := time.Now().Add(2 * cfg.RequestTimeout)
+	for k := 0; k < cfg.Keys; k++ {
+		var resp server.Response
+		var ierr error
+		for {
+			resp, ierr = issue(ctx, k)
+			if ierr == nil && resp.Class == server.ClassOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if ierr != nil {
+			rep.Lost++
+			rep.violate("terminal-response", "final key %d: %v", k, ierr)
+			continue
+		}
+		if resp.Class != server.ClassOK {
+			rep.violate("reconvergence", "final key %d: class %s (%s) after faults cleared", k, resp.Class, resp.Error)
+			continue
+		}
+		if !resp.CacheHit && !resp.Coalesced {
+			rep.violate("reconvergence", "final key %d: recompiled (cache_hit=false) — hit rate did not reconverge", k)
+		}
+		if checkPayload("final", k, resp) {
+			rep.OKFinal++
+		}
+	}
+
+	for _, in := range injectors {
+		st := in.Stats()
+		rep.Faults.Latency += st.Latency
+		rep.Faults.Drops += st.Drops
+		rep.Faults.Hangs += st.Hangs
+		rep.Faults.Partitions += st.Partitions
+		rep.Faults.Err5xx += st.Err5xx
+		rep.Faults.Truncates += st.Truncates
+		rep.Faults.BitFlips += st.BitFlips
+		rep.Faults.DiskWrite += st.DiskWrite
+		rep.Faults.DiskRead += st.DiskRead
+	}
+	rep.Issued = int(issued.Load())
+	logf("done: issued=%d lost=%d ok(warm/storm/final)=%d/%d/%d faults=%d violations=%d",
+		rep.Issued, rep.Lost, rep.OKWarm, rep.OKStorm, rep.OKFinal,
+		rep.Faults.Total(), len(rep.Violations))
+	return rep, nil
+}

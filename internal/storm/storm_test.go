@@ -1,0 +1,81 @@
+package storm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/netchaos"
+)
+
+// TestCleanRun: with no faults armed the whole pipeline — warmup,
+// traffic, sweep, reconvergence — must hold every invariant.
+func TestCleanRun(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Shards:         3,
+		Keys:           3,
+		Requests:       9,
+		Workers:        4,
+		RequestTimeout: 20 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("clean run violated invariants: %+v", rep.Violations)
+	}
+	if rep.OKWarm != 3 || rep.OKStorm != 9 || rep.OKFinal != 3 {
+		t.Fatalf("ok counts: warm=%d storm=%d final=%d", rep.OKWarm, rep.OKStorm, rep.OKFinal)
+	}
+}
+
+// TestKillRun: killing a shard after replication must lose nothing —
+// every request is served ok by the survivors.
+func TestKillRun(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Shards:         3,
+		Keys:           3,
+		Requests:       9,
+		Workers:        4,
+		Kill:           true,
+		RequestTimeout: 20 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("kill run violated invariants: %+v", rep.Violations)
+	}
+	if rep.Lost != 0 || rep.OKStorm != 9 {
+		t.Fatalf("kill run: lost=%d ok_storm=%d, want 0/9", rep.Lost, rep.OKStorm)
+	}
+}
+
+// TestFaultRun: one seeded schedule end to end. Faults are injected
+// (the report must show them), classes stay valid, and the cluster
+// reconverges.
+func TestFaultRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault schedule run in -short mode")
+	}
+	rep, err := Run(context.Background(), Config{
+		Shards:         3,
+		Keys:           4,
+		Requests:       24,
+		Workers:        6,
+		Plan:           netchaos.DefaultPlan(1),
+		RequestTimeout: 20 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("seed 1 violated invariants: %+v", rep.Violations)
+	}
+	if rep.Faults.Total() == 0 {
+		t.Fatal("default plan injected no faults at all")
+	}
+}
