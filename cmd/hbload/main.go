@@ -1,0 +1,196 @@
+// Command hbload replays a seeded, profile-shaped request stream
+// against an hbserved or hbfront endpoint and reports goodput,
+// shed/latency breakdowns, and SLO verdicts.
+//
+// The stream is a pure function of (-profile, -seed): the same pair
+// produces a byte-identical arrival schedule (see -stream), so a red
+// overload run replays exactly. Programs come from the seeded
+// workload corpus (internal/workloads/corpus), clustered by CFG
+// shape; the cluster ID travels as the request's workload class and
+// the report breaks latency and goodput down per class.
+//
+//	hbload -url http://127.0.0.1:8080 -profile steady -seed 1
+//	hbload -profile bursty -seed 1 -n 96 -duration 2s \
+//	       -slo -goodput-floor 0.10 -grace 500ms
+//	hbload -profile steady -seed 1 -compare BENCH_8.json
+//	hbload -profile bursty -seed 1 -dry-run -stream a.ndjson
+//
+// Exit status: 0 — run completed and every requested check passed;
+// 1 — an SLO violation or baseline regression; 2 — the harness
+// itself failed (bad flags, unreachable endpoint).
+//
+// -slo arms the goodput SLO check (floor, grace, p50 bound, shed
+// Retry-After jitter); -compare checks the run against a committed
+// BENCH_8-style baseline; -baseline-out writes a fresh baseline from
+// this run. -dry-run builds and writes the schedule without sending
+// any traffic — the CI replayability gate runs it twice and byte-
+// compares the -stream files.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/workloads/corpus"
+)
+
+func main() {
+	var (
+		url        = flag.String("url", "http://127.0.0.1:8080", "hbserved or hbfront base URL")
+		profile    = flag.String("profile", "steady", "arrival profile: steady|bursty|diurnal|adversarial|hotkey")
+		seed       = flag.Int64("seed", 1, "schedule seed; (profile, seed) fully determines the stream")
+		n          = flag.Int("n", 200, "request count")
+		duration   = flag.Duration("duration", 10*time.Second, "schedule span (offered rate = n/duration)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+		corpusN    = flag.Int("corpus-n", 128, "corpus size to draw programs from")
+		corpusSeed = flag.Int64("corpus-seed", 1, "corpus generator seed")
+		timeScale  = flag.Float64("time-scale", 1.0, "multiply arrival offsets at replay time (0.1 replays a 10s schedule in 1s)")
+		stream     = flag.String("stream", "", "write the arrival schedule to this file as NDJSON")
+		dryRun     = flag.Bool("dry-run", false, "build and write the schedule, send no traffic")
+		reportOut  = flag.String("report", "-", "write the JSON report here (-: stdout)")
+		slo        = flag.Bool("slo", false, "enforce the goodput SLO (exit 1 on violation)")
+		floor      = flag.Float64("goodput-floor", 0.10, "minimum goodput/offered ratio (with -slo)")
+		grace      = flag.Duration("grace", 500*time.Millisecond, "deadline-miss tolerance for admitted requests")
+		maxP50     = flag.Duration("max-p50", 0, "bound on goodput median latency (0: unbounded; with -slo)")
+		minShed    = flag.Int("min-shed-jitter", 8, "assert jittered Retry-After once this many sheds occurred (0: off; with -slo)")
+		compare    = flag.String("compare", "", "check the run against this committed baseline JSON (exit 1 on regression)")
+		baseOut    = flag.String("baseline-out", "", "write this run's baseline JSON here")
+		verbose    = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	p := load.Profile(*profile)
+	if !p.Valid() {
+		fatalf("unknown profile %q (have %v)", *profile, load.Profiles())
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hbload: "+format+"\n", args...)
+		}
+	}
+
+	logf("building corpus (seed %d, n %d)", *corpusSeed, *corpusN)
+	crp, err := corpus.Build(corpus.Config{Seed: *corpusSeed, N: *corpusN})
+	if err != nil {
+		fatalf("corpus: %v", err)
+	}
+	arrivals, err := load.Schedule(load.ScheduleConfig{
+		Profile:  p,
+		Seed:     *seed,
+		Requests: *n,
+		Duration: *duration,
+		Timeout:  *timeout,
+		Corpus:   crp,
+	})
+	if err != nil {
+		fatalf("schedule: %v", err)
+	}
+	if *stream != "" {
+		f, err := os.Create(*stream)
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		if err := load.WriteStream(f, arrivals); err != nil {
+			fatalf("stream: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("stream: %v", err)
+		}
+		logf("wrote %d arrivals to %s", len(arrivals), *stream)
+	}
+	if *dryRun {
+		logf("dry run: no traffic sent")
+		return
+	}
+
+	logf("replaying %s/%d: %d requests over %s at %s (time-scale %g)",
+		p, *seed, len(arrivals), *duration, *url, *timeScale)
+	outcomes, elapsed, err := load.Run(context.Background(), load.RunConfig{
+		BaseURL:   *url,
+		Arrivals:  arrivals,
+		Resolve:   load.Requests(crp),
+		TimeScale: *timeScale,
+		Logf:      logf,
+	})
+	if err != nil {
+		fatalf("run: %v", err)
+	}
+	rep := load.BuildReport(p, *seed, *url, outcomes, elapsed, *grace)
+
+	failed := false
+	if *slo {
+		v := rep.CheckSLO(load.SLO{
+			GoodputFloor:     *floor,
+			Grace:            *grace,
+			MaxP50:           *maxP50,
+			MinShedForJitter: *minShed,
+		})
+		for _, s := range v {
+			fmt.Fprintf(os.Stderr, "hbload: SLO VIOLATION: %s\n", s)
+		}
+		failed = failed || len(v) > 0
+	}
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fatalf("compare: %v", err)
+		}
+		var base load.Baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatalf("compare: %s: %v", *compare, err)
+		}
+		v := load.CompareBaseline(base, rep)
+		for _, s := range v {
+			fmt.Fprintf(os.Stderr, "hbload: BASELINE REGRESSION: %s\n", s)
+		}
+		failed = failed || len(v) > 0
+	}
+	if *baseOut != "" {
+		if err := writeJSON(*baseOut, rep.Baseline()); err != nil {
+			fatalf("baseline-out: %v", err)
+		}
+		logf("wrote baseline to %s", *baseOut)
+	}
+
+	if *reportOut == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatalf("report: %v", err)
+		}
+	} else if err := writeJSON(*reportOut, rep); err != nil {
+		fatalf("report: %v", err)
+	}
+
+	logf("done: goodput %d/%d (%.3f), %d shed, %d lost, %d deadline misses",
+		rep.Goodput, rep.Offered, rep.GoodputRatio, rep.ShedRetry.Count, rep.Lost, rep.DeadlineMisses)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hbload: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -13,8 +13,14 @@
 // violation (the structured report on stdout says which, and the
 // seed reproduces it); 2 means the harness itself failed.
 //
+// -profile shapes the storm traffic with one of internal/load's
+// seeded arrival schedules (bursty, diurnal, ...) instead of the
+// uniform blast, so overload control and fault tolerance are
+// exercised together; the profile shares the netchaos seed.
+//
 //	hbstorm -seeds 1,2,3,4            # four schedules, 3-shard farm
 //	hbstorm -kill                     # shard-kill scenario
+//	hbstorm -seeds 1 -profile bursty  # bursty traffic under faults
 //	hbstorm -seeds 7 -shards 5 -replicas 3 -requests 200 -v
 package main
 
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/chaos/netchaos"
+	"repro/internal/load"
 	"repro/internal/storm"
 )
 
@@ -41,11 +48,17 @@ func main() {
 		requests = flag.Int("requests", 48, "requests during each fault window")
 		workers  = flag.Int("workers", 8, "concurrent storm clients")
 		kill     = flag.Bool("kill", false, "kill shard 0 after replication instead of arming a fault schedule (zero-loss required)")
+		profile  = flag.String("profile", "", "shape storm traffic with this load profile (steady|bursty|diurnal|adversarial|hotkey; empty: uniform blast)")
+		span     = flag.Duration("span", 2*time.Second, "wall clock the profile schedule is compressed into (with -profile)")
 		timeout  = flag.Duration("timeout", 8*time.Second, "per-request deadline")
 		budget   = flag.Duration("budget", 10*time.Minute, "wall-clock budget for the whole run")
 		verbose  = flag.Bool("v", false, "progress to stderr")
 	)
 	flag.Parse()
+	if *profile != "" && !load.Profile(*profile).Valid() {
+		fmt.Fprintf(os.Stderr, "hbstorm: unknown profile %q (have %v)\n", *profile, load.Profiles())
+		os.Exit(2)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *budget)
 	defer cancel()
@@ -84,6 +97,8 @@ func main() {
 			Requests:       *requests,
 			Workers:        *workers,
 			Kill:           *kill,
+			Profile:        load.Profile(*profile),
+			ProfileSpan:    *span,
 			RequestTimeout: *timeout,
 			Logf:           logf,
 		}

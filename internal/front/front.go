@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -122,7 +123,10 @@ type upstream struct {
 	hedged    bool // served by the hedge/failover try, not the primary
 	cacheHit  bool
 	coalesced bool
-	err       error
+	// retryAfterMS is the shard's backpressure advice on a shed
+	// response; the front relays the max across shedding shards.
+	retryAfterMS int64
+	err          error
 }
 
 // flight is one coalesced in-flight request on the front tier.
@@ -154,6 +158,12 @@ type Front struct {
 	hedges    atomic.Int64
 	hedgeWins atomic.Int64
 	failovers atomic.Int64
+	// shedNexts counts tries launched because a shard shed (the front
+	// walks the rendezvous order past backpressure); allShed counts
+	// requests where every reachable shard shed — the cluster-wide
+	// overload signal, relayed with the max upstream Retry-After.
+	shedNexts atomic.Int64
+	allShed   atomic.Int64
 	swaps     atomic.Int64
 	cacheHits atomic.Int64 // responses served from a shard cache or coalesce
 	counts    map[server.ErrClass]*atomic.Int64
@@ -245,6 +255,10 @@ func (f *Front) respond(w http.ResponseWriter, u upstream) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hbserved-Class", string(u.class))
+	if u.retryAfterMS > 0 {
+		secs := (u.retryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	if u.shard != "" {
 		w.Header().Set("X-Hbfront-Shard", u.shard)
 	}
@@ -267,7 +281,7 @@ func synthesize(class server.ErrClass, detail string, retryAfter time.Duration) 
 		resp.RetryAfterMS = retryAfter.Milliseconds()
 	}
 	body, _ := json.Marshal(resp)
-	return upstream{status: class.HTTPStatus(), class: class, body: body}
+	return upstream{status: class.HTTPStatus(), class: class, body: body, retryAfterMS: resp.RetryAfterMS}
 }
 
 // handleJobs is POST /v1/jobs: validate, coalesce, route, hedge,
@@ -373,16 +387,24 @@ func (f *Front) runFlight(fk flightKey, fl *flight, set *shardSet, body []byte, 
 
 // nextAllowed walks the rendezvous order from position i and returns
 // the first shard whose breaker admits a request, with the position
-// after it. Allow is consumed at launch time only — a breaker probe
-// is never reserved for a try that does not happen.
-func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, int) {
+// after it and the longest Retry-After any refusing breaker quoted on
+// the way (so an all-breakers-open shed can relay real backoff advice
+// instead of a generic constant). Allow is consumed at launch time
+// only — a breaker probe is never reserved for a try that does not
+// happen.
+func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, int, time.Duration) {
+	var maxRetry time.Duration
 	for ; i < len(order); i++ {
 		s := set.shards[order[i]]
-		if ok, _ := s.breaker.Allow(now); ok {
-			return s, i + 1
+		ok, retry := s.breaker.Allow(now)
+		if ok {
+			return s, i + 1, maxRetry
+		}
+		if retry > maxRetry {
+			maxRetry = retry
 		}
 	}
-	return nil, i
+	return nil, i, maxRetry
 }
 
 // hedgedDo routes one request: primary by rendezvous rank, hedge to
@@ -391,10 +413,13 @@ func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, i
 func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []byte) upstream {
 	order := store.Rank(key, set.urls)
 	now := time.Now()
-	primary, next := nextAllowed(set, order, 0, now)
+	primary, next, brkRetry := nextAllowed(set, order, 0, now)
 	if primary == nil {
+		if brkRetry <= 0 {
+			brkRetry = f.cfg.Breaker.Backoff
+		}
 		return synthesize(server.ClassShed,
-			"front: shed: every shard's circuit breaker is open", f.cfg.Breaker.Backoff)
+			"front: shed: every shard's circuit breaker is open", brkRetry)
 	}
 
 	tryCtx, cancelTries := context.WithCancel(ctx)
@@ -415,7 +440,7 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 		if hedged {
 			return
 		}
-		if s, _ := nextAllowed(set, order, next, time.Now()); s != nil {
+		if s, _, _ := nextAllowed(set, order, next, time.Now()); s != nil {
 			reason.Add(1)
 			hedged = true
 			outstanding++
@@ -423,11 +448,34 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 		}
 	}
 
+	// bestShed is the shed response carrying the longest Retry-After
+	// seen so far. When every reachable shard sheds, it is relayed
+	// verbatim: the client hears the most pessimistic shard's real
+	// drain estimate, not a front-synthesized constant.
+	var bestShed *upstream
+	allShedding := func() upstream {
+		f.allShed.Add(1)
+		return *bestShed
+	}
+
 	var lastErr upstream
 	for {
 		select {
 		case u := <-resc:
 			outstanding--
+			if u.err == nil && u.class == server.ClassShed {
+				// Backpressure is per-shard, not per-cluster: walk to
+				// the next-ranked shard before relaying a 429.
+				if bestShed == nil || u.retryAfterMS > bestShed.retryAfterMS {
+					c := u
+					bestShed = &c
+				}
+				hedge(&f.shedNexts)
+				if outstanding == 0 {
+					return allShedding()
+				}
+				continue
+			}
 			if u.err == nil {
 				if u.hedged {
 					f.hedgeWins.Add(1)
@@ -439,6 +487,11 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 			// choice exists and none is already in flight.
 			hedge(&f.failovers)
 			if outstanding == 0 {
+				if bestShed != nil {
+					// Every try either shed or died; the shed's advice
+					// is more useful to the client than "internal".
+					return allShedding()
+				}
 				return synthesize(server.ClassInternal,
 					fmt.Sprintf("front: all shard attempts failed: %v", lastErr.err), 0)
 			}
@@ -454,8 +507,9 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 // probeBody is the slice of the shard response the front's gauges
 // care about.
 type probeBody struct {
-	CacheHit  bool `json:"cache_hit"`
-	Coalesced bool `json:"coalesced"`
+	CacheHit     bool  `json:"cache_hit"`
+	Coalesced    bool  `json:"coalesced"`
+	RetryAfterMS int64 `json:"retry_after_ms"`
 }
 
 // tryShard issues one POST to one shard and classifies the result:
@@ -518,13 +572,14 @@ func (f *Front) tryShard(ctx context.Context, s *shard, body []byte, hedged bool
 	var pb probeBody
 	_ = json.Unmarshal(raw, &pb)
 	return upstream{
-		status:    resp.StatusCode,
-		class:     class,
-		body:      raw,
-		shard:     s.url,
-		hedged:    hedged,
-		cacheHit:  pb.CacheHit,
-		coalesced: pb.Coalesced,
+		status:       resp.StatusCode,
+		class:        class,
+		body:         raw,
+		shard:        s.url,
+		hedged:       hedged,
+		cacheHit:     pb.CacheHit,
+		coalesced:    pb.Coalesced,
+		retryAfterMS: pb.RetryAfterMS,
 	}
 }
 

@@ -1,0 +1,109 @@
+package front
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// shedStub starts a stub shard that sheds every request with the
+// given Retry-After advice.
+func shedStub(t *testing.T, retryMS int64) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Hbserved-Class", string(server.ClassShed))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.Response{
+			Class: server.ClassShed, Error: "stub: shed", RetryAfterMS: retryMS,
+		})
+	})
+	s := httptest.NewServer(mux)
+	t.Cleanup(s.Close)
+	return s.URL
+}
+
+// TestFrontPropagatesMaxShedRetryAfter (satellite): when every shard
+// sheds, the front relays the shed with the MAX upstream Retry-After
+// — not a synthesized constant — and counts the all-shards-shedding
+// event.
+func TestFrontPropagatesMaxShedRetryAfter(t *testing.T) {
+	a := shedStub(t, 2000)
+	b := shedStub(t, 7000)
+	f, err := New(Config{Shards: []string{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Drain()
+	h := f.Handler()
+
+	w, resp := post(t, h, testRequest())
+	if resp.Class != server.ClassShed {
+		t.Fatalf("class = %q, want shed", resp.Class)
+	}
+	if resp.RetryAfterMS != 7000 {
+		t.Fatalf("retry_after_ms = %d, want the max upstream value 7000", resp.RetryAfterMS)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After header = %q, want %q", got, "7")
+	}
+	st := f.StatusSnapshot()
+	if st.AllShardsShedding != 1 {
+		t.Fatalf("all_shards_shedding = %d, want 1", st.AllShardsShedding)
+	}
+	if st.ShedFailovers == 0 {
+		t.Fatal("no shed failover was counted, yet both shards were tried")
+	}
+}
+
+// TestFrontShedFailsOverToHealthyShard: a single shedding shard is
+// backpressure, not a terminal answer — the front walks to the next-
+// ranked shard and returns its ok.
+func TestFrontShedFailsOverToHealthyShard(t *testing.T) {
+	req := testRequest()
+	key := keyFor(t, req)
+	var urls []string
+	shedHost := ""
+	behave := func(w http.ResponseWriter, r *http.Request) {
+		if r.Host == shedHost {
+			w.Header().Set("X-Hbserved-Class", string(server.ClassShed))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.Response{
+				Class: server.ClassShed, Error: "stub: shed", RetryAfterMS: 1500,
+			})
+			return
+		}
+		writeOK(w)
+	}
+	a, b := stubPair(t, behave)
+	urls = []string{a, b}
+	// The rendezvous primary for this key sheds; the secondary is
+	// healthy.
+	order := store.Rank(key, urls)
+	shedHost = strings.TrimPrefix(order[0], "http://")
+
+	f, err := New(Config{Shards: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Drain()
+
+	_, resp := post(t, f.Handler(), req)
+	if resp.Class != server.ClassOK {
+		t.Fatalf("class = %q, want ok from the healthy secondary", resp.Class)
+	}
+	st := f.StatusSnapshot()
+	if st.ShedFailovers != 1 {
+		t.Fatalf("shed_failovers = %d, want 1", st.ShedFailovers)
+	}
+	if st.AllShardsShedding != 0 {
+		t.Fatalf("all_shards_shedding = %d, want 0 (one shard answered)", st.AllShardsShedding)
+	}
+}

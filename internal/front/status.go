@@ -48,6 +48,11 @@ type Status struct {
 	Hedges    int64 `json:"hedges"`
 	HedgeWins int64 `json:"hedge_wins"`
 	Failovers int64 `json:"failovers"`
+	// ShedFailovers counts tries launched past a shedding shard;
+	// AllShardsShedding counts requests where every reachable shard
+	// shed and the max upstream Retry-After was relayed.
+	ShedFailovers     int64 `json:"shed_failovers"`
+	AllShardsShedding int64 `json:"all_shards_shedding"`
 
 	Classes map[server.ErrClass]int64 `json:"classes"`
 	Shards  []ShardStatus             `json:"shards"`
@@ -70,10 +75,12 @@ func (f *Front) StatusSnapshot() Status {
 		Inflight:      f.inflightN.Load(),
 		Coalesced:     f.coalesced.Load(),
 		CacheHits:     f.cacheHits.Load(),
-		Hedges:        f.hedges.Load(),
-		HedgeWins:     f.hedgeWins.Load(),
-		Failovers:     f.failovers.Load(),
-		Classes:       map[server.ErrClass]int64{},
+		Hedges:            f.hedges.Load(),
+		HedgeWins:         f.hedgeWins.Load(),
+		Failovers:         f.failovers.Load(),
+		ShedFailovers:     f.shedNexts.Load(),
+		AllShardsShedding: f.allShed.Load(),
+		Classes:           map[server.ErrClass]int64{},
 	}
 	if st.Requests > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(st.Requests)

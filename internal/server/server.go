@@ -56,7 +56,22 @@ type Config struct {
 	// MaxQueueAge sheds requests that waited in the queue longer than
 	// this before starting (<= 0: half the default timeout). Stale
 	// work is the first thing an overloaded server must stop doing.
+	// With the adaptive controller below it acts as the hard backstop.
 	MaxQueueAge time.Duration
+	// TargetQueueDelay is the adaptive controller's queue-sojourn
+	// target (<= 0: MaxQueueAge/4). When dequeue delay stays above it
+	// for a full ControlInterval, the server starts shedding dequeued
+	// work CoDel-style — early, spaced sheds instead of waiting for
+	// the MaxQueueAge cliff.
+	TargetQueueDelay time.Duration
+	// ControlInterval is how long delay must stay above target before
+	// shedding starts, and the base spacing between sheds (<= 0:
+	// 4 × TargetQueueDelay).
+	ControlInterval time.Duration
+	// RetryJitterSeed seeds the deterministic jitter stream applied
+	// to drain-rate-derived Retry-After advice, so seeded runs replay
+	// their backpressure exactly.
+	RetryJitterSeed uint64
 	// HeapWatermark sheds new admissions while the sampled heap size
 	// is above this many bytes (<= 0: 2 GiB).
 	HeapWatermark uint64
@@ -101,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueueAge <= 0 {
 		c.MaxQueueAge = c.DefaultTimeout / 2
+	}
+	if c.TargetQueueDelay <= 0 {
+		c.TargetQueueDelay = c.MaxQueueAge / 4
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 4 * c.TargetQueueDelay
 	}
 	if c.HeapWatermark == 0 {
 		c.HeapWatermark = 2 << 30
@@ -206,13 +227,21 @@ type Server struct {
 	samplerStop chan struct{}
 	samplerDone chan struct{}
 
-	start     time.Time
-	counts    map[ErrClass]*atomic.Int64
-	shedFull  atomic.Int64 // shed: queue full
-	shedAge   atomic.Int64 // shed: queue age
-	shedHeap  atomic.Int64 // shed: heap watermark
-	shedBrk   atomic.Int64 // shed: breaker open
-	shedDrain atomic.Int64 // shed: draining
+	// over is the adaptive overload controller (CoDel queue-delay
+	// shedding, deadline-aware admission, weighted per-class sheds,
+	// drain-rate Retry-After).
+	over *overload
+
+	start        time.Time
+	counts       map[ErrClass]*atomic.Int64
+	shedFull     atomic.Int64 // shed: queue full
+	shedAge      atomic.Int64 // shed: queue age (hard backstop)
+	shedDelay    atomic.Int64 // shed: CoDel target queue delay
+	shedDeadline atomic.Int64 // shed: doomed to miss its deadline
+	shedWeighted atomic.Int64 // shed: expensive class over its share
+	shedHeap     atomic.Int64 // shed: heap watermark
+	shedBrk      atomic.Int64 // shed: breaker open
+	shedDrain    atomic.Int64 // shed: draining
 
 	drainOnce sync.Once
 	drainErr  error
@@ -236,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 		hardCancel:  hardCancel,
 		samplerStop: make(chan struct{}),
 		samplerDone: make(chan struct{}),
+		over:        newOverload(cfg.TargetQueueDelay, cfg.ControlInterval, cfg.RetryJitterSeed),
 		start:       time.Now(),
 		counts:      map[ErrClass]*atomic.Int64{},
 	}
@@ -290,12 +320,26 @@ func (s *Server) worker() {
 // deadline budget, wired for drain hard-cancel.
 func (s *Server) process(t *task) Response {
 	now := time.Now()
-	if age := now.Sub(t.enqueued); age > s.cfg.MaxQueueAge {
+	age := now.Sub(t.enqueued)
+	if age > s.cfg.MaxQueueAge {
 		s.shedAge.Add(1)
 		return Response{
 			Class:        ClassShed,
 			Error:        fmt.Sprintf("server: shed after %s in queue (max queue age %s)", age.Round(time.Millisecond), s.cfg.MaxQueueAge),
-			RetryAfterMS: s.cfg.MaxQueueAge.Milliseconds(),
+			RetryAfterMS: s.retryAfter().Milliseconds(),
+			ClassName:    t.class,
+		}
+	}
+	// CoDel-style controller: below the hard age cap, shed dequeued
+	// work only when sojourn delay has stayed above target for a full
+	// interval, at the control law's spacing — steering the standing
+	// queue back to target instead of punishing a transient burst.
+	if s.over.codel.onDequeue(now, age) {
+		s.shedDelay.Add(1)
+		return Response{
+			Class:        ClassShed,
+			Error:        fmt.Sprintf("server: shed: queue delay %s above target %s", age.Round(time.Millisecond), s.cfg.TargetQueueDelay),
+			RetryAfterMS: s.retryAfter().Milliseconds(),
 			ClassName:    t.class,
 		}
 	}
@@ -337,8 +381,20 @@ func (s *Server) process(t *task) Response {
 	if class == ClassOK || class == ClassDegraded {
 		m := res.Metrics
 		resp.Metrics = &m
+		// Completed service feeds the admission estimators. Engine
+		// wall time, not queue wait: the estimators predict service
+		// cost, the queue they model separately. Timeouts are not
+		// recorded — they observe the deadline, not the cost.
+		s.over.observe(t.class, time.Duration(res.WallNS))
 	}
 	return resp
+}
+
+// retryAfter derives shed Retry-After advice from the current queue
+// length and observed drain rate, with deterministic seeded jitter
+// (MaxQueueAge bounds the advice while estimates are cold).
+func (s *Server) retryAfter() time.Duration {
+	return s.over.retryAfter(len(s.queue), s.cfg.Workers, s.cfg.MaxQueueAge)
 }
 
 // admitErr says why admission refused a task.
@@ -594,6 +650,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, shed(class, fmt.Sprintf("heap %d bytes above watermark %d", heap, s.cfg.HeapWatermark), time.Second))
 		return
 	}
+	// Estimate-driven admission (inert until the service-time
+	// estimators are warm): reject requests that cannot finish inside
+	// their own deadline, and push expensive classes off first when
+	// the queue grows past their weighted share.
+	budget := s.timeout(req)
+	switch s.over.admitGate(class, budget, len(s.queue), s.cfg.QueueDepth, s.cfg.Workers) {
+	case gateDeadline:
+		s.shedDeadline.Add(1)
+		s.respond(w, shed(class, fmt.Sprintf("predicted completion past the %s deadline (queue drain + class p90)", budget), s.retryAfter()))
+		return
+	case gateWeighted:
+		s.shedWeighted.Add(1)
+		s.respond(w, shed(class, fmt.Sprintf("class %q over its weighted queue share", class), s.retryAfter()))
+		return
+	}
 	br := s.breakers.Get(class)
 	allowed, retryAfter := br.Allow(now)
 	if !allowed {
@@ -606,7 +677,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		req:      req,
 		job:      job,
 		class:    class,
-		deadline: now.Add(s.timeout(req)),
+		deadline: now.Add(budget),
 		enqueued: now,
 		ctx:      r.Context(),
 		done:     make(chan Response, 1),
@@ -620,7 +691,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case admitFull:
 		br.ReleaseProbe()
 		s.shedFull.Add(1)
-		s.respond(w, shed(class, fmt.Sprintf("admission queue full (%d)", s.cfg.QueueDepth), s.cfg.MaxQueueAge))
+		s.respond(w, shed(class, fmt.Sprintf("admission queue full (%d)", s.cfg.QueueDepth), s.retryAfter()))
 		return
 	}
 
@@ -656,6 +727,10 @@ type Status struct {
 	Shed    map[string]int64   `json:"shed"`
 	// Breakers snapshots every workload-class breaker.
 	Breakers map[string]BreakerStatus `json:"breakers"`
+	// Overload snapshots the adaptive overload controller (CoDel
+	// state, per-class service-time estimates and weights, the
+	// current drain-rate Retry-After base).
+	Overload OverloadStatus `json:"overload"`
 	// Cache is the engine result cache's hit/miss surface; Store
 	// breaks the backing artifact tiers down (nil when memory-only);
 	// Flights is the engine's single-flight coalescing surface.
@@ -688,11 +763,15 @@ func (s *Server) StatusSnapshot() Status {
 		Shed: map[string]int64{
 			"queue_full":     s.shedFull.Load(),
 			"queue_age":      s.shedAge.Load(),
+			"queue_delay":    s.shedDelay.Load(),
+			"deadline":       s.shedDeadline.Load(),
+			"weighted":       s.shedWeighted.Load(),
 			"heap_watermark": s.shedHeap.Load(),
 			"breaker_open":   s.shedBrk.Load(),
 			"draining":       s.shedDrain.Load(),
 		},
 		Breakers: s.breakers.Status(time.Now()),
+		Overload: s.over.status(len(s.queue), s.cfg.Workers, s.cfg.MaxQueueAge),
 		Cache:    s.eng.Cache().Stats(),
 		Store:    s.eng.Cache().StoreStats(),
 		Flights:  s.eng.FlightStats(),

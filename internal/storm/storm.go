@@ -34,8 +34,10 @@ import (
 	"repro/internal/chaos/netchaos"
 	"repro/internal/engine"
 	"repro/internal/front"
+	"repro/internal/load"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/workloads/corpus"
 )
 
 // stormSrc is the job template: Args[0] parameterizes the loop bound,
@@ -69,6 +71,17 @@ type Config struct {
 	// storm phase requires zero lost responses — every request must be
 	// served ok from the survivors' replicas.
 	Kill bool
+	// Profile, when set, shapes phase-B traffic with the same seeded
+	// arrival schedules hbload replays (see internal/load) instead of
+	// the uniform round-robin blast: each arrival's corpus index folds
+	// onto the key space and the schedule's timestamps pace the
+	// offered stream, compressed into ProfileSpan. The schedule (and
+	// the corpus behind it) is seeded by Plan.Seed, so traffic shape
+	// and fault schedule replay together from one number.
+	Profile load.Profile
+	// ProfileSpan is the wall clock the profile schedule is compressed
+	// into (default 2s; only meaningful with Profile).
+	ProfileSpan time.Duration
 	// RequestTimeout is the per-request deadline (default 8s); faults
 	// must resolve to a terminal class inside it.
 	RequestTimeout time.Duration
@@ -98,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 8 * time.Second
 	}
+	if c.ProfileSpan <= 0 {
+		c.ProfileSpan = 2 * time.Second
+	}
 	return c
 }
 
@@ -114,6 +130,7 @@ type Report struct {
 	Shards   int    `json:"shards"`
 	Replicas int    `json:"replicas"`
 	Kill     bool   `json:"kill,omitempty"`
+	Profile  string `json:"profile,omitempty"`
 
 	// Issued counts requests sent across all phases; Lost counts
 	// requests that never produced a terminal response inside the
@@ -185,10 +202,34 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Shards:   cfg.Shards,
 		Replicas: cfg.Replicas,
 		Kill:     cfg.Kill,
+		Profile:  string(cfg.Profile),
 	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+
+	// Profile traffic is resolved before the farm boots so a bad
+	// profile fails fast. The corpus and schedule both derive from
+	// Plan.Seed: one number replays traffic shape and fault schedule.
+	var arrivals []load.Arrival
+	if cfg.Profile != "" {
+		crp, cerr := corpus.Build(corpus.Config{Seed: cfg.Plan.Seed, N: 32})
+		if cerr != nil {
+			return nil, fmt.Errorf("storm: profile corpus: %w", cerr)
+		}
+		var aerr error
+		arrivals, aerr = load.Schedule(load.ScheduleConfig{
+			Profile:  cfg.Profile,
+			Seed:     cfg.Plan.Seed,
+			Requests: cfg.Requests,
+			Duration: cfg.ProfileSpan,
+			Timeout:  cfg.RequestTimeout,
+			Corpus:   crp,
+		})
+		if aerr != nil {
+			return nil, fmt.Errorf("storm: profile schedule: %w", aerr)
+		}
 	}
 
 	// Short breaker backoffs everywhere: the run must watch breakers
@@ -375,7 +416,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		nodes[0].hs.CloseClientConnections()
 		nodes[0].hs.Close()
 	} else {
-		logf("phase B: arming %s, %d requests", cfg.Plan.Name(), cfg.Requests)
+		if cfg.Profile != "" {
+			logf("phase B: arming %s, %d requests shaped by %s profile over %s",
+				cfg.Plan.Name(), cfg.Requests, cfg.Profile, cfg.ProfileSpan)
+		} else {
+			logf("phase B: arming %s, %d requests", cfg.Plan.Name(), cfg.Requests)
+		}
 		for _, in := range injectors {
 			in.Arm()
 		}
@@ -400,8 +446,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 		}()
 	}
-	for i := 0; i < cfg.Requests; i++ {
-		work <- i % cfg.Keys
+	if arrivals != nil {
+		// Profile-shaped offer: pace the stream on the schedule's
+		// timestamps (open-loop up to Workers in flight) and fold each
+		// arrival's corpus index onto the key space.
+		start := time.Now()
+		for _, a := range arrivals {
+			if d := time.Duration(a.AtUS)*time.Microsecond - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			work <- a.ProgramIdx % cfg.Keys
+		}
+	} else {
+		for i := 0; i < cfg.Requests; i++ {
+			work <- i % cfg.Keys
+		}
 	}
 	close(work)
 	wg.Wait()

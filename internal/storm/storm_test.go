@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/chaos/netchaos"
+	"repro/internal/load"
 )
 
 // TestCleanRun: with no faults armed the whole pipeline — warmup,
@@ -74,6 +75,40 @@ func TestFaultRun(t *testing.T) {
 	}
 	if !rep.Passed() {
 		t.Fatalf("seed 1 violated invariants: %+v", rep.Violations)
+	}
+	if rep.Faults.Total() == 0 {
+		t.Fatal("default plan injected no faults at all")
+	}
+}
+
+// TestProfileFaultRun (acceptance): bursty profile-shaped traffic
+// under a real fault schedule. The serving invariants must hold when
+// overload-shaped arrivals and injected faults land together, and the
+// report must record the profile so a red run replays from (profile,
+// seed) alone.
+func TestProfileFaultRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault schedule run in -short mode")
+	}
+	rep, err := Run(context.Background(), Config{
+		Shards:         3,
+		Keys:           4,
+		Requests:       24,
+		Workers:        6,
+		Plan:           netchaos.DefaultPlan(1),
+		Profile:        load.Bursty,
+		ProfileSpan:    time.Second,
+		RequestTimeout: 20 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("bursty profile under seed 1 violated invariants: %+v", rep.Violations)
+	}
+	if rep.Profile != string(load.Bursty) {
+		t.Fatalf("report profile = %q, want %q", rep.Profile, load.Bursty)
 	}
 	if rep.Faults.Total() == 0 {
 		t.Fatal("default plan injected no faults at all")

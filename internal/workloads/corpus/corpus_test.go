@@ -1,0 +1,172 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestExtractKnownShape pins the feature extractor on a hand-written
+// program whose shape is known exactly.
+func TestExtractKnownShape(t *testing.T) {
+	src := `
+func f0(n) {
+  return n + 1;
+}
+func f1(n) {
+  return f0(n) * 2;
+}
+func main(n, m) {
+  var s = 0;
+  for (var i = 0; i < 6; i = i + 1) {
+    var t1 = 2;
+    while (t1 > 0) {
+      t1 = t1 - 1;
+      s = s + i;
+    }
+  }
+  if ((s & 31) == 0) {
+    s = s + f1(n);
+  }
+  if (s > m) {
+    s = s - 1;
+  } else {
+    s = s + 1;
+  }
+  return s;
+}`
+	ft, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Funcs != 3 {
+		t.Errorf("Funcs = %d, want 3", ft.Funcs)
+	}
+	if ft.Loops != 2 || ft.MaxLoopDepth != 2 {
+		t.Errorf("Loops=%d MaxLoopDepth=%d, want 2/2", ft.Loops, ft.MaxLoopDepth)
+	}
+	// for bound 6 → bucket 2 (5–8); while down-counter 2 → bucket 0.
+	if want := [TripBuckets]int{1, 0, 1, 0}; ft.TripHist != want {
+		t.Errorf("TripHist = %v, want %v", ft.TripHist, want)
+	}
+	if ft.Branches != 2 || ft.RareBranches != 1 {
+		t.Errorf("Branches=%d Rare=%d, want 2/1", ft.Branches, ft.RareBranches)
+	}
+	if ft.BranchBias != 0.5 {
+		t.Errorf("BranchBias = %v, want 0.5", ft.BranchBias)
+	}
+	// main calls f1 (depth 1) which calls f0 (depth 0): chain depth 2.
+	if ft.CallDepth != 2 || ft.Calls != 2 {
+		t.Errorf("CallDepth=%d Calls=%d, want 2/2", ft.CallDepth, ft.Calls)
+	}
+}
+
+// TestClusterIDStable: the ID is a pure function of one program's
+// features — independent of corpus composition and re-derivable.
+func TestClusterIDStable(t *testing.T) {
+	small, err := Build(Config{Seed: 7, N: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(Config{Seed: 7, N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range small.Programs {
+		if big.Programs[i].Cluster != p.Cluster {
+			t.Fatalf("program %d: cluster %q in N=16 corpus but %q in N=64", i, p.Cluster, big.Programs[i].Cluster)
+		}
+		ft, err := Extract(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ft.ClusterID(); got != p.Cluster {
+			t.Fatalf("program %d: re-extracted cluster %q != stored %q", i, got, p.Cluster)
+		}
+	}
+}
+
+// TestBuildDeterministic: same config, identical corpus.
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Config{Seed: 3, N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 3, N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Programs, b.Programs) {
+		t.Fatal("two builds of the same config differ")
+	}
+	if !reflect.DeepEqual(a.Clusters(), b.Clusters()) {
+		t.Fatalf("cluster sets differ: %v vs %v", a.Clusters(), b.Clusters())
+	}
+}
+
+// TestCorpusCoverage: a realistic corpus actually spreads over
+// multiple clusters, every program parses and checks, and the cluster
+// index is consistent.
+func TestCorpusCoverage(t *testing.T) {
+	c, err := Build(Config{Seed: 1, N: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clusters()) < 4 {
+		t.Fatalf("128 programs landed in only %d clusters: %v", len(c.Clusters()), c.Clusters())
+	}
+	total := 0
+	for _, id := range c.Clusters() {
+		members := c.Members(id)
+		if len(members) == 0 {
+			t.Fatalf("cluster %q has no members", id)
+		}
+		total += len(members)
+		for _, i := range members {
+			if c.Programs[i].Cluster != id {
+				t.Fatalf("index says program %d is in %q, program says %q", i, id, c.Programs[i].Cluster)
+			}
+		}
+	}
+	if total != len(c.Programs) {
+		t.Fatalf("cluster index covers %d programs, corpus has %d", total, len(c.Programs))
+	}
+	for _, p := range c.Programs {
+		f, err := lang.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", p.Seed, err)
+		}
+		if err := lang.Check(f); err != nil {
+			t.Fatalf("seed %d: %v", p.Seed, err)
+		}
+	}
+}
+
+// TestDeepCallCluster: the adversarial pool has the corpus's deepest
+// call chains.
+func TestDeepCallCluster(t *testing.T) {
+	c, err := Build(Config{Seed: 1, N: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.DeepCallCluster()
+	if id == "" {
+		t.Fatal("no deep-call cluster in a 128-program corpus")
+	}
+	deepest := 0
+	for _, p := range c.Programs {
+		if p.Features.CallDepth > deepest {
+			deepest = p.Features.CallDepth
+		}
+	}
+	got := 0
+	for _, i := range c.Members(id) {
+		if d := c.Programs[i].Features.CallDepth; d > got {
+			got = d
+		}
+	}
+	if got != deepest {
+		t.Fatalf("deep-call cluster %q maxes at depth %d, corpus max is %d", id, got, deepest)
+	}
+}

@@ -1,0 +1,342 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// TripBuckets is the number of trip-count histogram buckets: 1–2,
+// 3–4, 5–8, and >8-or-unknown. The generator's loop bounds are small
+// literals, so statically unknown trips (a bound that is not the
+// canonical literal shape) land in the last bucket together with
+// genuinely large ones — both are "the formation loop cannot prove a
+// small trip count" from the optimizer's point of view.
+const TripBuckets = 4
+
+// Features is the CFG-shape fingerprint of one tl program, computed
+// from the AST (the same structural properties the formation
+// heuristics key on: how deep loops nest, how often they run, how
+// biased branches are, how far calls chain).
+type Features struct {
+	// Funcs counts function declarations; Blocks estimates the lowered
+	// CFG's basic-block count (entry + split points introduced by ifs,
+	// loops, and side exits).
+	Funcs  int `json:"funcs"`
+	Blocks int `json:"blocks"`
+	// Loops counts loop statements; MaxLoopDepth is the deepest
+	// lexical loop nest anywhere in the program.
+	Loops        int `json:"loops"`
+	MaxLoopDepth int `json:"max_loop_depth"`
+	// TripHist histograms statically-known loop trip counts into
+	// TripBuckets buckets (1–2, 3–4, 5–8, >8/unknown).
+	TripHist [TripBuckets]int `json:"trip_hist"`
+	// Branches counts if statements; RareBranches counts those with
+	// the rarely-taken mask shape ((expr & 2^k-1) == 0), the
+	// generator's stand-in for profiled cold paths. BranchBias is
+	// RareBranches/Branches (0 when branchless).
+	Branches     int     `json:"branches"`
+	RareBranches int     `json:"rare_branches"`
+	BranchBias   float64 `json:"branch_bias"`
+	// Calls counts call sites (print excluded); CallDepth is the
+	// static call-chain depth from main (0: leaf main).
+	Calls     int `json:"calls"`
+	CallDepth int `json:"call_depth"`
+	// Stores counts array stores (the ld/st budget pressure signal).
+	Stores int `json:"stores"`
+}
+
+// Extract parses src and computes its features. The source must be a
+// valid tl program (corpus programs come from the generator, which
+// only emits valid ones).
+func Extract(src string) (Features, error) {
+	f, err := lang.Parse(src)
+	if err != nil {
+		return Features{}, fmt.Errorf("corpus: %w", err)
+	}
+	return extractFile(f), nil
+}
+
+func extractFile(f *lang.File) Features {
+	var ft Features
+	ft.Funcs = len(f.Funcs)
+	// Call depth: callees are always defined earlier (the generator
+	// never emits recursion), so one in-order pass resolves the chain.
+	depth := map[string]int{}
+	for _, fn := range f.Funcs {
+		w := walker{depth: depth}
+		w.block(fn.Body, 0)
+		ft.Blocks += 1 + w.blocks // entry block plus split points
+		ft.Loops += w.loops
+		if w.maxLoopDepth > ft.MaxLoopDepth {
+			ft.MaxLoopDepth = w.maxLoopDepth
+		}
+		for i := range w.tripHist {
+			ft.TripHist[i] += w.tripHist[i]
+		}
+		ft.Branches += w.branches
+		ft.RareBranches += w.rare
+		ft.Calls += w.calls
+		ft.Stores += w.stores
+		depth[fn.Name] = w.maxCalleeDepth
+		if fn.Name == "main" {
+			ft.CallDepth = w.maxCalleeDepth
+		}
+	}
+	if ft.Branches > 0 {
+		ft.BranchBias = float64(ft.RareBranches) / float64(ft.Branches)
+	}
+	return ft
+}
+
+// walker accumulates per-function shape counts.
+type walker struct {
+	depth map[string]int // resolved call depth per earlier function
+
+	blocks         int
+	loops          int
+	maxLoopDepth   int
+	tripHist       [TripBuckets]int
+	branches       int
+	rare           int
+	calls          int
+	stores         int
+	maxCalleeDepth int
+}
+
+// block walks a statement list at the given lexical loop depth,
+// pairing `var t = K; while (t > 0) ...` declarations with the loop
+// that consumes them so down-counter trip counts are recovered.
+func (w *walker) block(b *lang.BlockStmt, loopDepth int) {
+	if b == nil {
+		return
+	}
+	for i, s := range b.Stmts {
+		switch s := s.(type) {
+		case *lang.WhileStmt:
+			w.loop(loopDepth, w.whileTrips(b.Stmts, i, s))
+			w.expr(s.Cond)
+			w.block(s.Body, loopDepth+1)
+		case *lang.ForStmt:
+			w.loop(loopDepth, forTrips(s))
+			w.stmtShallow(s.Init, loopDepth)
+			w.expr(s.Cond)
+			w.stmtShallow(s.Post, loopDepth)
+			w.block(s.Body, loopDepth+1)
+		case *lang.IfStmt:
+			w.branches++
+			if isRareCond(s.Cond) {
+				w.rare++
+			}
+			w.blocks += 2 // then + join
+			w.expr(s.Cond)
+			w.block(s.Then, loopDepth)
+			if s.Else != nil {
+				w.blocks++
+				if eb, ok := s.Else.(*lang.BlockStmt); ok {
+					w.block(eb, loopDepth)
+				} else {
+					w.stmtShallow(s.Else, loopDepth)
+				}
+			}
+		case *lang.BlockStmt:
+			w.block(s, loopDepth)
+		case *lang.BreakStmt, *lang.ContinueStmt:
+			w.blocks++ // a side exit splits the flow
+		default:
+			w.stmtShallow(s, loopDepth)
+		}
+	}
+}
+
+// stmtShallow handles the statement kinds without nested blocks (and
+// dispatches nested ifs appearing as else branches).
+func (w *walker) stmtShallow(s lang.Stmt, loopDepth int) {
+	switch s := s.(type) {
+	case nil:
+	case *lang.VarStmt:
+		w.expr(s.Init)
+	case *lang.AssignStmt:
+		if s.Index != nil {
+			w.stores++
+			w.expr(s.Index)
+		}
+		w.expr(s.Value)
+	case *lang.ReturnStmt:
+		w.expr(s.Value)
+	case *lang.ExprStmt:
+		w.expr(s.X)
+	case *lang.IfStmt:
+		w.block(&lang.BlockStmt{Stmts: []lang.Stmt{s}}, loopDepth)
+	case *lang.BlockStmt:
+		w.block(s, loopDepth)
+	}
+}
+
+func (w *walker) loop(depthBefore, trips int) {
+	w.loops++
+	w.blocks += 2 // header + body
+	if d := depthBefore + 1; d > w.maxLoopDepth {
+		w.maxLoopDepth = d
+	}
+	w.tripHist[tripBucket(trips)]++
+}
+
+// tripBucket maps a trip count (0: unknown) to its histogram bucket.
+func tripBucket(trips int) int {
+	switch {
+	case trips >= 1 && trips <= 2:
+		return 0
+	case trips >= 3 && trips <= 4:
+		return 1
+	case trips >= 5 && trips <= 8:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// whileTrips recovers the trip count of the generator's canonical
+// down-counter: the loop condition reads a counter declared with a
+// literal bound by the immediately preceding statement. Returns 0
+// when the shape does not match.
+func (w *walker) whileTrips(stmts []lang.Stmt, i int, loop *lang.WhileStmt) int {
+	cond, ok := loop.Cond.(*lang.BinaryExpr)
+	if !ok || cond.Op != lang.Gt {
+		return 0
+	}
+	id, ok := cond.X.(*lang.Ident)
+	if !ok {
+		return 0
+	}
+	if lit, ok := cond.Y.(*lang.IntLit); !ok || lit.Value != 0 {
+		return 0
+	}
+	if i == 0 {
+		return 0
+	}
+	decl, ok := stmts[i-1].(*lang.VarStmt)
+	if !ok || decl.Name != id.Name {
+		return 0
+	}
+	init, ok := decl.Init.(*lang.IntLit)
+	if !ok || init.Value <= 0 {
+		return 0
+	}
+	return int(init.Value)
+}
+
+// forTrips recovers the trip count of a counted for loop
+// `for (var i = A; i < B; i = i + 1)` with literal bounds. Returns 0
+// when the shape does not match.
+func forTrips(s *lang.ForStmt) int {
+	init, ok := s.Init.(*lang.VarStmt)
+	if !ok {
+		return 0
+	}
+	from, ok := init.Init.(*lang.IntLit)
+	if !ok {
+		return 0
+	}
+	cond, ok := s.Cond.(*lang.BinaryExpr)
+	if !ok || cond.Op != lang.Lt {
+		return 0
+	}
+	id, ok := cond.X.(*lang.Ident)
+	if !ok || id.Name != init.Name {
+		return 0
+	}
+	to, ok := cond.Y.(*lang.IntLit)
+	if !ok || to.Value <= from.Value {
+		return 0
+	}
+	return int(to.Value - from.Value)
+}
+
+// isRareCond recognizes the generator's rarely-taken side-path shape:
+// (expr & mask) == 0 with a literal power-of-two-minus-one mask.
+func isRareCond(e lang.Expr) bool {
+	eq, ok := e.(*lang.BinaryExpr)
+	if !ok || eq.Op != lang.EqEq {
+		return false
+	}
+	zero, ok := eq.Y.(*lang.IntLit)
+	if !ok || zero.Value != 0 {
+		return false
+	}
+	and, ok := eq.X.(*lang.BinaryExpr)
+	if !ok || and.Op != lang.Amp {
+		return false
+	}
+	mask, ok := and.Y.(*lang.IntLit)
+	return ok && mask.Value > 0 && mask.Value&(mask.Value+1) == 0
+}
+
+// expr walks an expression, counting call sites.
+func (w *walker) expr(e lang.Expr) {
+	switch e := e.(type) {
+	case nil, *lang.IntLit, *lang.Ident:
+	case *lang.IndexExpr:
+		w.expr(e.Index)
+	case *lang.CallExpr:
+		if e.Name != lang.PrintBuiltin {
+			w.calls++
+			if d := w.depth[e.Name] + 1; d > w.maxCalleeDepth {
+				w.maxCalleeDepth = d
+			}
+		}
+		for _, a := range e.Args {
+			w.expr(a)
+		}
+	case *lang.UnaryExpr:
+		w.expr(e.X)
+	case *lang.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	}
+}
+
+// ClusterID quantizes the features into a stable cluster identifier —
+// the string that becomes a request's workload class. Programs whose
+// shapes would steer the formation heuristics the same way share an
+// ID; the ID never depends on corpus composition, so the same program
+// clusters identically in every corpus and on every node.
+//
+// The dimensions, in order: deepest loop nest (L), static call depth
+// (C, capped at 2+), dominant trip-count bucket (T, '-' when
+// loopless), branch bias (B: n=branchless, lo/mid/hi rare-path
+// fraction), and size by estimated block count (S: 0 <8, 1 <16, 2 ≥16).
+func (f Features) ClusterID() string {
+	callDepth := f.CallDepth
+	if callDepth > 2 {
+		callDepth = 2
+	}
+	trip := "-"
+	if f.Loops > 0 {
+		best, bestN := 0, -1
+		for i, n := range f.TripHist {
+			if n > bestN { // ties: smallest bucket wins, deterministically
+				best, bestN = i, n
+			}
+		}
+		trip = fmt.Sprintf("%d", best)
+	}
+	bias := "n"
+	switch {
+	case f.Branches == 0:
+	case f.BranchBias == 0:
+		bias = "lo"
+	case f.BranchBias < 0.5:
+		bias = "mid"
+	default:
+		bias = "hi"
+	}
+	size := 0
+	switch {
+	case f.Blocks >= 16:
+		size = 2
+	case f.Blocks >= 8:
+		size = 1
+	}
+	return fmt.Sprintf("L%d.C%d.T%s.B%s.S%d", f.MaxLoopDepth, callDepth, trip, bias, size)
+}
