@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/buildinfo"
@@ -28,6 +30,8 @@ func main() {
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measurement time (testing -benchtime syntax)")
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON report to gate against")
+	run := flag.String("run", "", "only run benchmarks whose name contains this substring")
+	extra := flag.String("extra", "", "comma-separated key=value scalars recorded in the report's extras section (e.g. hotkey_skeleton_hit_rate=0.75)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression vs the baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -57,9 +61,28 @@ func main() {
 	})
 	defer stopSig()
 
-	rep := perf.Collect(func(name string) {
+	var match func(string) bool
+	if *run != "" {
+		match = func(name string) bool { return strings.Contains(name, *run) }
+	}
+	rep := perf.CollectMatching(match, func(name string) {
 		fmt.Fprintf(os.Stderr, "hbbench: running %s\n", name)
 	})
+	if len(rep.Results) == 0 {
+		fail(fmt.Errorf("no benchmarks match -run %q", *run))
+	}
+	if *extra != "" {
+		rep.Extras = map[string]float64{}
+		for _, kv := range strings.Split(*extra, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				fail(fmt.Errorf("-extra entry %q is not key=value", kv))
+			}
+			x, err := strconv.ParseFloat(v, 64)
+			fail(err)
+			rep.Extras[k] = x
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {

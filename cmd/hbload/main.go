@@ -58,6 +58,7 @@ func main() {
 		grace      = flag.Duration("grace", 500*time.Millisecond, "deadline-miss tolerance for admitted requests")
 		maxP50     = flag.Duration("max-p50", 0, "bound on goodput median latency (0: unbounded; with -slo)")
 		minShed    = flag.Int("min-shed-jitter", 8, "assert jittered Retry-After once this many sheds occurred (0: off; with -slo)")
+		minSkel    = flag.Float64("min-skeleton-rate", -1, "minimum skeleton-instantiation share of compiles (skeleton_hits/compiles; < 0: off; exit 1 below)")
 		compare    = flag.String("compare", "", "check the run against this committed baseline JSON (exit 1 on regression)")
 		baseOut    = flag.String("baseline-out", "", "write this run's baseline JSON here")
 		verbose    = flag.Bool("v", false, "progress to stderr")
@@ -137,6 +138,19 @@ func main() {
 		}
 		failed = failed || len(v) > 0
 	}
+	if *minSkel >= 0 {
+		// The two-tier cache gate: of the responses that actually cost a
+		// compile, at least this share must have been served by skeleton
+		// instantiation rather than the full greedy search.
+		if rep.Compiles == 0 {
+			fmt.Fprintf(os.Stderr, "hbload: SKELETON GATE: no successful compiles to measure\n")
+			failed = true
+		} else if rep.SkeletonHitRate < *minSkel {
+			fmt.Fprintf(os.Stderr, "hbload: SKELETON GATE: hit rate %.3f (%d/%d compiles) below floor %.3f\n",
+				rep.SkeletonHitRate, rep.SkeletonHits, rep.Compiles, *minSkel)
+			failed = true
+		}
+	}
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
@@ -169,8 +183,9 @@ func main() {
 		fatalf("report: %v", err)
 	}
 
-	logf("done: goodput %d/%d (%.3f), %d shed, %d lost, %d deadline misses",
-		rep.Goodput, rep.Offered, rep.GoodputRatio, rep.ShedRetry.Count, rep.Lost, rep.DeadlineMisses)
+	logf("done: goodput %d/%d (%.3f), %d shed, %d lost, %d deadline misses, skeleton %d/%d compiles (%.3f)",
+		rep.Goodput, rep.Offered, rep.GoodputRatio, rep.ShedRetry.Count, rep.Lost, rep.DeadlineMisses,
+		rep.SkeletonHits, rep.Compiles, rep.SkeletonHitRate)
 	if failed {
 		os.Exit(1)
 	}

@@ -75,6 +75,20 @@ type Options struct {
 	// CoreTweaks forwards extension/ablation knobs to the formation
 	// algorithm.
 	CoreTweaks CoreTweaks
+	// RecordFormTrace records the formation decision sequence as a
+	// replayable skeleton, returned in Result.FormTrace. Recording
+	// never changes the compiled output.
+	RecordFormTrace bool
+	// FormTrace, when non-nil, replays a previously recorded skeleton
+	// instead of running the greedy formation search: each function's
+	// decisions are re-applied with only their recorded preconditions
+	// re-checked against this compilation's concrete parameters, and
+	// any miss falls back to the full greedy run for that function
+	// (reported in Result.Replay). The output is identical to a
+	// from-scratch compile either way. Like Checkpoint, the trace
+	// never changes a completed compile's output, so neither field
+	// participates in content-addressed cache keys.
+	FormTrace *core.ProgramTrace
 	// VerifyEachPhase runs ir.VerifyProgram after every mid-end phase
 	// (scalar opt, call splitting, formation, unroll/peel,
 	// normalization) so a verifier failure names the pass that broke
@@ -129,6 +143,11 @@ type Result struct {
 	UPStats   UnrollPeelStats
 	Alloc     map[string]*regalloc.Assignment
 	AllocErrs map[string]error
+	// FormTrace is the recorded formation skeleton (RecordFormTrace).
+	FormTrace *core.ProgramTrace
+	// Replay summarizes skeleton replay (set only when Options.
+	// FormTrace drove formation).
+	Replay core.ReplayStats
 	// Degraded lists functions a mid-end phase could not transform:
 	// the phase panicked or broke the IR, so the function was rolled
 	// back to its pre-phase (basic-block) form and compilation
@@ -237,9 +256,16 @@ func compileProgram(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 	if err := cp("profiling"); err != nil {
 		return nil, err
 	}
+	// Skeleton instantiation with the default policy skips the
+	// training run: the convergent orderings consume the profile only
+	// through the formation policy, the greedy default ignores it,
+	// and a replay fallback reruns the greedy search, which ignores
+	// it just the same — so the compiled output cannot depend on it.
+	skipTraining := opts.FormTrace != nil && opts.Policy == nil &&
+		(opts.Ordering == OrderIUPthenO || opts.Ordering == OrderIUPO1)
 	if opts.Profile != nil {
 		res.Profile = opts.Profile
-	} else if opts.ProfileFn != "" {
+	} else if opts.ProfileFn != "" && !skipTraining {
 		prof, _, err := profile.CollectContext(ctx, ir.CloneProgram(prog), opts.ProfileFn, opts.ProfileArgs...)
 		if err != nil {
 			return nil, fmt.Errorf("compiler: profiling failed: %w", err)
@@ -266,7 +292,14 @@ func compileProgram(ctx context.Context, prog *ir.Program, opts Options) (*Resul
 		}
 		var deg []core.Degradation
 		var cerr error
-		res.FormStats, deg, cerr = core.FormProgram(prog, cfg, res.Profile)
+		switch {
+		case opts.FormTrace != nil:
+			res.FormStats, deg, res.Replay, cerr = core.ReplayProgram(prog, cfg, res.Profile, opts.FormTrace)
+		case opts.RecordFormTrace:
+			res.FormStats, deg, res.FormTrace, cerr = core.FormProgramTrace(prog, cfg, res.Profile)
+		default:
+			res.FormStats, deg, cerr = core.FormProgram(prog, cfg, res.Profile)
+		}
 		if cerr != nil {
 			return fmt.Errorf("compiler: %w", cerr)
 		}

@@ -88,6 +88,7 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 			if fo.cfg.SplitOversize && s != hb && !s.HasCall() &&
 				len(s.Instrs) > fo.cfg.Cons.MaxInstrs/4 {
 				if nb := fo.SplitOversizeCandidate(s); nb != nil {
+					fo.record(Decision{Kind: DecSplit, Cand: s.ID})
 					loops = fo.cache.Loops(fo.f)
 					ctx.Loops = loops
 					candidates = append(candidates, s)
@@ -133,23 +134,59 @@ func (fo *Former) ExpandBlock(seedID int) *ir.Block {
 // the valid partial result (every committed merge was legal), which
 // callers should discard when they propagate the cancellation.
 func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats, error) {
+	nf, st, _, err := formFunction(f, cfg, false)
+	return nf, st, err
+}
+
+// formFunction is FormFunction with optional decision recording.
+//
+// The seed scan is linear, not quadratic: a cursor into the current
+// RPO advances past consumed blocks and only rewinds when the working
+// function actually changed (pointer or mutation version), which is
+// exactly when the cached RPO is recomputed. The seed sequence is
+// identical to rescanning from index 0 every iteration — an unchanged
+// function has an unchanged RPO, and every block before the cursor is
+// already done. The done set is a dense bitmap indexed by block ID
+// (IDs are bounded by BlockIDBound and grow only when splits adopt
+// new blocks).
+func formFunction(f *ir.Function, cfg Config, record bool) (*ir.Function, Stats, *FuncTrace, error) {
 	fo := NewFormer(f, cfg)
-	done := map[int]bool{}
+	if record {
+		fo.rec = &traceRecorder{ft: &FuncTrace{Fingerprint: FingerprintFunction(f)}}
+	}
+	done := make([]bool, f.BlockIDBound())
+	cur := 0
+	curF, curV := fo.f, fo.f.Version()
 	for fo.checkpoint() == nil {
+		if fo.f != curF || fo.f.Version() != curV {
+			cur, curF, curV = 0, fo.f, fo.f.Version()
+		}
+		rpo := fo.cache.RPO(fo.f)
 		seed := -1
-		for _, b := range fo.cache.RPO(fo.f) {
-			if !done[b.ID] {
-				seed = b.ID
+		for cur < len(rpo) {
+			if id := rpo[cur].ID; id >= len(done) || !done[id] {
+				seed = id
 				break
 			}
+			cur++
 		}
 		if seed < 0 {
 			break
 		}
+		if seed >= len(done) {
+			nd := make([]bool, seed+1)
+			copy(nd, done)
+			done = nd
+		}
 		done[seed] = true
+		fo.beginSeed(seed)
 		fo.ExpandBlock(seed)
 	}
-	return fo.f, fo.stats, fo.err
+	var ft *FuncTrace
+	if record && fo.err == nil {
+		ft = fo.rec.ft
+	}
+	return fo.f, fo.stats, ft, fo.err
 }
 
 // FormProgram applies FormFunction to every function of p, replacing
@@ -167,33 +204,55 @@ func FormFunction(f *ir.Function, cfg Config) (*ir.Function, Stats, error) {
 // in-progress function rolled back to its pre-formation snapshot so
 // the program is never left half-formed.
 func FormProgram(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Degradation, error) {
+	st, deg, _, err := formProgram(p, cfg, prof, false)
+	return st, deg, err
+}
+
+// FormProgramTrace is FormProgram with decision recording: it
+// additionally returns a replayable skeleton of the run (see
+// ReplayProgram). Functions that degraded get no trace entry; the
+// trace is nil when formation was canceled.
+func FormProgramTrace(p *ir.Program, cfg Config, prof *profile.Profile) (Stats, []Degradation, *ProgramTrace, error) {
+	return formProgram(p, cfg, prof, true)
+}
+
+func formProgram(p *ir.Program, cfg Config, prof *profile.Profile, record bool) (Stats, []Degradation, *ProgramTrace, error) {
 	var total Stats
 	var degraded []Degradation
+	var tr *ProgramTrace
+	if record {
+		tr = &ProgramTrace{Funcs: map[string]*FuncTrace{}}
+	}
 	for _, name := range p.FuncOrder {
 		c := cfg
 		if prof != nil {
 			c.Prof = prof.Get(name)
 		}
 		var st Stats
+		var ft *FuncTrace
 		var cerr error
 		fn := p.Funcs[name]
 		nf, deg := GuardFunction(fn, "formation", func(f *ir.Function) *ir.Function {
 			var formed *ir.Function
-			formed, st, cerr = FormFunction(f, c)
+			formed, st, ft, cerr = formFunction(f, c, record)
 			return formed
 		})
 		if cerr != nil {
 			// Canceled mid-function: keep the untouched original so
 			// callers that ignore the error still hold valid IR.
-			return total, degraded, cerr
+			return total, degraded, nil, cerr
 		}
 		if deg != nil {
 			degraded = append(degraded, *deg)
 			st = Stats{}
+			ft = nil
+		}
+		if record && ft != nil {
+			tr.Funcs[name] = ft
 		}
 		nf.Prog = p
 		p.Funcs[name] = nf
 		total.Add(st)
 	}
-	return total, degraded, nil
+	return total, degraded, tr, nil
 }

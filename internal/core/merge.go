@@ -103,6 +103,19 @@ type Former struct {
 	// function's mutation version, so the convergence loop only
 	// recomputes analyses after a committed change.
 	cache analysis.Cache
+	// rec, when non-nil, records every decision for skeleton replay.
+	rec *traceRecorder
+	// replay, when non-nil, is the committed-merge decision mergeExec
+	// is currently replaying; its recorded live-out sets and shape
+	// stand in for the per-merge liveness fixpoints.
+	replay *Decision
+	// lastMerge carries the liveness/shape data mergeExec captured for
+	// the most recent successful merge, for MergeBlocks to attach to
+	// the recorded decision (recording runs only).
+	lastMerge struct {
+		out1, out2 []ir.Reg
+		shape      trips.BlockStats
+	}
 	// err latches the first Config.Checkpoint error; once set, the
 	// expansion loops stop merging and the error propagates out of
 	// FormFunction.
@@ -204,11 +217,32 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 		}
 	}
 
-	// 1. Copy to scratch space.
+	// 1. Copy to scratch space. Steps 2–7 and the commit bookkeeping
+	// are shared with skeleton replay (which runs them in place on
+	// the working function, with the scratch verifier off).
 	fc, m := ir.CloneFunctionMap(fo.f)
-	hbC := m[hb]
-	sC := m[s]
+	if !fo.mergeExec(fc, m[hb], m[s], kind, true) {
+		return false
+	}
+	d := Decision{Kind: DecMerge, Cand: s.ID, Merge: kind.name()}
+	if fo.rec != nil {
+		sh := fo.lastMerge.shape
+		d.Shape = &sh
+		d.Out1, d.Out2 = fo.lastMerge.out1, fo.lastMerge.out2
+	}
+	fo.record(d)
+	return true
+}
 
+// mergeExec merges sC into hbC on fc and commits fc as the working
+// function on success. fc is either a scratch clone of the working
+// function (greedy: a failed attempt must leave it untouched) or the
+// working function itself (replay: the outcome is already known, and
+// the caller discards the function when the concrete constraints
+// disagree with the recorded decision). verify gates the per-merge
+// scratch IR check; replay relies on GuardFunction's final verify
+// instead.
+func (fo *Former) mergeExec(fc *ir.Function, hbC, sC *ir.Block, kind mergeKind, verify bool) bool {
 	// 2. Locate the branch being if-converted.
 	brIdx := -1
 	for i, in := range hbC.Instrs {
@@ -218,6 +252,7 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 		}
 	}
 	if brIdx < 0 {
+		fo.record(Decision{Kind: DecReject, Cand: sC.ID, Merge: kind.name(), Reject: RejectBr})
 		return false
 	}
 
@@ -226,9 +261,10 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 	switch kind {
 	case mergeUnroll:
 		var ok bool
-		body, ok = fo.saved[hb.ID].materialize(fc)
+		body, ok = fo.saved[hbC.ID].materialize(fc)
 		if !ok {
 			fo.stats.Rejects++
+			fo.record(Decision{Kind: DecReject, Cand: sC.ID, Merge: kind.name(), Reject: RejectMat})
 			return false
 		}
 	default:
@@ -244,9 +280,10 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 	// waiting for their predicated commits. Renamed registers whose
 	// definitions were optimized away are dropped.
 	var initRename map[ir.Reg]ir.Reg
+	chainHit, chainMiss := false, false
 	br := hbC.Instrs[brIdx]
 	if br.BrID != 0 && !fo.cfg.NoChain {
-		if pr := fo.pending[hb.ID][br.BrID]; pr != nil {
+		if pr := fo.pending[hbC.ID][br.BrID]; pr != nil {
 			defined := map[ir.Reg]bool{}
 			for _, in := range hbC.Instrs {
 				if d := in.Def(); d.Valid() {
@@ -260,30 +297,71 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 				}
 			}
 			fo.stats.ChainHits++
+			chainHit = true
 		} else {
 			fo.stats.ChainMisses++
+			chainMiss = true
 		}
 	}
 	brIDFloor := fc.NewBrID() // all IDs assigned by this combine exceed this
 	_, outRename := combine(fc, hbC, brIdx, body, initRename)
 
 	// 5. Optimize the merged block (when iterative optimization is
-	// enabled) and normalize its outputs. The cached liveness
-	// recomputes only when the intervening pass actually changed code
-	// (tracked by the function's mutation version).
-	lv := fo.cache.Liveness(fc)
-	if fo.cfg.IterOpt {
-		opt.OptimizeBlock(fc, hbC, lv.Out[hbC])
-		lv = fo.cache.Liveness(fc)
+	// enabled) and normalize its outputs. Both consume only the merged
+	// block's live-out set. Greedy computes it from whole-function
+	// liveness (cached against the mutation version, recomputing only
+	// when the intervening pass actually changed code); replay
+	// substitutes the sets recorded with the decision — the working
+	// function matches the recorded run's committed state instruction
+	// for instruction, so they are exactly what ComputeLiveness would
+	// return, and the three per-merge fixpoints disappear.
+	rd := fo.replay
+	if rd != nil && rd.Shape == nil {
+		rd = nil // trace predates per-merge liveness recording
 	}
-	trips.NormalizeOutputs(hbC, lv)
-	lv = fo.cache.Liveness(fc)
+	var lv *analysis.Liveness
+	var out1 analysis.RegSet
+	if rd != nil {
+		out1 = regSetFrom(fc.NumRegs(), rd.Out1)
+	} else {
+		lv = fo.cache.Liveness(fc)
+		out1 = lv.Out[hbC]
+	}
+	out2 := out1
+	if fo.cfg.IterOpt {
+		opt.OptimizeBlock(fc, hbC, out1)
+		if rd != nil {
+			out2 = regSetFrom(fc.NumRegs(), rd.Out2)
+		} else {
+			lv = fo.cache.Liveness(fc)
+			out2 = lv.Out[hbC]
+		}
+	}
 
 	// 6. Constraint check: reject the merge if the block no longer
-	// fits.
-	if err := fo.cfg.Cons.LegalBlock(hbC, lv); err != nil {
+	// fits. The measured shape is recorded (on merges and rejects
+	// alike) so skeleton replay can re-check this exact precondition
+	// against other capacity limits without redoing the measurement.
+	var shape trips.BlockStats
+	if rd != nil {
+		trips.NormalizeOutputs(hbC, &analysis.Liveness{
+			Out: map[*ir.Block]analysis.RegSet{hbC: out2}})
+		shape = *rd.Shape
+	} else {
+		trips.NormalizeOutputs(hbC, lv)
+		lv = fo.cache.Liveness(fc)
+		shape = trips.MeasureWithFanout(hbC, lv, fo.cfg.Cons)
+	}
+	if err := fo.cfg.Cons.Check(shape); err != nil {
 		fo.stats.Rejects++
+		fo.record(Decision{Kind: DecReject, Cand: sC.ID, Merge: kind.name(),
+			Reject: RejectCons, Shape: &shape, ChainHit: chainHit, ChainMiss: chainMiss})
 		return false
+	}
+	if fo.rec != nil {
+		fo.lastMerge.out1 = out1.AppendMembers(nil)
+		fo.lastMerge.out2 = out2.AppendMembers(nil)
+		fo.lastMerge.shape = shape
 	}
 
 	// 7. Transform the CFG (scratch side, then commit).
@@ -291,10 +369,12 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 		fc.RemoveBlock(sC)
 	}
 	fc.RemoveUnreachable()
-	if err := ir.Verify(fc); err != nil {
-		// A malformed scratch function indicates a bug; reject the
-		// merge rather than corrupting the working function.
-		panic(fmt.Sprintf("core: scratch merge produced invalid IR: %v", err))
+	if verify {
+		if err := ir.Verify(fc); err != nil {
+			// A malformed scratch function indicates a bug; reject the
+			// merge rather than corrupting the working function.
+			panic(fmt.Sprintf("core: scratch merge produced invalid IR: %v", err))
+		}
 	}
 
 	// Commit.
@@ -307,17 +387,17 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 		fo.stats.Peels++
 	case mergeUnroll:
 		fo.stats.Unrolls++
-		fo.unrolls[hb.ID]++
+		fo.unrolls[hbC.ID]++
 	}
 
 	// Record this layer's speculative renames under every surviving
 	// branch this merge appended (identified by fresh BrIDs): such a
 	// branch fires only when this layer's merge predicate held.
 	if len(outRename) > 0 {
-		byBr := fo.pending[hb.ID]
+		byBr := fo.pending[hbC.ID]
 		if byBr == nil {
 			byBr = map[int32]map[ir.Reg]ir.Reg{}
-			fo.pending[hb.ID] = byBr
+			fo.pending[hbC.ID] = byBr
 		}
 		for _, in := range hbC.Instrs {
 			if in.Op == ir.OpBr && in.BrID > brIDFloor {
@@ -327,7 +407,23 @@ func (fo *Former) MergeBlocks(hb, s *ir.Block, loops *analysis.LoopForest) bool 
 	}
 	// The converted branch is gone; drop its entry.
 	if br.BrID != 0 {
-		delete(fo.pending[hb.ID], br.BrID)
+		delete(fo.pending[hbC.ID], br.BrID)
 	}
 	return true
+}
+
+// regSetFrom rebuilds a RegSet from a recorded member list. Sized to
+// cover both the function's registers and every recorded member, so a
+// decoded trace can never index out of bounds.
+func regSetFrom(n int, regs []ir.Reg) analysis.RegSet {
+	for _, r := range regs {
+		if int(r) >= n {
+			n = int(r) + 1
+		}
+	}
+	s := analysis.NewRegSet(n)
+	for _, r := range regs {
+		s.Add(r)
+	}
+	return s
 }

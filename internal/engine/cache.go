@@ -6,7 +6,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -21,35 +20,105 @@ import (
 // payload below or the semantics of a hashed field change, so stale
 // entries from older builds can never be returned — locally or from a
 // peer store (the artifact protocol refuses cross-schema exchanges
-// outright). Schema 3: timing.Config gained the MaxCycles/WatchdogGap
-// watchdog bounds.
-const KeySchema = 3
+// outright). Schema 4: the payload is factored into skeleton
+// (parameter-independent) vs. instantiation (request-bound) field
+// groups, and the store now also holds formation-skeleton artifacts
+// addressed by the skeleton group alone.
+const KeySchema = 4
 
-// keyPayload is the canonical serialization hashed into a job's cache
-// key: everything that determines the job's Metrics, and nothing that
-// doesn't (display labels and timeouts are excluded). Struct-field
-// JSON marshaling is deterministic (fields in declaration order), so
-// equal payloads produce equal bytes.
-type keyPayload struct {
-	Schema      int                        `json:"schema"`
+// skeletonFields are the inputs that determine the formation decision
+// path and the pre-formation IR it runs on — everything a recorded
+// decision trace is valid for, and nothing the trace is symbolic in.
+// The request-bound block capacities (MaxInstrs, MaxMemOps, per-bank
+// read/write budgets) are deliberately absent: replay re-checks each
+// recorded precondition against them. FanoutFactor stays, because
+// recorded block shapes bake in its fanout estimate; and when a
+// custom selection policy is configured, the full constraints join
+// the key (policies see Cons in their Context, so their choices may
+// depend on any of it).
+type skeletonFields struct {
 	Source      string                     `json:"source"`
 	Ordering    compiler.Ordering          `json:"ordering"`
 	Policy      string                     `json:"policy"`
 	PolicyOpts  json.RawMessage            `json:"policy_opts,omitempty"`
-	Cons        trips.Constraints          `json:"cons"`
+	PolicyCons  *trips.Constraints         `json:"policy_cons,omitempty"`
 	ProfileFn   string                     `json:"profile_fn"`
 	ProfileArgs []int64                    `json:"profile_args"`
 	Profile     string                     `json:"profile,omitempty"`
 	FrontUnroll int                        `json:"front_unroll"`
 	UnrollPeel  compiler.UnrollPeelOptions `json:"unroll_peel"`
-	RegAlloc    bool                       `json:"regalloc"`
-	RegAllocOps regalloc.Options           `json:"regalloc_opts"`
 	CoreTweaks  compiler.CoreTweaks        `json:"core_tweaks"`
-	VerifyEach  bool                       `json:"verify_each_phase"`
-	Sim         SimKind                    `json:"sim"`
-	SimConfig   *timing.Config             `json:"sim_config,omitempty"`
-	Entry       string                     `json:"entry"`
-	Args        []int64                    `json:"args"`
+	Fanout      int                        `json:"fanout"`
+}
+
+// instantiationFields are the request-bound inputs: concrete block
+// capacities, the back end, and the simulation. They join the full
+// result key but not the skeleton key.
+type instantiationFields struct {
+	Cons        trips.Constraints `json:"cons"`
+	RegAlloc    bool              `json:"regalloc"`
+	RegAllocOps regalloc.Options  `json:"regalloc_opts"`
+	VerifyEach  bool              `json:"verify_each_phase"`
+	Sim         SimKind           `json:"sim"`
+	SimConfig   *timing.Config    `json:"sim_config,omitempty"`
+	Entry       string            `json:"entry"`
+	Args        []int64           `json:"args"`
+}
+
+// keyPayload is the canonical serialization hashed into a job's full
+// result key: everything that determines the job's Metrics, and
+// nothing that doesn't (display labels and timeouts are excluded).
+// Struct-field JSON marshaling is deterministic (fields in
+// declaration order), so equal payloads produce equal bytes.
+type keyPayload struct {
+	Schema   int                 `json:"schema"`
+	Skeleton skeletonFields      `json:"skeleton"`
+	Inst     instantiationFields `json:"inst"`
+}
+
+// skeletonKeyPayload is hashed into the skeleton cache key. The Kind
+// marker keeps the two key families structurally disjoint even
+// before hashing.
+type skeletonKeyPayload struct {
+	Schema   int            `json:"schema"`
+	Kind     string         `json:"kind"`
+	Skeleton skeletonFields `json:"skeleton"`
+}
+
+// skeletonPart builds the skeleton field group from a canonicalized
+// job.
+func skeletonPart(j Job) (skeletonFields, error) {
+	opts := j.Opts.Canonical()
+	sk := skeletonFields{
+		Source:      j.Source,
+		Ordering:    opts.Ordering,
+		ProfileFn:   opts.ProfileFn,
+		ProfileArgs: opts.ProfileArgs,
+		FrontUnroll: opts.FrontUnroll,
+		UnrollPeel:  opts.UnrollPeel,
+		CoreTweaks:  opts.CoreTweaks,
+		Fanout:      opts.Cons.FanoutFactor,
+	}
+	if opts.Policy != nil {
+		sk.Policy = opts.Policy.Name()
+		// Policies carry tuning fields (e.g. the VLIW priority
+		// exponents); their exported fields join the hash.
+		raw, err := json.Marshal(opts.Policy)
+		if err != nil {
+			return sk, fmt.Errorf("engine: hashing policy %s: %w", sk.Policy, err)
+		}
+		sk.PolicyOpts = raw
+		cons := opts.Cons
+		sk.PolicyCons = &cons
+	}
+	if opts.Profile != nil {
+		ser, err := opts.Profile.Serialized()
+		if err != nil {
+			return sk, fmt.Errorf("engine: hashing preloaded profile: %w", err)
+		}
+		sk.Profile = ser
+	}
+	return sk, nil
 }
 
 // Key returns the job's content-addressed cache key: the SHA-256 of
@@ -60,46 +129,49 @@ func Key(j Job) (string, error) {
 	if j.Fn != nil {
 		return "", fmt.Errorf("engine: custom-body job %s/%s is not cacheable", j.Workload, j.Config)
 	}
+	sk, err := skeletonPart(j)
+	if err != nil {
+		return "", err
+	}
 	opts := j.Opts.Canonical()
 	p := keyPayload{
-		Schema:      KeySchema,
-		Source:      j.Source,
-		Ordering:    opts.Ordering,
-		Cons:        opts.Cons,
-		ProfileFn:   opts.ProfileFn,
-		ProfileArgs: opts.ProfileArgs,
-		FrontUnroll: opts.FrontUnroll,
-		UnrollPeel:  opts.UnrollPeel,
-		RegAlloc:    opts.RegAlloc,
-		RegAllocOps: opts.RegAllocOpts,
-		CoreTweaks:  opts.CoreTweaks,
-		VerifyEach:  opts.VerifyEachPhase,
-		Sim:         j.Sim,
-		Entry:       j.entry(),
-		Args:        j.Args,
-	}
-	if opts.Policy != nil {
-		p.Policy = opts.Policy.Name()
-		// Policies carry tuning fields (e.g. the VLIW priority
-		// exponents); their exported fields join the hash.
-		raw, err := json.Marshal(opts.Policy)
-		if err != nil {
-			return "", fmt.Errorf("engine: hashing policy %s: %w", p.Policy, err)
-		}
-		p.PolicyOpts = raw
-	}
-	if opts.Profile != nil {
-		var sb strings.Builder
-		if err := opts.Profile.Save(&sb); err != nil {
-			return "", fmt.Errorf("engine: hashing preloaded profile: %w", err)
-		}
-		p.Profile = sb.String()
+		Schema:   KeySchema,
+		Skeleton: sk,
+		Inst: instantiationFields{
+			Cons:        opts.Cons,
+			RegAlloc:    opts.RegAlloc,
+			RegAllocOps: opts.RegAllocOpts,
+			VerifyEach:  opts.VerifyEachPhase,
+			Sim:         j.Sim,
+			Entry:       j.entry(),
+			Args:        j.Args,
+		},
 	}
 	if j.Sim == SimTiming {
 		cfg := j.simConfig()
-		p.SimConfig = &cfg
+		p.Inst.SimConfig = &cfg
 	}
 	raw, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SkeletonKey returns the job's skeleton cache key: the content
+// address of the parameter-independent option subset. Jobs that
+// differ only in block capacities, back end, simulator, or arguments
+// share one skeleton key — the compile-once, specialize-many axis.
+func SkeletonKey(j Job) (string, error) {
+	if j.Fn != nil {
+		return "", fmt.Errorf("engine: custom-body job %s/%s is not cacheable", j.Workload, j.Config)
+	}
+	sk, err := skeletonPart(j)
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.Marshal(skeletonKeyPayload{Schema: KeySchema, Kind: "skeleton", Skeleton: sk})
 	if err != nil {
 		return "", err
 	}

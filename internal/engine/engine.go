@@ -101,6 +101,13 @@ type Engine struct {
 	// submitSeq indexes Submit results in trace events (Run indexes
 	// by slice position instead).
 	submitSeq atomic.Int64
+
+	// Skeleton tier: formation decision traces keyed on the
+	// parameter-independent part of the job (see SkeletonKey), shared
+	// through the cache's backing store, plus the instantiation-
+	// latency ring fed by skeleton-replayed compiles.
+	skel    *skeletonCache
+	instLat latRing
 }
 
 // New builds an engine. The zero Config is valid: GOMAXPROCS workers,
@@ -123,6 +130,7 @@ func New(cfg Config) *Engine {
 		backoff: backoff, chaos: cfg.Chaos,
 		wdTrips: map[string]int{}, quarantined: map[string]bool{},
 		flights: map[string]*flight{},
+		skel:    newSkeletonCache(c.Store()),
 	}
 }
 
@@ -170,6 +178,14 @@ type Result struct {
 	// (or already was) quarantined.
 	WatchdogTrips int
 	Quarantined   bool
+	// SkeletonHit reports that the compile behind this result was
+	// served by replaying a cached formation skeleton rather than the
+	// full greedy search (set on the runner and every coalesced waiter
+	// alike; false on full-result cache hits, which did not compile at
+	// all). SkeletonFallbacks counts the functions within that replay
+	// that missed a recorded precondition and reran greedy formation.
+	SkeletonHit       bool
+	SkeletonFallbacks int
 }
 
 // Run executes the jobs with bounded parallelism and returns results
@@ -321,12 +337,16 @@ func (e *Engine) runOne(ctx context.Context, i int, j Job) Result {
 }
 
 // attemptOutcome is one execution's result: the metrics, the error,
-// and the retry/watchdog bookkeeping that feeds quarantine.
+// and the retry/watchdog bookkeeping that feeds quarantine. Flight
+// runners also record the skeleton-tier outcome here so coalesced
+// waiters report it identically.
 type attemptOutcome struct {
-	m       Metrics
-	err     error
-	retries int
-	wdTrips int
+	m             Metrics
+	err           error
+	retries       int
+	wdTrips       int
+	skelHit       bool
+	skelFallbacks int
 }
 
 // attempt executes the job body once, plus the engine's single

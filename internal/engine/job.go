@@ -111,6 +111,15 @@ type Metrics struct {
 	// that produced them.
 	CompileNS int64 `json:"compile_ns"`
 	SimNS     int64 `json:"sim_ns"`
+
+	// FormTrace is the formation skeleton recorded when the engine
+	// asked for one (Opts.RecordFormTrace); the flight runner moves it
+	// into the skeleton cache and strips it before the metrics are
+	// cached or handed to waiters. Replay is the replay outcome when
+	// the compile instantiated a cached skeleton. Both are engine-
+	// internal transport, not part of the measurement record.
+	FormTrace *core.ProgramTrace `json:"-"`
+	Replay    core.ReplayStats   `json:"-"`
 }
 
 // MispredictRate returns mispredicts per multi-exit lookup.
@@ -159,6 +168,8 @@ func (j Job) execute(ctx context.Context, inj timing.Injector) (Metrics, error) 
 	m.Form = res.FormStats
 	m.UP = res.UPStats
 	m.Degraded = res.Degraded
+	m.FormTrace = res.FormTrace
+	m.Replay = res.Replay
 
 	t1 := time.Now()
 	switch j.Sim {

@@ -114,13 +114,41 @@ func (e *Engine) runFlight(fctx context.Context, f *flight, j Job, key, qkey str
 	if h := e.flightHook; h != nil {
 		h(key)
 	}
+	// Second-level lookup: a full-result miss still avoids the greedy
+	// formation search when a skeleton recorded under the job's
+	// parameter-independent key exists — the compile replays it, and a
+	// miss records a fresh one for every future sibling request.
+	var skey string
+	if e.skel != nil && skeletonEligible(j) {
+		if sk, kerr := SkeletonKey(j); kerr == nil {
+			skey = sk
+			if tr, ok := e.skel.get(fctx, skey); ok {
+				j.Opts.FormTrace = tr
+			} else {
+				j.Opts.RecordFormTrace = true
+			}
+		}
+	}
 	o := e.attempt(fctx, j, timeout, e.injector(j))
 	if o.wdTrips > 0 {
 		e.recordWatchdogTrips(qkey, o.wdTrips)
 	}
 	if o.err == nil {
-		e.cache.Put(key, o.m)
+		if j.Opts.FormTrace != nil {
+			o.skelHit = true
+			o.skelFallbacks = o.m.Replay.Fallbacks
+			e.skel.fallbacks.Add(int64(o.m.Replay.Fallbacks))
+			e.instLat.add(o.m.CompileNS)
+		} else if skey != "" && o.m.FormTrace != nil {
+			e.skel.put(skey, o.m.FormTrace)
+		}
+		m := o.m
+		m.FormTrace = nil
+		e.cache.Put(key, m)
 	}
+	// The trace is cache transport, not a result payload: never hand
+	// it to waiters.
+	o.m.FormTrace = nil
 	f.out = o
 	e.fmu.Lock()
 	if e.flights[key] == f {
@@ -155,6 +183,8 @@ func (e *Engine) wait(ctx context.Context, r *Result, j Job, f *flight) {
 	r.Err = o.err
 	r.WatchdogTrips = o.wdTrips
 	r.Quarantined = o.wdTrips > 0 && e.isQuarantined(quarantineKey(j, r.Key))
+	r.SkeletonHit = o.skelHit
+	r.SkeletonFallbacks = o.skelFallbacks
 	if !r.Coalesced {
 		// Only the runner's submission reports the retry count; a
 		// waiter did not re-execute anything.

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// The skeleton cache is the second level of the engine's two-level
+// lookup. A full-result miss does not necessarily mean a full
+// compile: jobs that differ only in request-bound parameters (block
+// capacities, back end, simulator, arguments) share a skeleton key,
+// and a recorded formation decision trace under that key turns the
+// compile into a cheap replay (see core.ReplayProgram). Skeleton
+// artifacts live in the same content-addressed backing store as full
+// results — distinct content hashes, same disk/peer/replication
+// tiers — so a skeleton recorded by one shard warms the whole
+// cluster.
+
+// skeletonMemLimit bounds the in-memory decoded-trace layer (FIFO
+// eviction; the backing store keeps evicted entries).
+const skeletonMemLimit = 256
+
+// instLatRingSize is the instantiation-latency ring capacity.
+const instLatRingSize = 256
+
+// skeletonCache holds decoded formation traces in memory with
+// write-through JSON persistence to the shared artifact store.
+type skeletonCache struct {
+	backing store.Store // nil: memory-only
+
+	mu    sync.RWMutex
+	mem   map[string]*core.ProgramTrace
+	order []string
+
+	hits, misses, storeHits atomic.Int64
+	puts, fallbacks         atomic.Int64
+}
+
+func newSkeletonCache(backing store.Store) *skeletonCache {
+	return &skeletonCache{backing: backing, mem: map[string]*core.ProgramTrace{}}
+}
+
+// get returns the decoded trace for key, consulting memory and then
+// the backing store (promoting store hits).
+func (c *skeletonCache) get(ctx context.Context, key string) (*core.ProgramTrace, bool) {
+	c.mu.RLock()
+	tr, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return tr, true
+	}
+	if c.backing != nil {
+		payload, ok, _ := c.backing.Get(ctx, key)
+		if ok {
+			tr = &core.ProgramTrace{}
+			if json.Unmarshal(payload, tr) == nil && tr.Funcs != nil {
+				c.insert(key, tr)
+				c.hits.Add(1)
+				c.storeHits.Add(1)
+				return tr, true
+			}
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *skeletonCache) insert(key string, tr *core.ProgramTrace) {
+	c.mu.Lock()
+	if _, exists := c.mem[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.mem[key] = tr
+	for len(c.mem) > skeletonMemLimit && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.mem, victim)
+	}
+	c.mu.Unlock()
+}
+
+// put stores the trace, writing through to the backing store.
+func (c *skeletonCache) put(key string, tr *core.ProgramTrace) {
+	c.insert(key, tr)
+	c.puts.Add(1)
+	if c.backing == nil {
+		return
+	}
+	payload, err := json.Marshal(tr)
+	if err != nil {
+		return
+	}
+	_ = c.backing.Put(context.Background(), key, payload)
+}
+
+// latRing is a fixed-size ring of recent latency samples (ns) with
+// quantile snapshots; cheap enough for the per-compile hot path.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [instLatRingSize]int64
+	n    int // filled entries
+	next int // write cursor
+	seen int64
+}
+
+func (r *latRing) add(ns int64) {
+	r.mu.Lock()
+	r.buf[r.next] = ns
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.seen++
+	r.mu.Unlock()
+}
+
+// quantiles returns the given quantiles (0..1) over the retained
+// samples, in milliseconds, plus the lifetime sample count.
+func (r *latRing) quantiles(qs ...float64) ([]float64, int64) {
+	r.mu.Lock()
+	n := r.n
+	samples := make([]int64, n)
+	copy(samples, r.buf[:n])
+	seen := r.seen
+	r.mu.Unlock()
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out, seen
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = float64(samples[idx]) / 1e6
+	}
+	return out, seen
+}
+
+// SkeletonStats is the two-level cache's observability snapshot:
+// lookup counters plus instantiation-latency quantiles over the most
+// recent skeleton-replayed compiles.
+type SkeletonStats struct {
+	// Hits counts compiles served by skeleton replay; Misses counts
+	// compiles that recorded a fresh skeleton; StoreHits is the
+	// subset of Hits whose trace came from the backing store rather
+	// than memory.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	StoreHits int64 `json:"store_hits"`
+	// Puts counts skeletons recorded and stored.
+	Puts int64 `json:"puts"`
+	// Fallbacks counts functions (not compiles) whose replay missed a
+	// recorded precondition and reran greedy formation.
+	Fallbacks int64 `json:"fallbacks"`
+	// Instantiation-latency quantiles (compile wall time of skeleton-
+	// replayed compiles, ms) over the retained ring; InstSamples is
+	// the lifetime count of ring entries.
+	InstP50MS   float64 `json:"inst_p50_ms"`
+	InstP90MS   float64 `json:"inst_p90_ms"`
+	InstP99MS   float64 `json:"inst_p99_ms"`
+	InstSamples int64   `json:"inst_samples"`
+}
+
+// SkeletonStats snapshots the skeleton cache and instantiation ring.
+func (e *Engine) SkeletonStats() SkeletonStats {
+	var s SkeletonStats
+	if e.skel == nil {
+		return s
+	}
+	s.Hits = e.skel.hits.Load()
+	s.Misses = e.skel.misses.Load()
+	s.StoreHits = e.skel.storeHits.Load()
+	s.Puts = e.skel.puts.Load()
+	s.Fallbacks = e.skel.fallbacks.Load()
+	q, seen := e.instLat.quantiles(0.50, 0.90, 0.99)
+	s.InstP50MS, s.InstP90MS, s.InstP99MS = q[0], q[1], q[2]
+	s.InstSamples = seen
+	return s
+}
+
+// skeletonEligible reports whether the job's compile runs hyperblock
+// formation (the only phase skeletons capture). The BB baseline never
+// forms, and custom-body jobs have no content identity.
+func skeletonEligible(j Job) bool {
+	if j.Fn != nil {
+		return false
+	}
+	return j.Opts.Canonical().Ordering != compiler.OrderBB
+}

@@ -123,6 +123,11 @@ type upstream struct {
 	hedged    bool // served by the hedge/failover try, not the primary
 	cacheHit  bool
 	coalesced bool
+	// skeletonHit/skeletonFallbacks relay the shard's two-level cache
+	// outcome (compile served by skeleton replay; functions that fell
+	// back to greedy within it).
+	skeletonHit       bool
+	skeletonFallbacks int64
 	// retryAfterMS is the shard's backpressure advice on a shed
 	// response; the front relays the max across shedding shards.
 	retryAfterMS int64
@@ -166,7 +171,12 @@ type Front struct {
 	allShed   atomic.Int64
 	swaps     atomic.Int64
 	cacheHits atomic.Int64 // responses served from a shard cache or coalesce
-	counts    map[server.ErrClass]*atomic.Int64
+	// skelHits counts responses whose compile was a skeleton replay on
+	// the shard; skelFallbacks accumulates the per-response fallback
+	// counts (cluster-visible skeleton-cache efficacy).
+	skelHits      atomic.Int64
+	skelFallbacks atomic.Int64
+	counts        map[server.ErrClass]*atomic.Int64
 
 	drainOnce sync.Once
 }
@@ -252,6 +262,10 @@ func (f *Front) respond(w http.ResponseWriter, u upstream) {
 	f.counts[u.class].Add(1)
 	if u.cacheHit || u.coalesced {
 		f.cacheHits.Add(1)
+	}
+	if u.skeletonHit {
+		f.skelHits.Add(1)
+		f.skelFallbacks.Add(u.skeletonFallbacks)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Hbserved-Class", string(u.class))
@@ -507,9 +521,11 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 // probeBody is the slice of the shard response the front's gauges
 // care about.
 type probeBody struct {
-	CacheHit     bool  `json:"cache_hit"`
-	Coalesced    bool  `json:"coalesced"`
-	RetryAfterMS int64 `json:"retry_after_ms"`
+	CacheHit          bool  `json:"cache_hit"`
+	Coalesced         bool  `json:"coalesced"`
+	RetryAfterMS      int64 `json:"retry_after_ms"`
+	SkeletonHit       bool  `json:"skeleton_hit"`
+	SkeletonFallbacks int64 `json:"skeleton_fallbacks"`
 }
 
 // tryShard issues one POST to one shard and classifies the result:
@@ -572,14 +588,16 @@ func (f *Front) tryShard(ctx context.Context, s *shard, body []byte, hedged bool
 	var pb probeBody
 	_ = json.Unmarshal(raw, &pb)
 	return upstream{
-		status:       resp.StatusCode,
-		class:        class,
-		body:         raw,
-		shard:        s.url,
-		hedged:       hedged,
-		cacheHit:     pb.CacheHit,
-		coalesced:    pb.Coalesced,
-		retryAfterMS: pb.RetryAfterMS,
+		status:            resp.StatusCode,
+		class:             class,
+		body:              raw,
+		shard:             s.url,
+		hedged:            hedged,
+		cacheHit:          pb.CacheHit,
+		coalesced:         pb.Coalesced,
+		retryAfterMS:      pb.RetryAfterMS,
+		skeletonHit:       pb.SkeletonHit,
+		skeletonFallbacks: pb.SkeletonFallbacks,
 	}
 }
 

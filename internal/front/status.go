@@ -43,6 +43,13 @@ type Status struct {
 	Coalesced int64   `json:"coalesced"`
 	CacheHits int64   `json:"cache_hits"`
 	HitRate   float64 `json:"hit_rate"`
+	// SkeletonHits counts responses whose shard compile was served by
+	// replaying a cached formation skeleton (the two-level cache's
+	// second tier — these were full-result misses that still skipped
+	// the greedy search); SkeletonFallbacks sums the functions within
+	// those replays that fell back to greedy formation.
+	SkeletonHits      int64 `json:"skeleton_hits"`
+	SkeletonFallbacks int64 `json:"skeleton_fallbacks"`
 	// Hedges counts budget-expiry hedges, HedgeWins those won by the
 	// hedged try, Failovers immediate retries after transport errors.
 	Hedges    int64 `json:"hedges"`
@@ -66,15 +73,17 @@ func (f *Front) StatusSnapshot() Status {
 	f.mu.RUnlock()
 
 	st := Status{
-		Build:         buildinfo.Collect("hbfront"),
-		UptimeSeconds: time.Since(f.start).Seconds(),
-		Draining:      draining,
-		Gen:           set.gen,
-		Swaps:         f.swaps.Load(),
-		Requests:      f.requests.Load(),
-		Inflight:      f.inflightN.Load(),
-		Coalesced:     f.coalesced.Load(),
-		CacheHits:     f.cacheHits.Load(),
+		Build:             buildinfo.Collect("hbfront"),
+		UptimeSeconds:     time.Since(f.start).Seconds(),
+		Draining:          draining,
+		Gen:               set.gen,
+		Swaps:             f.swaps.Load(),
+		Requests:          f.requests.Load(),
+		Inflight:          f.inflightN.Load(),
+		Coalesced:         f.coalesced.Load(),
+		CacheHits:         f.cacheHits.Load(),
+		SkeletonHits:      f.skelHits.Load(),
+		SkeletonFallbacks: f.skelFallbacks.Load(),
 		Hedges:            f.hedges.Load(),
 		HedgeWins:         f.hedgeWins.Load(),
 		Failovers:         f.failovers.Load(),

@@ -1,0 +1,166 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sim/timing"
+)
+
+// DiffSkeleton runs the skeleton-replay differential oracle on one tl
+// program: for every forming ordering, compile three ways — plain
+// greedy, greedy with trace recording, and skeleton replay driven by
+// the recorded trace — and demand that recording never perturbs the
+// output and that replay reproduces it exactly: byte-identical IR
+// dumps, equal formation statistics, zero fallbacks on a clean
+// record, and cycle-identical timing simulation. Any divergence is a
+// soundness bug in the two-phase split (the instantiation phase would
+// serve different code than the full pipeline).
+//
+// maxSteps bounds the timing runs (<= 0 selects DefaultMaxSteps);
+// orderings nil selects every ordering except BB (which never forms,
+// so it has no skeleton to replay).
+func DiffSkeleton(src string, maxSteps int64, orderings []compiler.Ordering) Report {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	if orderings == nil {
+		for _, ord := range compiler.Orderings {
+			if ord != compiler.OrderBB {
+				orderings = append(orderings, ord)
+			}
+		}
+	}
+	var rep Report
+
+	file, err := lang.Parse(src)
+	if err != nil {
+		return skip(fmt.Sprintf("parse: %v", err))
+	}
+	if err := lang.Check(file); err != nil {
+		return skip(fmt.Sprintf("check: %v", err))
+	}
+	arity := -1
+	for _, fn := range file.Funcs {
+		if fn.Name == "main" {
+			arity = len(fn.Params)
+		}
+	}
+	if arity < 0 {
+		return skip("no main function")
+	}
+
+	compiled := 0
+	for _, ord := range orderings {
+		name := string(ord) + "+skeleton"
+		opts := compiler.Options{Ordering: ord}
+
+		full, err := safeCompile(src, opts)
+		if err != nil {
+			// Nothing to compare for this ordering; the plain
+			// differential oracle owns compile-failure coverage.
+			continue
+		}
+		compiled++
+		wantIR := ir.FormatProgram(full.Prog)
+
+		recOpts := opts
+		recOpts.RecordFormTrace = true
+		rec, err := safeCompile(src, recOpts)
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				fmt.Sprintf("recording compile failed where greedy succeeded: %v", err)})
+			continue
+		}
+		if rec.FormTrace == nil {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name, "no trace recorded"})
+			continue
+		}
+		if ir.FormatProgram(rec.Prog) != wantIR {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				"recording perturbed formation output"})
+			continue
+		}
+
+		repOpts := opts
+		repOpts.FormTrace = rec.FormTrace
+		replayed, err := safeCompile(src, repOpts)
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				fmt.Sprintf("replay compile failed where greedy succeeded: %v", err)})
+			continue
+		}
+		rep.Degraded = append(rep.Degraded, replayed.Degraded...)
+		if got := ir.FormatProgram(replayed.Prog); got != wantIR {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				"replayed IR differs from full greedy formation"})
+			continue
+		}
+		if replayed.FormStats != full.FormStats {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				fmt.Sprintf("replay stats %+v, greedy %+v", replayed.FormStats, full.FormStats)})
+			continue
+		}
+		// Same parameters, same input: a clean recording must replay
+		// without a single precondition miss. Functions that degraded
+		// during recording legitimately have no trace entry and fall
+		// back, so only a fully clean record asserts zero.
+		if len(rec.Degraded) == 0 && replayed.Replay.Fallbacks != 0 {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name,
+				fmt.Sprintf("replay fell back %d times under identical parameters", replayed.Replay.Fallbacks)})
+			continue
+		}
+
+		// Cycle-identical timing: the instantiated program must not
+		// just compute the same values but schedule identically.
+		if r := compareCycles(full.Prog, replayed.Prog, arity, maxSteps); r != "" {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{name, r})
+		}
+	}
+	if compiled == 0 {
+		return skip("no ordering compiled the input")
+	}
+	rep.Runs = compiled * len(argVectors)
+	return rep
+}
+
+// safeCompile is compiler.Compile with panics captured as errors,
+// matching execute's contract: the oracle surfaces crashes as
+// findings, never dies on them.
+func safeCompile(src string, opts compiler.Options) (res *compiler.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("compiler panic: %v", rec)
+		}
+	}()
+	return compiler.Compile(src, opts)
+}
+
+// compareCycles runs both programs on the timing simulator over the
+// standard arg vectors and demands identical results and cycle
+// counts. An empty string means agreement.
+func compareCycles(want, got *ir.Program, arity int, maxSteps int64) string {
+	cfg := timing.DefaultConfig()
+	cfg.MaxCycles = maxSteps * 16
+	for _, args := range adaptArgs(arity) {
+		wm := timing.New(want, cfg)
+		wv, werr := wm.Run("main", args...)
+		gm := timing.New(got, cfg)
+		gv, gerr := gm.Run("main", args...)
+		if (werr == nil) != (gerr == nil) {
+			return fmt.Sprintf("args %v: timing run error mismatch: greedy %v, replay %v", args, werr, gerr)
+		}
+		if werr != nil {
+			continue // both exhausted the budget identically
+		}
+		if gv != wv {
+			return fmt.Sprintf("args %v: result %d, greedy %d", args, gv, wv)
+		}
+		if gm.Stats.Cycles != wm.Stats.Cycles {
+			return fmt.Sprintf("args %v: %d cycles, greedy %d", args, gm.Stats.Cycles, wm.Stats.Cycles)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,45 @@
+package fuzz
+
+import "testing"
+
+// The acceptance bar for the two-phase formation split: across
+// generator seeds 1–8, skeleton replay must be indistinguishable from
+// full greedy formation — byte-identical IR, equal stats, identical
+// simulated cycles (see DiffSkeleton).
+func TestSkeletonDifferentialAgreesOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		src := Generate(seed, GenConfig{})
+		rep := DiffSkeleton(src, 0, nil)
+		if rep.Skipped {
+			t.Fatalf("seed %d: generated program skipped (%s)\n%s", seed, rep.SkipReason, src)
+		}
+		if rep.Failed() {
+			min := Shrink(src, func(s string) bool { return DiffSkeleton(s, 0, nil).Failed() }, 500)
+			t.Fatalf("seed %d: skeleton differential mismatch %v\nshrunk reproducer:\n%s",
+				seed, rep.Mismatches, min)
+		}
+	}
+}
+
+// FuzzSkeletonDifferential is the native fuzz target for the replay
+// oracle: any input that compiles under a forming ordering must
+// produce byte-identical code whether formation ran greedily or via
+// skeleton replay. Shares the checked-in corpus with FuzzDifferential
+// through the generator seeds.
+func FuzzSkeletonDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(Generate(seed, GenConfig{}))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		rep := DiffSkeleton(src, 500_000, nil)
+		if rep.Skipped {
+			t.Skip(rep.SkipReason)
+		}
+		if rep.Failed() {
+			t.Fatalf("skeleton differential mismatch: %v\nprogram:\n%s", rep.Mismatches, src)
+		}
+	})
+}

@@ -140,6 +140,9 @@ func post(ctx context.Context, client *http.Client, baseURL string, a Arrival, r
 	}
 	out.ErrClass = string(sr.Class)
 	out.RetryAfterMS = sr.RetryAfterMS
+	out.CacheHit = sr.CacheHit
+	out.SkeletonHit = sr.SkeletonHit
+	out.SkeletonFallbacks = sr.SkeletonFallbacks
 	return out
 }
 

@@ -18,7 +18,13 @@ type Outcome struct {
 	LatencyMS    float64 `json:"latency_ms"`
 	TimeoutMS    int64   `json:"timeout_ms"`
 	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
-	Err          string  `json:"err,omitempty"`
+	// CacheHit echoes the server's full-result cache flag;
+	// SkeletonHit/SkeletonFallbacks echo the two-level cache's
+	// skeleton-replay outcome for the compile behind this response.
+	CacheHit          bool   `json:"cache_hit,omitempty"`
+	SkeletonHit       bool   `json:"skeleton_hit,omitempty"`
+	SkeletonFallbacks int    `json:"skeleton_fallbacks,omitempty"`
+	Err               string `json:"err,omitempty"`
 }
 
 // Quantiles summarizes a latency distribution in milliseconds.
@@ -97,6 +103,17 @@ type Report struct {
 	DeadlineMisses int     `json:"deadline_misses"`
 	GraceMS        int64   `json:"grace_ms"`
 	MaxOverrunMS   float64 `json:"max_overrun_ms"`
+
+	// Compiles counts successful responses that were not full-result
+	// cache hits (each cost a compile on some shard); SkeletonHits is
+	// the subset served by skeleton replay instead of the greedy
+	// formation search, SkeletonFallbacks the functions within those
+	// replays that fell back, and SkeletonHitRate is
+	// SkeletonHits/Compiles (0 when no compiles happened).
+	Compiles          int     `json:"compiles"`
+	SkeletonHits      int     `json:"skeleton_hits"`
+	SkeletonFallbacks int     `json:"skeleton_fallbacks"`
+	SkeletonHitRate   float64 `json:"skeleton_hit_rate"`
 
 	// Classes counts terminal taxonomy classes; Latency covers
 	// admitted responses; GoodLatency covers goodput responses only.
@@ -188,11 +205,21 @@ func BuildReport(profile Profile, seed int64, target string, outcomes []Outcome,
 		if o.LatencyMS > deadline+float64(grace.Milliseconds()) {
 			rep.DeadlineMisses++
 		}
+		if goodClass(o.ErrClass) && !o.CacheHit {
+			rep.Compiles++
+			if o.SkeletonHit {
+				rep.SkeletonHits++
+				rep.SkeletonFallbacks += o.SkeletonFallbacks
+			}
+		}
 		if goodClass(o.ErrClass) && o.LatencyMS <= deadline {
 			rep.Goodput++
 			cr.Goodput++
 			good = append(good, o.LatencyMS)
 		}
+	}
+	if rep.Compiles > 0 {
+		rep.SkeletonHitRate = float64(rep.SkeletonHits) / float64(rep.Compiles)
 	}
 	if rep.Offered > 0 {
 		rep.GoodputRatio = float64(rep.Goodput) / float64(rep.Offered)

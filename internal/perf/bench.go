@@ -48,6 +48,7 @@ func Specs() []Spec {
 		{Name: "Formation/Form", AllocBudget: -1, Fn: benchForm},
 		{Name: "Formation/Regalloc", AllocBudget: -1, Fn: benchRegalloc},
 		{Name: "Formation/Full", AllocBudget: -1, Fn: benchFormationFull},
+		{Name: "Formation/Instantiate", AllocBudget: -1, Fn: benchInstantiate},
 		{Name: "CycleSim/Clone", AllocBudget: -1, Fn: benchClone},
 		{Name: "CycleSim/ColdRun", AllocBudget: -1, Fn: benchColdRun},
 		// The tentpole guarantee: once the machine is warm, re-running
@@ -161,6 +162,38 @@ func benchFormationFull(b *testing.B) {
 	}
 }
 
+// benchInstantiate measures the same pipeline as Formation/Full when
+// a recorded skeleton is replayed instead of searched: the formation
+// decisions are re-applied with only their preconditions re-checked,
+// and the profile training run is skipped (replay never consults it).
+// The ratio Instantiate/Full is the two-tier cache's per-request win
+// on a skeleton hit.
+func benchInstantiate(b *testing.B) {
+	w := mustWorkload(b, "gzip_1")
+	rec := formationOpts(w)
+	rec.RecordFormTrace = true
+	res, err := compiler.Compile(w.Source, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.FormTrace == nil {
+		b.Fatal("no skeleton recorded")
+	}
+	opts := formationOpts(w)
+	opts.FormTrace = res.FormTrace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := compiler.Compile(w.Source, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Replay.Fallbacks != 0 {
+			b.Fatalf("skeleton replay fell back (%d functions)", r.Replay.Fallbacks)
+		}
+	}
+}
+
 // compiledMatrix compiles the cycle-simulator workload once.
 func compiledMatrix(b *testing.B) (*ir.Program, workloads.Workload) {
 	b.Helper()
@@ -244,6 +277,11 @@ type Report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	Results   []Result `json:"results"`
+	// Extras are scalar non-timing measurements recorded alongside the
+	// benchmarks (e.g. the hotkey-profile skeleton hit-rate measured by
+	// an hbload run). Compare only notes them: each has its own gate
+	// where it is measured (hbload -min-skeleton-rate in CI).
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // Schema is the current report schema identifier.
@@ -253,6 +291,14 @@ const Schema = "hbbench/1"
 // and assembles the report. The caller controls iteration time via
 // the standard -test.benchtime flag (see cmd/hbbench).
 func Collect(progress func(name string)) Report {
+	return CollectMatching(nil, progress)
+}
+
+// CollectMatching is Collect restricted to benchmark names containing
+// the given substring ("" or nil-equivalent: all). Compare gates only
+// names present in both reports, so a filtered report can be checked
+// against a subset baseline (hbbench -run).
+func CollectMatching(match func(name string) bool, progress func(name string)) Report {
 	rep := Report{
 		Schema:    Schema,
 		GoVersion: runtime.Version(),
@@ -260,6 +306,9 @@ func Collect(progress func(name string)) Report {
 		GOARCH:    runtime.GOARCH,
 	}
 	for _, s := range Specs() {
+		if match != nil && !match(s.Name) {
+			continue
+		}
 		if progress != nil {
 			progress(s.Name)
 		}
@@ -313,6 +362,12 @@ func Compare(fresh, base *Report, nsTol float64) (violations, notes []string) {
 			notes = append(notes, fmt.Sprintf("%s: in baseline but not measured", b.Name))
 		}
 	}
+	for k, v := range base.Extras {
+		if _, ok := fresh.Extras[k]; !ok {
+			notes = append(notes, fmt.Sprintf("extra %s=%g: recorded in baseline, gated where measured", k, v))
+		}
+	}
 	sort.Strings(violations)
+	sort.Strings(notes)
 	return violations, notes
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // persistedProfile is the on-disk form: JSON with string keys (Go's
@@ -50,6 +51,26 @@ func (p *Profile) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
+}
+
+// Serialized returns Save's output as a string, computed once and
+// memoized: hot-path consumers (the engine hashes every preloaded
+// profile into every request's cache key) must not rebuild the JSON
+// per call. The profile must not be mutated after the first use —
+// profiles are write-once products of a training run or Load, so
+// this holds everywhere in the tree. Save's output is deterministic
+// for fixed contents (encoding/json sorts map keys), so the memo is
+// also canonical.
+func (p *Profile) Serialized() (string, error) {
+	p.serOnce.Do(func() {
+		var sb strings.Builder
+		if err := p.Save(&sb); err != nil {
+			p.serErr = err
+			return
+		}
+		p.ser = sb.String()
+	})
+	return p.ser, p.serErr
 }
 
 // Load reads a profile previously written by Save.

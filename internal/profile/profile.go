@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -39,6 +40,12 @@ type FuncProfile struct {
 // Profile is a whole-program profile keyed by function name.
 type Profile struct {
 	Funcs map[string]*FuncProfile
+
+	// ser memoizes Serialized (content-addressed cache keys hash the
+	// same preloaded profile on every request).
+	ser     string
+	serErr  error
+	serOnce sync.Once
 }
 
 // Get returns the profile for a function (possibly an empty one).

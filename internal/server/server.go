@@ -185,6 +185,12 @@ type Response struct {
 	Retries     int     `json:"retries,omitempty"`
 	Quarantined bool    `json:"quarantined,omitempty"`
 	WallMS      float64 `json:"wall_ms"`
+	// SkeletonHit reports the compile was served by instantiating a
+	// cached formation skeleton (two-level cache; false on full-result
+	// cache hits); SkeletonFallbacks counts functions in that replay
+	// that missed a precondition and reran the greedy search.
+	SkeletonHit       bool `json:"skeleton_hit,omitempty"`
+	SkeletonFallbacks int  `json:"skeleton_fallbacks,omitempty"`
 	// Metrics is the measurement payload (ok and degraded only).
 	Metrics *engine.Metrics `json:"metrics,omitempty"`
 }
@@ -366,14 +372,16 @@ func (s *Server) process(t *task) Response {
 	res := s.eng.Submit(ctx, job)
 	class := Classify(res)
 	resp := Response{
-		Class:       class,
-		Workload:    t.job.Workload,
-		ClassName:   t.class,
-		CacheHit:    res.CacheHit,
-		Coalesced:   res.Coalesced,
-		Retries:     res.Retries,
-		Quarantined: res.Quarantined,
-		WallMS:      float64(res.WallNS) / 1e6,
+		Class:             class,
+		Workload:          t.job.Workload,
+		ClassName:         t.class,
+		CacheHit:          res.CacheHit,
+		Coalesced:         res.Coalesced,
+		Retries:           res.Retries,
+		Quarantined:       res.Quarantined,
+		WallMS:            float64(res.WallNS) / 1e6,
+		SkeletonHit:       res.SkeletonHit,
+		SkeletonFallbacks: res.SkeletonFallbacks,
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
@@ -737,6 +745,10 @@ type Status struct {
 	Cache   engine.CacheStats  `json:"cache"`
 	Store   *store.Stats       `json:"store,omitempty"`
 	Flights engine.FlightStats `json:"flights"`
+	// Skeleton is the second cache level: formation-skeleton hits,
+	// misses, replay fallbacks, and the instantiation-latency
+	// quantiles over recent skeleton-replayed compiles.
+	Skeleton engine.SkeletonStats `json:"skeleton"`
 	// AntiEntropy snapshots the replication sweeper (replication-factor
 	// histogram, repair pushes); InjectedFaults carries the netchaos
 	// counters when a fault injector is attached. Both omitted when
@@ -775,6 +787,7 @@ func (s *Server) StatusSnapshot() Status {
 		Cache:    s.eng.Cache().Stats(),
 		Store:    s.eng.Cache().StoreStats(),
 		Flights:  s.eng.FlightStats(),
+		Skeleton: s.eng.SkeletonStats(),
 	}
 	for c, n := range s.counts {
 		st.Classes[c] = n.Load()
