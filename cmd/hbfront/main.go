@@ -5,9 +5,17 @@
 // their second-choice replica.
 //
 //	hbfront -shards URL,URL,... [-addr 127.0.0.1:8090] [-addr-file FILE]
+//	        [-cluster-seeds URL,URL,...]
 //	        [-hedge-after 50ms] [-hedge-max 2s] [-hedge-quantile 0.95]
 //	        [-timeout 10s] [-max-timeout 60s] [-drain 10s]
 //	        [-netchaos-seed 0] [-version]
+//
+// With -cluster-seeds the front runs an observer-mode failure
+// detector (internal/cluster): it probes the ring like a member but
+// never announces itself, and re-derives its routing set from each
+// membership view — confirmed-dead shards are skipped outright,
+// suspected shards are deprioritized behind healthy ones. The seeds
+// double as the initial shard set when -shards is omitted.
 //
 // Endpoints:
 //
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/chaos/netchaos"
+	"repro/internal/cluster"
 	"repro/internal/front"
 	"repro/internal/perf"
 )
@@ -43,7 +52,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8090", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
-	shards := flag.String("shards", "", "comma-separated hbserved shard base URLs (required)")
+	shards := flag.String("shards", "", "comma-separated hbserved shard base URLs (required unless -cluster-seeds is set)")
+	clusterSeeds := flag.String("cluster-seeds", "", "comma-separated ring member URLs to observe for membership-driven routing")
 	hedgeAfter := flag.Duration("hedge-after", 50*time.Millisecond, "hedge budget floor (and cold-start value)")
 	hedgeMax := flag.Duration("hedge-max", 2*time.Second, "hedge budget cap")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "latency quantile that sets the hedge budget")
@@ -58,11 +68,21 @@ func main() {
 		return
 	}
 
-	var urls []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
+	split := func(s string) []string {
+		var out []string
+		for _, u := range strings.Split(s, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				out = append(out, u)
+			}
 		}
+		return out
+	}
+	urls := split(*shards)
+	seeds := split(*clusterSeeds)
+	if len(urls) == 0 {
+		// The seeds are the initial routing set until the first
+		// converged view replaces it.
+		urls = seeds
 	}
 	var client *http.Client
 	if *netchaosSeed != 0 {
@@ -81,6 +101,23 @@ func main() {
 		Client:         client,
 	})
 	fail(err)
+
+	var obs *cluster.Node
+	var unwatch func()
+	if len(seeds) > 0 {
+		obs, err = cluster.New(cluster.Config{
+			Seeds:    seeds,
+			Observer: true,
+			Client:   client,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hbfront: "+format+"\n", args...)
+			},
+		})
+		fail(err)
+		unwatch = f.WatchMembership(obs)
+		obs.Start()
+		fmt.Fprintf(os.Stderr, "hbfront: observing membership via %d seeds\n", len(seeds))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
@@ -117,6 +154,10 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		_ = hs.Shutdown(sctx)
 		cancel()
+		if obs != nil {
+			obs.Stop()
+			unwatch()
+		}
 		st := f.StatusSnapshot()
 		fmt.Fprintf(os.Stderr, "hbfront: drained after %.1fs (%d requests, %d coalesced, %d hedges, hit rate %.0f%%)\n",
 			st.UptimeSeconds, st.Requests, st.Coalesced, st.Hedges, 100*st.HitRate)

@@ -7,7 +7,11 @@
 // one terminal classed response, no hash-invalid artifact ever
 // served, full reconvergence once faults clear. With -kill it instead
 // kills a shard outright after replication and requires zero lost
-// responses from the survivors.
+// responses from the survivors. With -churn it kills a shard AND
+// joins a fresh one mid-burst under the live membership detector,
+// requiring zero lost responses, detector convergence (victim
+// confirmed dead, newcomer alive, everywhere), and the ring back at
+// full replication.
 //
 // Exit status 0 means every schedule held every invariant; 1 means a
 // violation (the structured report on stdout says which, and the
@@ -20,6 +24,7 @@
 //
 //	hbstorm -seeds 1,2,3,4            # four schedules, 3-shard farm
 //	hbstorm -kill                     # shard-kill scenario
+//	hbstorm -churn -seeds 1,2,3,4     # kill + join mid-burst, per seed
 //	hbstorm -seeds 1 -profile bursty  # bursty traffic under faults
 //	hbstorm -seeds 7 -shards 5 -replicas 3 -requests 200 -v
 package main
@@ -48,6 +53,7 @@ func main() {
 		requests = flag.Int("requests", 48, "requests during each fault window")
 		workers  = flag.Int("workers", 8, "concurrent storm clients")
 		kill     = flag.Bool("kill", false, "kill shard 0 after replication instead of arming a fault schedule (zero-loss required)")
+		churn    = flag.Bool("churn", false, "kill a shard and join a fresh one mid-burst under live membership (zero-loss and reconvergence required)")
 		profile  = flag.String("profile", "", "shape storm traffic with this load profile (steady|bursty|diurnal|adversarial|hotkey; empty: uniform blast)")
 		span     = flag.Duration("span", 2*time.Second, "wall clock the profile schedule is compressed into (with -profile)")
 		timeout  = flag.Duration("timeout", 8*time.Second, "per-request deadline")
@@ -83,6 +89,10 @@ func main() {
 		}
 		seedList = append(seedList, n)
 	}
+	if *kill && *churn {
+		fmt.Fprintln(os.Stderr, "hbstorm: -kill and -churn are mutually exclusive")
+		os.Exit(2)
+	}
 	if *kill && len(seedList) == 0 {
 		seedList = []int64{0}
 	}
@@ -97,15 +107,22 @@ func main() {
 			Requests:       *requests,
 			Workers:        *workers,
 			Kill:           *kill,
+			Churn:          *churn,
 			Profile:        load.Profile(*profile),
 			ProfileSpan:    *span,
 			RequestTimeout: *timeout,
 			Logf:           logf,
 		}
-		if !*kill {
-			cfg.Plan = netchaos.DefaultPlan(seed)
-		} else {
+		switch {
+		case *churn:
+			// Mild latency-only schedule: seeds vary the interleaving
+			// without being able to fail a request outright, so the
+			// zero-loss bar measures churn handling alone.
+			cfg.Plan = netchaos.Plan{Seed: seed, LatencyRate: 160, MaxLatencyMS: 20}
+		case *kill:
 			cfg.Plan.Seed = seed
+		default:
+			cfg.Plan = netchaos.DefaultPlan(seed)
 		}
 		logf("seed %d: %s", seed, cfg.Plan.Name())
 		rep, err := storm.Run(ctx, cfg)

@@ -72,16 +72,18 @@ func TestPartitionAsymmetry(t *testing.T) {
 // TestPlansSweep: the derived schedule sweep is deterministic and
 // every plan can inject something.
 func TestPlansSweep(t *testing.T) {
+	// Plan holds a slice (PartitionPairs) so plans compare by Name,
+	// which renders every field the sweep can set.
 	a, b := Plans(1, 8), Plans(1, 8)
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].Name() != b[i].Name() {
 			t.Fatalf("plan %d differs between derivations", i)
 		}
 		if !a[i].Active() {
 			t.Fatalf("plan %d is inert: %s", i, a[i].Name())
 		}
 	}
-	if Plans(2, 8)[0] == a[0] {
+	if Plans(2, 8)[0].Name() == a[0].Name() {
 		t.Fatal("different base seeds produced the same first plan")
 	}
 }
@@ -323,5 +325,40 @@ func TestDropErrorShape(t *testing.T) {
 	}
 	if errors.Is(e, context.Canceled) {
 		t.Fatal("dropError must not masquerade as context.Canceled")
+	}
+}
+
+// TestPartitionPairs: explicit "from->to" pairs sever exactly the
+// named directed path — URL or host:port spelling, either side —
+// regardless of the hashed PartitionRate decisions.
+func TestPartitionPairs(t *testing.T) {
+	p := Plan{PartitionPairs: []string{"http://a:1 -> b:2", "c:3->http://d:4"}}
+	if !p.Active() {
+		t.Fatal("pairs alone must make the plan active")
+	}
+	sever := [][2]string{
+		{"a:1", "b:2"},
+		{"http://a:1", "http://b:2"},
+		{"c:3", "d:4"},
+		{"http://c:3", "d:4"},
+	}
+	for _, s := range sever {
+		if !p.Partitioned(s[0], s[1]) {
+			t.Errorf("Partitioned(%q, %q) = false, want severed", s[0], s[1])
+		}
+	}
+	open := [][2]string{
+		{"b:2", "a:1"}, // pairs are directed
+		{"d:4", "c:3"},
+		{"a:1", "d:4"},
+		{"a:1", "c:3"},
+	}
+	for _, o := range open {
+		if p.Partitioned(o[0], o[1]) {
+			t.Errorf("Partitioned(%q, %q) = true, want open", o[0], o[1])
+		}
+	}
+	if !strings.Contains(p.Name(), "a:1 -> b:2") {
+		t.Fatalf("Name() omits the pairs: %s", p.Name())
 	}
 }

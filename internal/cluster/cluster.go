@@ -1,0 +1,145 @@
+// Package cluster implements SWIM-style gossip membership for the
+// compile farm: periodic seeded probe rounds over HTTP, indirect
+// probes through relays so one-way partitions do not kill reachable
+// nodes, suspicion with a bounded timeout before death is declared,
+// incarnation numbers so a falsely accused node can refute, and
+// piggybacked membership deltas on every probe and ack.
+//
+// The output is a versioned View. Ring consumers (store.Peer fan-out,
+// the anti-entropy Sweeper, front routing/hedging) subscribe and
+// re-derive rendezvous placement from the current View instead of a
+// static flag list.
+package cluster
+
+import "sort"
+
+// State is a member's lifecycle state.
+//
+//	joining -> alive -> suspect -> dead
+//	               ^---- refute ----'   (incarnation bump)
+//
+// joining means the node announced itself but is still being warmed
+// by the Sweeper; it is a valid push target and can serve requests,
+// but is not yet counted as a replica owner.
+type State string
+
+const (
+	StateJoining State = "joining"
+	StateAlive   State = "alive"
+	StateSuspect State = "suspect"
+	StateDead    State = "dead"
+)
+
+// stateRank orders states for same-incarnation precedence: a claim
+// later in the lifecycle overrides an earlier one, so suspect@i beats
+// alive@i (only the accused node itself can refute, by bumping its
+// incarnation) and dead@i beats everything at i.
+func stateRank(s State) int {
+	switch s {
+	case StateJoining:
+		return 0
+	case StateAlive:
+		return 1
+	case StateSuspect:
+		return 2
+	case StateDead:
+		return 3
+	}
+	return -1
+}
+
+// Supersedes reports whether a claim (newState, newInc) overrides
+// current knowledge (curState, curInc). Higher incarnation always
+// wins; within one incarnation the later lifecycle state wins.
+func Supersedes(newState State, newInc uint64, curState State, curInc uint64) bool {
+	if newInc != curInc {
+		return newInc > curInc
+	}
+	return stateRank(newState) > stateRank(curState)
+}
+
+// Member is one node's membership record. Addr is the node's
+// advertised base URL (scheme://host:port, no trailing slash).
+type Member struct {
+	Addr  string `json:"addr"`
+	State State  `json:"state"`
+	Inc   uint64 `json:"inc"`
+}
+
+// Update is a membership delta on the wire; same shape as Member.
+type Update = Member
+
+// View is an immutable snapshot of the membership table. Version
+// increases on every change; Members is sorted by Addr and includes
+// dead tombstones so consumers can distinguish "confirmed dead" from
+// "never heard of".
+type View struct {
+	Version uint64   `json:"version"`
+	Self    string   `json:"self,omitempty"`
+	Members []Member `json:"members"`
+}
+
+func (v View) filter(want ...State) []string {
+	var out []string
+	for _, m := range v.Members {
+		for _, s := range want {
+			if m.State == s {
+				out = append(out, m.Addr)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Serving lists members a request may be routed to: alive, joining
+// (cold cache but a fully functional server), and suspect (possibly
+// slow, still worth reading from).
+func (v View) Serving() []string {
+	return v.filter(StateAlive, StateJoining, StateSuspect)
+}
+
+// Owners lists members that count toward the replication factor in
+// Put fan-out ranking: alive and suspect. A joining member is
+// excluded so writes keep landing on warmed replicas until the
+// Sweeper has had a chance to fill the newcomer.
+func (v View) Owners() []string {
+	return v.filter(StateAlive, StateSuspect)
+}
+
+// Placement lists members the Sweeper pushes replicas to: Owners
+// plus joining members — this is how a newcomer gets warmed
+// (push-only-missing) before promoting itself to alive.
+func (v View) Placement() []string {
+	return v.filter(StateAlive, StateJoining, StateSuspect)
+}
+
+// Dead lists confirmed-dead members (tombstones).
+func (v View) Dead() []string {
+	return v.filter(StateDead)
+}
+
+// Member returns the record for addr, if known.
+func (v View) Member(addr string) (Member, bool) {
+	for _, m := range v.Members {
+		if m.Addr == addr {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// Exclude returns list without addr, preserving order.
+func Exclude(list []string, addr string) []string {
+	out := make([]string, 0, len(list))
+	for _, a := range list {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func sortMembers(ms []Member) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Addr < ms[j].Addr })
+}

@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/netchaos"
+)
+
+// Fast gossip for tests: ticks every 40ms, suspicion confirms in
+// 300ms, so full scenarios resolve in a second or two.
+func testConfig(self string, seeds []string, seed int64) Config {
+	return Config{
+		Self:             self,
+		Seeds:            seeds,
+		ProbeInterval:    40 * time.Millisecond,
+		ProbeTimeout:     30 * time.Millisecond,
+		SuspicionTimeout: 300 * time.Millisecond,
+		Seed:             seed,
+	}
+}
+
+// testNode is one member with its listener. The listener exists
+// before the node (so the address is known) and the node's handler is
+// swapped in after construction — the same listener-first pattern the
+// storm harness uses.
+type testNode struct {
+	n  *Node
+	hs *httptest.Server
+}
+
+type hbox struct{ h http.Handler }
+
+type hswap struct{ v atomic.Value }
+
+func (h *hswap) store(hh http.Handler) { h.v.Store(hbox{hh}) }
+func (h *hswap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(hbox).h.ServeHTTP(w, r)
+}
+
+// newListeners brings up n swappable listeners and returns them with
+// their URLs, so every address is known before any node exists.
+func newListeners(t *testing.T, n int) ([]*hswap, []*httptest.Server, []string) {
+	t.Helper()
+	swaps := make([]*hswap, n)
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &hswap{}
+		swaps[i].store(http.NotFoundHandler())
+		servers[i] = httptest.NewServer(swaps[i])
+		urls[i] = servers[i].URL
+	}
+	return swaps, servers, urls
+}
+
+// bootRing starts n members that all seed off each other. clients
+// optionally supplies a fault-wrapped HTTP client per member index.
+func bootRing(t *testing.T, n int, clients map[int]*http.Client) []*testNode {
+	t.Helper()
+	swaps, servers, urls := newListeners(t, n)
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		var seeds []string
+		for j, u := range urls {
+			if j != i {
+				seeds = append(seeds, u)
+			}
+		}
+		cfg := testConfig(urls[i], seeds, int64(i)+1)
+		cfg.Client = clients[i]
+		node, err := New(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		swaps[i].store(node.Handler())
+		nodes[i] = &testNode{n: node, hs: servers[i]}
+	}
+	for _, tn := range nodes {
+		tn.n.Start()
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.n.Stop()
+			tn.hs.Close()
+		}
+	})
+	return nodes
+}
+
+func allAlive(urls ...string) func(View) bool {
+	return func(v View) bool {
+		for _, u := range urls {
+			m, ok := v.Member(u)
+			if !ok || m.State != StateAlive {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSupersedes pins the precedence table: higher incarnation always
+// wins; within one incarnation the lifecycle order joining < alive <
+// suspect < dead wins.
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		ns   State
+		ni   uint64
+		cs   State
+		ci   uint64
+		want bool
+	}{
+		{StateAlive, 1, StateDead, 0, true},    // revival by incarnation bump
+		{StateAlive, 0, StateDead, 0, false},   // dead wins within an incarnation
+		{StateSuspect, 0, StateAlive, 0, true}, // accusation sticks at same inc
+		{StateAlive, 0, StateSuspect, 0, false},
+		{StateAlive, 1, StateSuspect, 0, true}, // refutation
+		{StateDead, 0, StateSuspect, 0, true},
+		{StateAlive, 0, StateJoining, 0, true}, // self-promotion
+		{StateJoining, 0, StateAlive, 0, false},
+		{StateAlive, 0, StateAlive, 0, false}, // no-op claims don't churn the version
+		{StateSuspect, 2, StateAlive, 3, false},
+	}
+	for _, c := range cases {
+		if got := Supersedes(c.ns, c.ni, c.cs, c.ci); got != c.want {
+			t.Errorf("Supersedes(%s@%d over %s@%d) = %v, want %v", c.ns, c.ni, c.cs, c.ci, got, c.want)
+		}
+	}
+}
+
+// TestRingConverges: three members all reach a view where everyone is
+// alive, and the view partitions correctly into Serving/Owners/Dead.
+func TestRingConverges(t *testing.T) {
+	nodes := bootRing(t, 3, nil)
+	var urls []string
+	for _, tn := range nodes {
+		urls = append(urls, tn.n.Self())
+	}
+	for i, tn := range nodes {
+		v, ok := tn.n.WaitConverged(5*time.Second, allAlive(urls...))
+		if !ok {
+			t.Fatalf("node %d never converged: %+v", i, v.Members)
+		}
+		if got := len(v.Serving()); got != 3 {
+			t.Fatalf("node %d: serving=%d, want 3", i, got)
+		}
+		if got := len(v.Dead()); got != 0 {
+			t.Fatalf("node %d: dead=%d, want 0", i, got)
+		}
+	}
+}
+
+// TestSuspicionConfirmsDeath: a crashed member — prober stopped,
+// listener closed, nothing left to refute — is suspected, the
+// suspicion expires, and every survivor confirms it dead.
+func TestSuspicionConfirmsDeath(t *testing.T) {
+	nodes := bootRing(t, 3, nil)
+	victim := nodes[2]
+	victimURL := victim.n.Self()
+	for i, tn := range nodes {
+		if _, ok := tn.n.WaitConverged(5*time.Second, allAlive(victimURL)); !ok {
+			t.Fatalf("node %d never saw the ring", i)
+		}
+	}
+
+	// The crash: gossip loop and listener both go down, as kill -9
+	// would take them.
+	victim.n.Stop()
+	victim.hs.CloseClientConnections()
+	victim.hs.Listener.Close()
+
+	dead := func(v View) bool {
+		m, ok := v.Member(victimURL)
+		return ok && m.State == StateDead
+	}
+	for i, tn := range nodes[:2] {
+		if v, ok := tn.n.WaitConverged(5*time.Second, dead); !ok {
+			t.Fatalf("node %d never confirmed the death: %+v", i, v.Members)
+		}
+		if tn.n.Status().Deaths == 0 {
+			t.Fatalf("node %d shows the tombstone but counted no death", i)
+		}
+	}
+}
+
+// TestFalseAccusationRefuted: a healthy member accused of being
+// suspect learns of the accusation from gossip and refutes it with a
+// higher incarnation, returning to alive in every view. A member that
+// keeps probing can never be talked to death by rumor alone.
+func TestFalseAccusationRefuted(t *testing.T) {
+	nodes := bootRing(t, 3, nil)
+	victim := nodes[2]
+	victimURL := victim.n.Self()
+	for i, tn := range nodes {
+		if _, ok := tn.n.WaitConverged(5*time.Second, allAlive(victimURL)); !ok {
+			t.Fatalf("node %d never saw the ring", i)
+		}
+	}
+
+	// Plant the false accusation directly in node 0's table; gossip
+	// spreads it from there (same in-package access the node's own
+	// probe path uses on indirect-probe failure).
+	inc := func() uint64 {
+		m, _ := nodes[0].n.View().Member(victimURL)
+		return m.Inc
+	}()
+	nodes[0].n.apply([]Update{{Addr: victimURL, State: StateSuspect, Inc: inc}})
+
+	// The victim must come back alive at a higher incarnation in the
+	// accuser's view — and must have recorded the refutation.
+	refuted := func(v View) bool {
+		m, ok := v.Member(victimURL)
+		return ok && m.State == StateAlive && m.Inc > inc
+	}
+	if v, ok := nodes[0].n.WaitConverged(5*time.Second, refuted); !ok {
+		t.Fatalf("accusation never refuted in node 0's view: %+v", v.Members)
+	}
+	if victim.n.Status().Refutations == 0 {
+		t.Fatal("victim returned to alive without recording a refutation")
+	}
+	if victim.n.Status().Deaths != 0 || nodes[0].n.Status().Deaths != 0 {
+		t.Fatal("a refutable accusation escalated to a death")
+	}
+}
+
+// TestAsymmetricPartitionNoFalseDeath (acceptance): A loses its
+// one-way path to C, but C still reaches A and both fully reach B.
+// Indirect probes through B must absorb the loss: A never confirms C
+// dead — reachable-by-proxy is alive.
+func TestAsymmetricPartitionNoFalseDeath(t *testing.T) {
+	swaps, servers, urls := newListeners(t, 3)
+	a, b, c := urls[0], urls[1], urls[2]
+
+	// A's outbound client drops every request to C for the whole
+	// window — the scripted asymmetric partition.
+	inj := netchaos.New(netchaos.Plan{Seed: 77, PartitionPairs: []string{a + "->" + c}}, a)
+	inj.Arm()
+
+	nodes := make([]*testNode, 3)
+	for i := range nodes {
+		var seeds []string
+		for j, u := range urls {
+			if j != i {
+				seeds = append(seeds, u)
+			}
+		}
+		cfg := testConfig(urls[i], seeds, int64(i)+1)
+		if i == 0 {
+			cfg.Client = &http.Client{Transport: inj.Transport(nil)}
+		}
+		node, err := New(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		swaps[i].store(node.Handler())
+		nodes[i] = &testNode{n: node, hs: servers[i]}
+	}
+	for _, tn := range nodes {
+		tn.n.Start()
+	}
+	defer func() {
+		for _, tn := range nodes {
+			tn.n.Stop()
+			tn.hs.Close()
+		}
+	}()
+
+	// Let several suspicion windows elapse — ample time for a false
+	// confirmation if indirect probing were broken.
+	time.Sleep(1200 * time.Millisecond)
+
+	vA := nodes[0].n.View()
+	m, ok := vA.Member(c)
+	if !ok {
+		t.Fatalf("A lost track of C entirely: %+v", vA.Members)
+	}
+	if m.State == StateDead {
+		t.Fatalf("false death: A confirmed C dead despite C being reachable via B: %+v", vA.Members)
+	}
+	stA := nodes[0].n.Status()
+	if stA.Deaths != 0 {
+		t.Fatalf("A recorded a death confirmation under a proxy-reachable partition: %+v", stA)
+	}
+	if inj.Stats().Partitions == 0 {
+		t.Fatal("the partition was never exercised — A made no attempt on C")
+	}
+	if stA.IndirectOK == 0 {
+		t.Fatal("no indirect probe succeeded — the scenario never tested the relay path")
+	}
+	// C, with no faults on its own paths, still sees everyone alive.
+	if v, ok := nodes[2].n.WaitConverged(3*time.Second, allAlive(a, b)); !ok {
+		t.Fatalf("C's view degraded: %+v", v.Members)
+	}
+}
+
+// TestJoinWarmup: a node with JoinWarmup announces itself joining —
+// a Placement target but not an Owner — then self-promotes to alive.
+func TestJoinWarmup(t *testing.T) {
+	ring := bootRing(t, 2, nil)
+	seed := ring[0].n.Self()
+
+	sw := &hswap{}
+	sw.store(http.NotFoundHandler())
+	hs := httptest.NewServer(sw)
+	defer hs.Close()
+	cfg := testConfig(hs.URL, []string{seed}, 99)
+	cfg.JoinWarmup = 400 * time.Millisecond
+	nn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.store(nn.Handler())
+	nn.Start()
+	defer nn.Stop()
+
+	joining := func(v View) bool {
+		m, ok := v.Member(hs.URL)
+		return ok && m.State == StateJoining
+	}
+	v, ok := ring[0].n.WaitConverged(2*time.Second, joining)
+	if !ok {
+		t.Fatalf("seed never saw the joiner in joining state: %+v", v.Members)
+	}
+	// While joining: warmed by the sweeper (Placement), routable
+	// (Serving), but not a replica owner (Owners).
+	if !contains(v.Placement(), hs.URL) || !contains(v.Serving(), hs.URL) {
+		t.Fatalf("joining member missing from Placement/Serving: %+v", v.Members)
+	}
+	if contains(v.Owners(), hs.URL) {
+		t.Fatalf("joining member already counted as an owner: %+v", v.Members)
+	}
+	if v, ok = ring[0].n.WaitConverged(3*time.Second, allAlive(hs.URL)); !ok {
+		t.Fatalf("joiner never self-promoted to alive: %+v", v.Members)
+	}
+	if !contains(v.Owners(), hs.URL) {
+		t.Fatalf("promoted member still not an owner: %+v", v.Members)
+	}
+}
+
+// TestLifecycleNoLeaks (satellite): Stop drains every subscriber and
+// leaks no goroutines — the probe loop, OnChange consumers, and
+// subscription channels are all gone once Stop returns.
+func TestLifecycleNoLeaks(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		swaps, servers, urls := newListeners(t, 2)
+		nodes := make([]*testNode, 0, 2)
+		for i := range swaps {
+			node, err := New(testConfig(urls[i], []string{urls[1-i]}, int64(round*2+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			swaps[i].store(node.Handler())
+			nodes = append(nodes, &testNode{n: node, hs: servers[i]})
+		}
+		for _, tn := range nodes {
+			tn.n.Start()
+		}
+
+		// A live subscriber, a canceled subscriber, and an OnChange
+		// consumer — all three teardown paths.
+		ch, cancel1 := nodes[0].n.Subscribe()
+		_, cancel2 := nodes[0].n.Subscribe()
+		cancel2()
+		var changes atomic.Int64
+		_ = nodes[0].n.OnChange(func(View) { changes.Add(1) })
+
+		if _, ok := nodes[0].n.WaitConverged(5*time.Second, allAlive(urls...)); !ok {
+			t.Fatal("ring never converged")
+		}
+		// The OnChange goroutine receives the initial view
+		// asynchronously; give it a moment to fire.
+		for by := time.Now().Add(2 * time.Second); changes.Load() == 0; {
+			if time.Now().After(by) {
+				t.Fatal("OnChange consumer never fired")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		for _, tn := range nodes {
+			tn.n.Stop()
+			tn.n.Stop() // idempotent
+			tn.hs.Close()
+		}
+		// Stop must have closed (drained) the subscriber channel.
+		settle := time.After(2 * time.Second)
+		for open := true; open; {
+			select {
+			case _, open = <-ch:
+			case <-settle:
+				t.Fatal("subscriber channel never closed after Stop")
+			}
+		}
+		cancel1() // after Stop: a no-op, not a double close
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	settleBy := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(settleBy) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestObserverNeverAnnounced: an observer builds a full view by
+// probing but no member's table ever lists it.
+func TestObserverNeverAnnounced(t *testing.T) {
+	ring := bootRing(t, 2, nil)
+	var urls []string
+	for _, tn := range ring {
+		urls = append(urls, tn.n.Self())
+	}
+	cfg := Config{
+		Seeds:            urls,
+		Observer:         true,
+		ProbeInterval:    40 * time.Millisecond,
+		ProbeTimeout:     30 * time.Millisecond,
+		SuspicionTimeout: 300 * time.Millisecond,
+		Seed:             7,
+	}
+	obs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Start()
+	defer obs.Stop()
+
+	if v, ok := obs.WaitConverged(5*time.Second, allAlive(urls...)); !ok {
+		t.Fatalf("observer never converged: %+v", v.Members)
+	}
+	time.Sleep(200 * time.Millisecond) // a few more gossip rounds
+	for i, tn := range ring {
+		if got := len(tn.n.View().Members); got != 2 {
+			t.Fatalf("node %d's view grew beyond its 2 members: %+v", i, tn.n.View().Members)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// PathPrefix is where the gossip endpoints mount on a member's mux.
+const PathPrefix = "/cluster/"
+
+// Handler serves the gossip wire protocol:
+//
+//	POST /cluster/ping      am-I-alive probe + piggybacked deltas
+//	POST /cluster/ping-req  probe target on the sender's behalf
+//	POST /cluster/join      full-table bootstrap for a newcomer
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathPrefix+"ping", n.handlePing)
+	mux.HandleFunc(PathPrefix+"ping-req", n.handlePingReq)
+	mux.HandleFunc(PathPrefix+"join", n.handleJoin)
+	return mux
+}
+
+func (n *Node) decode(w http.ResponseWriter, r *http.Request) (wireMsg, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return wireMsg{}, false
+	}
+	var msg wireMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return wireMsg{}, false
+	}
+	msg.From = strings.TrimRight(msg.From, "/")
+	msg.Target = strings.TrimRight(msg.Target, "/")
+	return msg, true
+}
+
+func (n *Node) writeAck(w http.ResponseWriter, ack wireAck) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ack)
+}
+
+// ackUpdatesFor mirrors pingUpdatesFor from the receiving side: our
+// own claim, our belief about the sender (so a node everyone thinks
+// is dead learns it from the first ack it receives and refutes), plus
+// queued deltas.
+func (n *Node) ackUpdatesFor(sender string) []Update {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var us []Update
+	if su, ok := n.selfUpdateLocked(); ok {
+		us = append(us, su)
+	}
+	if sender != "" {
+		if m, ok := n.members[sender]; ok {
+			us = append(us, m.Member)
+		}
+	}
+	return append(us, n.takeBcastLocked(maxPiggyback)...)
+}
+
+func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
+	msg, ok := n.decode(w, r)
+	if !ok {
+		return
+	}
+	n.apply(msg.Updates)
+	n.writeAck(w, wireAck{Ok: true, Updates: n.ackUpdatesFor(msg.From)})
+}
+
+func (n *Node) handlePingReq(w http.ResponseWriter, r *http.Request) {
+	msg, ok := n.decode(w, r)
+	if !ok {
+		return
+	}
+	n.apply(msg.Updates)
+	if msg.Target == "" {
+		http.Error(w, "missing target", http.StatusBadRequest)
+		return
+	}
+	// Probe the target on the sender's behalf, bounded by our own
+	// probe timeout and the incoming request's lifetime.
+	ctx, cancel := context.WithTimeout(r.Context(), n.cfg.ProbeTimeout)
+	defer cancel()
+	ack, err := n.post(ctx, msg.Target+PathPrefix+"ping", wireMsg{
+		From:    n.cfg.Self,
+		Updates: n.pingUpdatesFor(msg.Target),
+	})
+	reached := err == nil && ack.Ok
+	if reached {
+		n.apply(ack.Updates)
+	}
+	n.writeAck(w, wireAck{Ok: reached, Updates: n.ackUpdatesFor(msg.From)})
+}
+
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	msg, ok := n.decode(w, r)
+	if !ok {
+		return
+	}
+	n.joins.Add(1)
+	n.apply(msg.Updates)
+	// Reply with the full table so the newcomer starts with a
+	// complete view instead of waiting for gossip to trickle in.
+	n.mu.Lock()
+	var us []Update
+	if su, ok := n.selfUpdateLocked(); ok {
+		us = append(us, su)
+	}
+	for _, m := range n.members {
+		us = append(us, m.Member)
+	}
+	n.mu.Unlock()
+	n.writeAck(w, wireAck{Ok: true, Updates: us})
+}
+
+// Status is the node's /statusz document.
+type Status struct {
+	Self        string   `json:"self,omitempty"`
+	Observer    bool     `json:"observer,omitempty"`
+	State       State    `json:"state,omitempty"`
+	Incarnation uint64   `json:"incarnation"`
+	Version     uint64   `json:"version"`
+	Members     []Member `json:"members"`
+
+	Probes      int64 `json:"probes"`
+	Acks        int64 `json:"acks"`
+	Indirects   int64 `json:"indirect_probes"`
+	IndirectOK  int64 `json:"indirect_acks"`
+	Suspicions  int64 `json:"suspicions"`
+	Refutations int64 `json:"refutations"`
+	Deaths      int64 `json:"deaths"`
+	Revivals    int64 `json:"revivals"`
+	Joins       int64 `json:"joins"`
+}
+
+// Status snapshots the node for observability endpoints.
+func (n *Node) Status() Status {
+	v := n.View()
+	n.mu.Lock()
+	st := Status{
+		Self:        n.cfg.Self,
+		Observer:    n.cfg.Observer,
+		Incarnation: n.inc,
+		Version:     v.Version,
+		Members:     v.Members,
+	}
+	if !n.cfg.Observer {
+		st.State = n.selfSt
+	}
+	n.mu.Unlock()
+	st.Probes = n.probes.Load()
+	st.Acks = n.acks.Load()
+	st.Indirects = n.indirects.Load()
+	st.IndirectOK = n.indirectOK.Load()
+	st.Suspicions = n.suspicions.Load()
+	st.Refutations = n.refutations.Load()
+	st.Deaths = n.deaths.Load()
+	st.Revivals = n.revivals.Load()
+	st.Joins = n.joins.Load()
+	return st
+}
+
+// WaitConverged blocks until cond is true of the current View or the
+// deadline passes, returning the final view and whether cond held.
+// Convenience for tests and the storm harness.
+func (n *Node) WaitConverged(d time.Duration, cond func(View) bool) (View, bool) {
+	deadline := time.Now().Add(d)
+	for {
+		v := n.View()
+		if cond(v) {
+			return v, true
+		}
+		if time.Now().After(deadline) {
+			return v, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

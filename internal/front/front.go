@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -147,12 +148,19 @@ type Front struct {
 	byName map[string]*workloads.Workload
 	client *http.Client
 
-	// mu guards set, flights and draining; admission holds the read
-	// side (same discipline as the server's drain).
+	// mu guards set, flights, pool and draining; admission holds the
+	// read side (same discipline as the server's drain).
 	mu       sync.RWMutex
 	set      *shardSet
 	flights  map[flightKey]*flight
 	draining bool
+	// pool keeps one shard struct per URL across membership-driven
+	// set rebuilds, so breaker state and latency history survive view
+	// flaps instead of resetting on every gossip delta.
+	pool map[string]*shard
+	// node is the membership observer feeding ApplyView, when one is
+	// attached (WatchMembership).
+	node *cluster.Node
 
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
@@ -171,6 +179,14 @@ type Front struct {
 	allShed   atomic.Int64
 	swaps     atomic.Int64
 	cacheHits atomic.Int64 // responses served from a shard cache or coalesce
+	// deadSkips counts launch candidates passed over because the
+	// membership view had confirmed them dead — hedges and failovers
+	// that would have burned their latency budget probing a corpse;
+	// suspectDepri counts requests whose rendezvous order was
+	// rearranged to let a healthy shard overtake a suspected one.
+	deadSkips    atomic.Int64
+	suspectDepri atomic.Int64
+	viewApplies  atomic.Int64
 	// skelHits counts responses whose compile was a skeleton replay on
 	// the shard; skelFallbacks accumulates the per-response fallback
 	// counts (cluster-visible skeleton-cache efficacy).
@@ -221,6 +237,73 @@ func (f *Front) Swap(urls []string) (from, to int, err error) {
 	f.set = next
 	f.swaps.Add(1)
 	return from, next.gen, nil
+}
+
+// ApplyView rebuilds the routing set from a cluster membership view:
+// serving members (alive, joining, suspect) become launch candidates,
+// suspects are flagged for deprioritization, and confirmed-dead
+// members stay in the rendezvous ranking — preserving every live
+// shard's key affinity — but are skipped at launch. The generation is
+// unchanged (a topology delta is not a compiler cutover, so in-flight
+// coalescing keeps working across it), and shard structs are reused
+// from a pool so breaker and latency state survive the rebuild.
+func (f *Front) ApplyView(v cluster.View) {
+	serving := v.Serving()
+	if len(serving) == 0 {
+		// An unconverged observer view routes nowhere; keep the set
+		// we have (at worst the static seeds) until gossip catches up.
+		return
+	}
+	suspect := map[string]bool{}
+	dead := map[string]bool{}
+	for _, m := range v.Members {
+		switch m.State {
+		case cluster.StateSuspect:
+			suspect[m.Addr] = true
+		case cluster.StateDead:
+			dead[m.Addr] = true
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pool == nil {
+		f.pool = map[string]*shard{}
+	}
+	// Adopt the current set's shards (the static seeds on the first
+	// view) so breaker and latency state survive the transition to
+	// membership-driven routing and every later view flap.
+	for u, s := range f.set.shards {
+		if _, ok := f.pool[u]; !ok {
+			f.pool[u] = s
+		}
+	}
+	set := &shardSet{
+		gen:     f.set.gen,
+		shards:  make(map[string]*shard, len(serving)+len(dead)),
+		suspect: suspect,
+		dead:    dead,
+	}
+	for _, u := range append(append([]string{}, serving...), v.Dead()...) {
+		s, ok := f.pool[u]
+		if !ok {
+			s = &shard{url: u, breaker: server.NewBreaker(f.cfg.Breaker, saltOf(u))}
+			f.pool[u] = s
+		}
+		set.urls = append(set.urls, u)
+		set.shards[u] = s
+	}
+	f.set = set
+	f.viewApplies.Add(1)
+}
+
+// WatchMembership subscribes the front to a membership node
+// (typically an observer): every view change reroutes through
+// ApplyView. Returns the subscription's cancel.
+func (f *Front) WatchMembership(n *cluster.Node) (cancel func()) {
+	f.mu.Lock()
+	f.node = n
+	f.mu.Unlock()
+	return n.OnChange(f.ApplyView)
 }
 
 // Draining reports whether drain has begun.
@@ -405,10 +488,15 @@ func (f *Front) runFlight(fk flightKey, fl *flight, set *shardSet, body []byte, 
 // the way (so an all-breakers-open shed can relay real backoff advice
 // instead of a generic constant). Allow is consumed at launch time
 // only — a breaker probe is never reserved for a try that does not
-// happen.
-func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, int, time.Duration) {
+// happen. Members the membership view confirmed dead are passed over
+// without spending a try (or a hedge budget) on them.
+func (f *Front) nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, int, time.Duration) {
 	var maxRetry time.Duration
 	for ; i < len(order); i++ {
+		if set.dead[order[i]] {
+			f.deadSkips.Add(1)
+			continue
+		}
 		s := set.shards[order[i]]
 		ok, retry := s.breaker.Allow(now)
 		if ok {
@@ -426,8 +514,14 @@ func nextAllowed(set *shardSet, order []string, i int, now time.Time) (*shard, i
 // transport failure), first HTTP response wins, loser canceled.
 func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []byte) upstream {
 	order := store.Rank(key, set.urls)
+	if reordered, moved := set.deprioritizeSuspects(order); moved {
+		f.suspectDepri.Add(1)
+		order = reordered
+	} else {
+		order = reordered
+	}
 	now := time.Now()
-	primary, next, brkRetry := nextAllowed(set, order, 0, now)
+	primary, next, brkRetry := f.nextAllowed(set, order, 0, now)
 	if primary == nil {
 		if brkRetry <= 0 {
 			brkRetry = f.cfg.Breaker.Backoff
@@ -454,7 +548,7 @@ func (f *Front) hedgedDo(ctx context.Context, set *shardSet, key string, body []
 		if hedged {
 			return
 		}
-		if s, _, _ := nextAllowed(set, order, next, time.Now()); s != nil {
+		if s, _, _ := f.nextAllowed(set, order, next, time.Now()); s != nil {
 			reason.Add(1)
 			hedged = true
 			outstanding++

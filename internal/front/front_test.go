@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -594,5 +595,151 @@ func TestFrontHalfOpenProbeRace(t *testing.T) {
 	w, resp := post(t, h, req)
 	if w.Code != http.StatusOK || resp.Class != server.ClassOK {
 		t.Fatalf("post-recovery request: status %d class %s", w.Code, resp.Class)
+	}
+}
+
+// membershipView builds a View with the given member states for
+// ApplyView tests.
+func membershipView(states map[string]cluster.State) cluster.View {
+	var ms []cluster.Member
+	for u, s := range states {
+		ms = append(ms, cluster.Member{Addr: u, State: s})
+	}
+	return cluster.View{Version: 2, Members: ms}
+}
+
+// TestFrontDeadShardSkipped (satellite): once membership confirms the
+// rendezvous primary dead, no try is ever launched at it — the next
+// rank serves immediately, the skip is counted, and /statusz labels
+// the tombstone.
+func TestFrontDeadShardSkipped(t *testing.T) {
+	var served sync.Map
+	a, b := stubPair(t, func(w http.ResponseWriter, r *http.Request) {
+		served.Store(r.Host, true)
+		writeOK(w)
+	})
+	f, err := New(Config{Shards: []string{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest()
+	order := store.Rank(keyFor(t, req), []string{a, b})
+
+	f.ApplyView(membershipView(map[string]cluster.State{
+		order[0]: cluster.StateDead,
+		order[1]: cluster.StateAlive,
+	}))
+
+	w, resp := post(t, f.Handler(), req)
+	if w.Code != http.StatusOK || resp.Class != server.ClassOK {
+		t.Fatalf("status %d class %s: %s", w.Code, resp.Class, w.Body.String())
+	}
+	if got := w.Header().Get("X-Hbfront-Shard"); got != order[1] {
+		t.Fatalf("served by %s, want the surviving shard %s", got, order[1])
+	}
+	if _, ok := served.Load(hostOf(order[0])); ok {
+		t.Fatal("a try was launched at a confirmed-dead shard")
+	}
+
+	st := f.StatusSnapshot()
+	if st.HedgesSkippedDead == 0 {
+		t.Fatalf("dead-shard skip not counted: %+v", st)
+	}
+	if st.ViewApplies != 1 {
+		t.Fatalf("ViewApplies = %d, want 1", st.ViewApplies)
+	}
+	states := map[string]string{}
+	for _, sh := range st.Shards {
+		states[sh.URL] = sh.State
+	}
+	if states[order[0]] != "dead" || states[order[1]] != "serving" {
+		t.Fatalf("shard states = %+v", states)
+	}
+}
+
+// TestFrontSuspectDeprioritized (satellite): a suspected primary is
+// moved behind healthy shards rather than skipped — the healthy
+// second choice serves first and the reroute is counted, but the
+// suspect remains a last-resort candidate.
+func TestFrontSuspectDeprioritized(t *testing.T) {
+	var served sync.Map
+	a, b := stubPair(t, func(w http.ResponseWriter, r *http.Request) {
+		served.Store(r.Host, true)
+		writeOK(w)
+	})
+	f, err := New(Config{Shards: []string{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest()
+	order := store.Rank(keyFor(t, req), []string{a, b})
+
+	f.ApplyView(membershipView(map[string]cluster.State{
+		order[0]: cluster.StateSuspect,
+		order[1]: cluster.StateAlive,
+	}))
+
+	w, resp := post(t, f.Handler(), req)
+	if w.Code != http.StatusOK || resp.Class != server.ClassOK {
+		t.Fatalf("status %d class %s: %s", w.Code, resp.Class, w.Body.String())
+	}
+	if got := w.Header().Get("X-Hbfront-Shard"); got != order[1] {
+		t.Fatalf("served by %s, want the healthy shard %s", got, order[1])
+	}
+	if _, ok := served.Load(hostOf(order[0])); ok {
+		t.Fatal("the suspected shard was contacted despite a healthy primary answering")
+	}
+
+	st := f.StatusSnapshot()
+	if st.SuspectDeprioritized == 0 {
+		t.Fatalf("suspect reroute not counted: %+v", st)
+	}
+	if st.HedgesSkippedDead != 0 {
+		t.Fatalf("a suspect was treated as dead: %+v", st)
+	}
+	states := map[string]string{}
+	for _, sh := range st.Shards {
+		states[sh.URL] = sh.State
+	}
+	if states[order[0]] != "suspect" || states[order[1]] != "serving" {
+		t.Fatalf("shard states = %+v", states)
+	}
+}
+
+// TestFrontViewFlapKeepsBreakerState: shard structs are pooled across
+// ApplyView calls, so a membership flap does not reset a shard's
+// breaker or latency history.
+func TestFrontViewFlapKeepsBreakerState(t *testing.T) {
+	a, b := stubPair(t, func(w http.ResponseWriter, r *http.Request) { writeOK(w) })
+	f, err := New(Config{Shards: []string{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest()
+	if w, _ := post(t, f.Handler(), req); w.Code != http.StatusOK {
+		t.Fatalf("warm request failed: %d", w.Code)
+	}
+	before := f.StatusSnapshot()
+
+	flap := membershipView(map[string]cluster.State{
+		a: cluster.StateAlive,
+		b: cluster.StateAlive,
+	})
+	f.ApplyView(flap)
+	f.ApplyView(flap)
+
+	after := f.StatusSnapshot()
+	if after.Gen != before.Gen {
+		t.Fatalf("a topology delta bumped the generation %d -> %d; coalescing would break", before.Gen, after.Gen)
+	}
+	var reqsBefore, reqsAfter int64
+	for _, sh := range before.Shards {
+		reqsBefore += sh.Requests
+	}
+	for _, sh := range after.Shards {
+		reqsAfter += sh.Requests
+	}
+	if reqsBefore == 0 || reqsAfter != reqsBefore {
+		t.Fatalf("per-shard counters reset across view flap: before=%d after=%d", reqsBefore, reqsAfter)
 	}
 }

@@ -86,11 +86,17 @@ func (s *shard) hedgeBudget(cfg Config) time.Duration {
 // shardSet is one generation of backends. Swap replaces the whole
 // set; in-flight work keeps the generation it started on, so a
 // cutover can never deliver two responses (one per generation) to the
-// same waiter.
+// same waiter. When a membership view is driving the set, urls also
+// carries confirmed-dead members — they keep their rendezvous ranks
+// (so the live shards' key affinity is undisturbed) but are skipped
+// at launch time — and suspect flags deprioritize members the
+// failure detector doubts.
 type shardSet struct {
-	gen    int
-	urls   []string // rendezvous node names, same order as shards
-	shards map[string]*shard
+	gen     int
+	urls    []string // rendezvous node names, same order as shards
+	shards  map[string]*shard
+	suspect map[string]bool // nil when statically configured
+	dead    map[string]bool // nil when statically configured
 }
 
 func newShardSet(gen int, urls []string, bcfg server.BreakerConfig) *shardSet {
@@ -108,6 +114,45 @@ func newShardSet(gen int, urls []string, bcfg server.BreakerConfig) *shardSet {
 		set.shards[u] = &shard{url: u, breaker: server.NewBreaker(bcfg, saltOf(u))}
 	}
 	return set
+}
+
+// state renders one member's detector state for /statusz.
+func (set *shardSet) state(u string) string {
+	switch {
+	case set.dead[u]:
+		return "dead"
+	case set.suspect[u]:
+		return "suspect"
+	case set.suspect != nil || set.dead != nil:
+		return "serving"
+	}
+	return "" // statically configured, no detector
+}
+
+// deprioritizeSuspects stably moves suspected members behind healthy
+// ones in a rendezvous order, reporting whether anything moved. Dead
+// members keep their position (launch skips them anyway).
+func (set *shardSet) deprioritizeSuspects(order []string) ([]string, bool) {
+	if len(set.suspect) == 0 {
+		return order, false
+	}
+	healthy := make([]string, 0, len(order))
+	var suspects []string
+	moved := false
+	for _, u := range order {
+		if set.suspect[u] && !set.dead[u] {
+			suspects = append(suspects, u)
+			continue
+		}
+		if len(suspects) > 0 && !set.dead[u] {
+			moved = true // a healthy shard overtakes a suspect
+		}
+		healthy = append(healthy, u)
+	}
+	if len(suspects) == 0 {
+		return order, false
+	}
+	return append(healthy, suspects...), moved
 }
 
 // saltOf seeds a shard breaker's jitter stream from its URL (FNV-1a,

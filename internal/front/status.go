@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -23,6 +24,9 @@ type ShardStatus struct {
 	P95MS         float64              `json:"p95_ms"`
 	HedgeBudgetMS float64              `json:"hedge_budget_ms"`
 	Breaker       server.BreakerStatus `json:"breaker"`
+	// State is the failure detector's verdict on this member
+	// (serving/suspect/dead; empty when statically configured).
+	State string `json:"state,omitempty"`
 }
 
 // Status is the front tier's /statusz document.
@@ -60,9 +64,21 @@ type Status struct {
 	// shed and the max upstream Retry-After was relayed.
 	ShedFailovers     int64 `json:"shed_failovers"`
 	AllShardsShedding int64 `json:"all_shards_shedding"`
+	// HedgesSkippedDead counts launch candidates (primary, hedge, or
+	// failover slots) passed over because membership confirmed the
+	// shard dead — latency budget that was not spent probing a
+	// corpse. SuspectDeprioritized counts requests rerouted so a
+	// healthy shard overtook a suspected one. ViewApplies counts
+	// membership-driven shard-set rebuilds.
+	HedgesSkippedDead    int64 `json:"hedges_skipped_dead"`
+	SuspectDeprioritized int64 `json:"suspect_deprioritized"`
+	ViewApplies          int64 `json:"view_applies,omitempty"`
 
 	Classes map[server.ErrClass]int64 `json:"classes"`
 	Shards  []ShardStatus             `json:"shards"`
+	// Membership is the front's observer-side failure detector
+	// snapshot, when one is attached.
+	Membership *cluster.Status `json:"membership,omitempty"`
 }
 
 // StatusSnapshot assembles the current Status.
@@ -70,6 +86,7 @@ func (f *Front) StatusSnapshot() Status {
 	f.mu.RLock()
 	set := f.set
 	draining := f.draining
+	node := f.node
 	f.mu.RUnlock()
 
 	st := Status{
@@ -87,9 +104,16 @@ func (f *Front) StatusSnapshot() Status {
 		Hedges:            f.hedges.Load(),
 		HedgeWins:         f.hedgeWins.Load(),
 		Failovers:         f.failovers.Load(),
-		ShedFailovers:     f.shedNexts.Load(),
-		AllShardsShedding: f.allShed.Load(),
-		Classes:           map[server.ErrClass]int64{},
+		ShedFailovers:        f.shedNexts.Load(),
+		AllShardsShedding:    f.allShed.Load(),
+		HedgesSkippedDead:    f.deadSkips.Load(),
+		SuspectDeprioritized: f.suspectDepri.Load(),
+		ViewApplies:          f.viewApplies.Load(),
+		Classes:              map[server.ErrClass]int64{},
+	}
+	if node != nil {
+		ms := node.Status()
+		st.Membership = &ms
 	}
 	if st.Requests > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(st.Requests)
@@ -112,6 +136,7 @@ func (f *Front) StatusSnapshot() Status {
 			P95MS:         float64(p95.Nanoseconds()) / 1e6,
 			HedgeBudgetMS: float64(s.hedgeBudget(f.cfg).Nanoseconds()) / 1e6,
 			Breaker:       s.breaker.Status(now),
+			State:         set.state(u),
 		})
 	}
 	return st

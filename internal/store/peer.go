@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,7 +60,19 @@ type Peer struct {
 	schema int
 	client *http.Client
 	opts   PeerOpts
+	// live, when set, replaces the static base list with sets derived
+	// from the cluster membership view (see SetMembership).
+	live atomic.Pointer[membership]
 	counters
+}
+
+// membership is the dynamically derived peer topology: read is the
+// Get-walk candidate set (every serving member), own is the Put
+// fan-out ranking set (replica owners only — joining members are
+// excluded until warmed).
+type membership struct {
+	read []string
+	own  []string
 }
 
 // NewPeer builds a single-copy peer-store client over the given base
@@ -75,15 +88,7 @@ func NewPeerWith(name string, schema int, bases []string, client *http.Client, o
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	cleaned := make([]string, 0, len(bases))
-	for _, b := range bases {
-		for len(b) > 0 && b[len(b)-1] == '/' {
-			b = b[:len(b)-1]
-		}
-		if b != "" {
-			cleaned = append(cleaned, b)
-		}
-	}
+	cleaned := cleanBases(bases)
 	if name == "" {
 		name = "peer"
 	}
@@ -94,11 +99,52 @@ func NewPeerWith(name string, schema int, bases []string, client *http.Client, o
 }
 
 // Bases returns the configured peer base URLs (cleaned). The
-// anti-entropy sweeper walks these to place repairs.
+// anti-entropy sweeper walks these to place repairs when no live
+// membership view has been installed.
 func (p *Peer) Bases() []string {
 	out := make([]string, len(p.bases))
 	copy(out, p.bases)
 	return out
+}
+
+// SetMembership installs live peer sets derived from the cluster
+// view, replacing the static flag list: read is the Get-walk
+// candidate set (serving members), own is the Put fan-out ranking
+// set (replica owners). Both should already exclude this node.
+// Callers re-invoke on every view change; the swap is atomic and
+// in-flight operations keep the set they started with.
+func (p *Peer) SetMembership(read, own []string) {
+	p.live.Store(&membership{read: cleanBases(read), own: cleanBases(own)})
+}
+
+// readBases is the Get-walk candidate set: the live view when one is
+// installed, else the static flag list.
+func (p *Peer) readBases() []string {
+	if m := p.live.Load(); m != nil {
+		return m.read
+	}
+	return p.bases
+}
+
+// ownBases is the Put fan-out ranking set.
+func (p *Peer) ownBases() []string {
+	if m := p.live.Load(); m != nil {
+		return m.own
+	}
+	return p.bases
+}
+
+func cleanBases(bases []string) []string {
+	cleaned := make([]string, 0, len(bases))
+	for _, b := range bases {
+		for len(b) > 0 && b[len(b)-1] == '/' {
+			b = b[:len(b)-1]
+		}
+		if b != "" {
+			cleaned = append(cleaned, b)
+		}
+	}
+	return cleaned
 }
 
 // Replicas returns the configured replication factor R.
@@ -120,11 +166,12 @@ func (p *Peer) opCtx(ctx context.Context) (context.Context, context.CancelFunc) 
 // onto them (read-repair) when enabled.
 func (p *Peer) Get(ctx context.Context, key string) ([]byte, bool, error) {
 	p.gets.Add(1)
-	if !ValidKey(key) || len(p.bases) == 0 {
+	bases := p.readBases()
+	if !ValidKey(key) || len(bases) == 0 {
 		p.misses.Add(1)
 		return nil, false, nil
 	}
-	ranked := Rank(key, p.bases)
+	ranked := Rank(key, bases)
 	var lastErr error
 	for i, base := range ranked {
 		payload, err := p.getAt(ctx, base, key)
@@ -212,10 +259,11 @@ func (p *Peer) Put(ctx context.Context, key string, payload []byte) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
-	if len(p.bases) == 0 {
+	bases := p.ownBases()
+	if len(bases) == 0 {
 		return nil
 	}
-	ranked := Rank(key, p.bases)
+	ranked := Rank(key, bases)
 	if len(ranked) > p.opts.Replicas {
 		ranked = ranked[:p.opts.Replicas]
 	}

@@ -402,3 +402,70 @@ func TestSweeper(t *testing.T) {
 		t.Fatalf("replication histogram: %+v, want all keys in bucket 2", st.Replication)
 	}
 }
+
+// TestSweeperDeadSkip (satellite): with a live view installed, a
+// confirmed-dead member still occupies its rendezvous ranks but is
+// skipped — each affected key's replica advances to the next live
+// rank, the histogram lands everything at R from live copies alone,
+// and no error is burned probing the corpse.
+func TestSweeperDeadSkip(t *testing.T) {
+	ctx := context.Background()
+	nodes, bases := newNodes(t, 3, 3)
+	// The dead member: confirmed by the failure detector, listener
+	// gone. Its URL stays in the ranking set via SweepView.Dead.
+	deadBase := bases[2]
+	nodes[2].srv.Close()
+	live := bases[:2]
+
+	localKeys := []string{}
+	local := NewMem()
+	for i := 40; i < 46; i++ {
+		k := key(i)
+		local.Put(ctx, k, []byte(fmt.Sprintf(`{"cycles":%d}`, i)))
+		localKeys = append(localKeys, k)
+	}
+
+	p := NewPeerWith("deadskip", 3, live, nil, PeerOpts{Replicas: 2})
+	s := NewSweeper(local, local, p)
+	s.SetView(func() SweepView {
+		return SweepView{Targets: live, Dead: []string{deadBase}}
+	})
+
+	if _, err := s.SweepOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The skip count is exactly the number of top-R ranks the dead
+	// member occupied across the key set — fully deterministic.
+	wantSkips := int64(0)
+	for _, k := range localKeys {
+		for _, base := range Rank(k, bases)[:2] {
+			if base == deadBase {
+				wantSkips++
+			}
+		}
+	}
+	if wantSkips == 0 {
+		t.Fatal("test key set never ranks the dead member in its top-2; widen the key range")
+	}
+
+	st := s.Stats()
+	if st.DeadPeersSkipped != wantSkips {
+		t.Fatalf("DeadPeersSkipped = %d, want %d", st.DeadPeersSkipped, wantSkips)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("sweep burned %d errors probing a known-dead peer", st.Errors)
+	}
+	if st.Replication["2"] != int64(len(localKeys)) {
+		t.Fatalf("replication histogram %+v, want all %d keys at bucket 2", st.Replication, len(localKeys))
+	}
+	// Every key really landed on both live members.
+	idx := byBase(nodes[:2])
+	for _, k := range localKeys {
+		for _, base := range live {
+			if _, ok, _ := idx[base].mem.Get(ctx, k); !ok {
+				t.Fatalf("key %s missing on live member %s", k[:8], base)
+			}
+		}
+	}
+}

@@ -21,11 +21,13 @@ type Sweeper struct {
 	src   Store
 	peer  *Peer
 
-	sweeps atomic.Int64
-	pushes atomic.Int64
-	errs   atomic.Int64
+	sweeps      atomic.Int64
+	pushes      atomic.Int64
+	errs        atomic.Int64
+	deadSkipped atomic.Int64
 
 	mu       sync.Mutex
+	viewFn   func() SweepView
 	lastHist map[int]int64 // remote copies per key, from the last sweep
 	lastKeys int
 	lastAt   time.Time
@@ -52,6 +54,33 @@ type SweepStats struct {
 	// LastSweep is when the last pass finished (RFC3339, zero if none
 	// yet).
 	LastSweep string `json:"last_sweep,omitempty"`
+	// DeadPeersSkipped counts rendezvous ranks that fell on a
+	// confirmed-dead member and were passed over: each skip means a
+	// key's replica moved to the next live rank instead of being
+	// pushed at a corpse (and the histogram counts live copies only,
+	// so a permanently dead peer no longer pins it below R).
+	DeadPeersSkipped int64 `json:"sweeper_dead_peers_skipped,omitempty"`
+}
+
+// SweepView is the live placement input derived from the cluster
+// membership view: Targets are the push/probe candidates (serving and
+// joining members, self excluded — pushing at a joining member is how
+// it gets warmed), Dead are confirmed-dead members still occupying
+// rendezvous ranks. A dead member in a key's top-R is skipped — the
+// next live rank takes its place, which is the whole rebalancing
+// story: re-replication is rank advancement, not key migration.
+type SweepView struct {
+	Targets []string
+	Dead    []string
+}
+
+// SetView installs a callback consulted at the start of every sweep
+// for the current placement view. Without one the sweeper falls back
+// to the peer client's static base list with nothing dead.
+func (s *Sweeper) SetView(fn func() SweepView) {
+	s.mu.Lock()
+	s.viewFn = fn
+	s.mu.Unlock()
 }
 
 // NewSweeper builds a sweeper pushing src's keys (enumerated via
@@ -78,7 +107,21 @@ func (s *Sweeper) SweepOnce(ctx context.Context) (int, error) {
 		return 0, fmt.Errorf("store: sweep: list keys: %w", err)
 	}
 	r := s.peer.Replicas()
-	bases := s.peer.Bases()
+	s.mu.Lock()
+	viewFn := s.viewFn
+	s.mu.Unlock()
+	view := SweepView{Targets: s.peer.Bases()}
+	if viewFn != nil {
+		view = viewFn()
+	}
+	dead := make(map[string]bool, len(view.Dead))
+	for _, d := range view.Dead {
+		dead[d] = true
+	}
+	// Rank over live targets and dead tombstones together so a dead
+	// member still claims its rendezvous rank — then skip it, letting
+	// the next live rank inherit the replica.
+	bases := append(append([]string{}, view.Targets...), view.Dead...)
 	hist := make(map[int]int64)
 	pushed := 0
 	for _, key := range keys {
@@ -86,12 +129,20 @@ func (s *Sweeper) SweepOnce(ctx context.Context) (int, error) {
 			return pushed, ctx.Err()
 		}
 		ranked := Rank(key, bases)
-		if len(ranked) > r {
-			ranked = ranked[:r]
+		targets := make([]string, 0, r)
+		for _, base := range ranked {
+			if len(targets) == r {
+				break
+			}
+			if dead[base] {
+				s.deadSkipped.Add(1)
+				continue
+			}
+			targets = append(targets, base)
 		}
 		copies := 0
 		var payload []byte
-		for _, base := range ranked {
+		for _, base := range targets {
 			has, err := s.peer.HasAt(ctx, base, key)
 			if err != nil {
 				// Unreachable replica: not a repair target, not a
@@ -168,9 +219,10 @@ func (s *Sweeper) Stop() {
 // Stats snapshots the sweeper.
 func (s *Sweeper) Stats() SweepStats {
 	st := SweepStats{
-		Sweeps: s.sweeps.Load(),
-		Pushes: s.pushes.Load(),
-		Errors: s.errs.Load(),
+		Sweeps:           s.sweeps.Load(),
+		Pushes:           s.pushes.Load(),
+		Errors:           s.errs.Load(),
+		DeadPeersSkipped: s.deadSkipped.Load(),
 	}
 	s.mu.Lock()
 	st.Keys = s.lastKeys

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/chaos/netchaos"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/front"
 	"repro/internal/load"
@@ -71,6 +72,17 @@ type Config struct {
 	// storm phase requires zero lost responses — every request must be
 	// served ok from the survivors' replicas.
 	Kill bool
+	// Churn exercises membership under node turnover: one third into
+	// the burst shard 0 is killed abruptly (kill -9 semantics: its
+	// listener, gossip participant, and sweeper all vanish at once),
+	// two thirds in a fresh shard boots and joins through a surviving
+	// seed. Every burst response must be ok-class with zero losses,
+	// the detector must converge (victim dead, newcomer alive, in
+	// every survivor's view and the front's), and after anti-entropy
+	// every key must sit at exactly R live copies again. Plan may
+	// carry mild faults (e.g. latency-only) to make seeds meaningful;
+	// Profile is ignored in churn mode.
+	Churn bool
 	// Profile, when set, shapes phase-B traffic with the same seeded
 	// arrival schedules hbload replays (see internal/load) instead of
 	// the uniform round-robin blast: each arrival's corpus index folds
@@ -114,6 +126,11 @@ func (c Config) withDefaults() Config {
 	if c.ProfileSpan <= 0 {
 		c.ProfileSpan = 2 * time.Second
 	}
+	if c.Churn {
+		// Churn paces its kill and join off the uniform request
+		// stream; profile shaping does not compose with it.
+		c.Profile = ""
+	}
 	return c
 }
 
@@ -130,7 +147,14 @@ type Report struct {
 	Shards   int    `json:"shards"`
 	Replicas int    `json:"replicas"`
 	Kill     bool   `json:"kill,omitempty"`
+	Churn    bool   `json:"churn,omitempty"`
 	Profile  string `json:"profile,omitempty"`
+	// KilledShard/JoinedShard record the churn (or kill) cast;
+	// MembershipConverged reports whether every live view agreed on
+	// the final membership within the convergence deadline.
+	KilledShard         string `json:"killed_shard,omitempty"`
+	JoinedShard         string `json:"joined_shard,omitempty"`
+	MembershipConverged bool   `json:"membership_converged,omitempty"`
 
 	// Issued counts requests sent across all phases; Lost counts
 	// requests that never produced a terminal response inside the
@@ -170,8 +194,38 @@ type node struct {
 	sweeper  *store.Sweeper
 	srv      *server.Server
 	hs       *httptest.Server
+	cl       *cluster.Node
+	unwatch  func()
 	dead     bool
 }
+
+// kill is the in-process kill -9: listener, in-flight connections,
+// gossip participant, everything gone at once, no drain, no goodbye.
+// A real SIGKILL takes the sweeper and the refutation loop with it —
+// stopping the cluster node here is what lets the suspicion timeout
+// actually confirm the death instead of being refuted forever.
+func (n *node) kill() {
+	n.dead = true
+	n.hs.CloseClientConnections()
+	n.hs.Close()
+	if n.cl != nil {
+		n.cl.Stop()
+	}
+	if n.unwatch != nil {
+		n.unwatch()
+	}
+}
+
+// Gossip timing for the in-process farm: fast enough that suspicion
+// confirms within a test budget, slow enough that injected latency
+// (tens of ms) does not flap healthy members.
+const (
+	stormProbeInterval = 150 * time.Millisecond
+	stormProbeTimeout  = 100 * time.Millisecond
+	stormSuspicion     = time.Second
+	stormJoinWarmup    = 400 * time.Millisecond
+	stormConverge      = 15 * time.Second
+)
 
 // handlerBox/hswap mirror the front cluster tests: a swappable
 // handler so servers can be built after their listener address is
@@ -237,6 +291,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	brk := server.BreakerConfig{Backoff: 200 * time.Millisecond, MaxBackoff: time.Second}
 
 	// --- Boot the farm -------------------------------------------------
+	// Listener first (addresses seed the injectors and the gossip),
+	// then the stack per shard: local store → membership-driven peer
+	// tier → engine → sweeper → gossip node → server. Every ring
+	// consumer re-derives placement from the node's live View; the
+	// seed list is only the bootstrap fallback.
 	nodes := make([]*node, cfg.Shards)
 	urls := make([]string, cfg.Shards)
 	for i := range nodes {
@@ -250,17 +309,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		urls[i] = nodes[i].url
 	}
-	injectors := make([]*netchaos.Injector, 0, cfg.Shards+1)
-	for i, n := range nodes {
+	boot := func(idx int, seeds []string, warmup time.Duration, n *node) error {
 		n.injector = netchaos.New(cfg.Plan, n.url)
-		injectors = append(injectors, n.injector)
-		var peerURLs []string
-		for j, u := range urls {
-			if j != i {
-				peerURLs = append(peerURLs, u)
-			}
-		}
-		peer := store.NewPeerWith("peers", engine.KeySchema, peerURLs,
+		peer := store.NewPeerWith("peers", engine.KeySchema, seeds,
 			&http.Client{Transport: n.injector.Transport(nil)},
 			store.PeerOpts{
 				Replicas:   cfg.Replicas,
@@ -270,39 +321,96 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		backing := store.NewTiered(n.injector.Store(n.local), peer)
 		eng := engine.New(engine.Config{Workers: 4, Cache: engine.NewStoreCache(backing)})
 		n.sweeper = store.NewSweeper(n.local, n.local, peer)
+		cl, err := cluster.New(cluster.Config{
+			Self:             n.url,
+			Seeds:            seeds,
+			ProbeInterval:    stormProbeInterval,
+			ProbeTimeout:     stormProbeTimeout,
+			SuspicionTimeout: stormSuspicion,
+			JoinWarmup:       warmup,
+			Client:           &http.Client{Transport: n.injector.Transport(nil)},
+			Seed:             cfg.Plan.Seed*31 + int64(idx),
+		})
+		if err != nil {
+			return err
+		}
+		n.cl = cl
+		self := n.url
+		n.unwatch = cl.OnChange(func(v cluster.View) {
+			peer.SetMembership(cluster.Exclude(v.Serving(), self), cluster.Exclude(v.Owners(), self))
+		})
+		n.sweeper.SetView(func() store.SweepView {
+			v := cl.View()
+			return store.SweepView{Targets: cluster.Exclude(v.Placement(), self), Dead: v.Dead()}
+		})
 		inj := n.injector
 		srv, err := server.New(server.Config{
 			Engine:         eng,
 			Workers:        4,
 			QueueDepth:     64,
-			ShardID:        fmt.Sprintf("storm-%d", i),
+			ShardID:        fmt.Sprintf("storm-%d", idx),
 			ArtifactStore:  n.local,
 			Sweeper:        n.sweeper,
+			Cluster:        cl,
 			InjectedFaults: func() any { return inj.Stats() },
 			Breaker:        brk,
 			DefaultTimeout: cfg.RequestTimeout,
 			MaxTimeout:     2 * cfg.RequestTimeout,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("storm: shard %d: %w", i, err)
+			return err
 		}
 		n.srv = srv
-		sw := n.hs.Config.Handler.(*hswap)
-		sw.store(srv.Handler())
+		n.hs.Config.Handler.(*hswap).store(srv.Handler())
 		n.hs.Start()
+		cl.Start()
+		return nil
+	}
+	injectors := make([]*netchaos.Injector, 0, cfg.Shards+2)
+	for i, n := range nodes {
+		var seeds []string
+		for j, u := range urls {
+			if j != i {
+				seeds = append(seeds, u)
+			}
+		}
+		if err := boot(i, seeds, 0, n); err != nil {
+			return nil, fmt.Errorf("storm: shard %d: %w", i, err)
+		}
+		injectors = append(injectors, n.injector)
 	}
 	defer func() {
 		for _, n := range nodes {
 			if !n.dead {
 				n.srv.Drain()
+				n.cl.Stop()
+				if n.unwatch != nil {
+					n.unwatch()
+				}
 				n.hs.Close()
 			}
 		}
 	}()
 
 	// --- Front tier ----------------------------------------------------
+	// The front runs a membership observer: it probes the ring and
+	// maintains a view like a member, but never announces itself.
+	// Routing, hedging, and shed-walking re-derive from the view on
+	// every change (dead shards skipped, suspects deprioritized).
 	frontInj := netchaos.New(cfg.Plan, "front")
 	injectors = append(injectors, frontInj)
+	obs, err := cluster.New(cluster.Config{
+		Observer:         true,
+		Seeds:            urls,
+		ProbeInterval:    stormProbeInterval,
+		ProbeTimeout:     stormProbeTimeout,
+		SuspicionTimeout: stormSuspicion,
+		Client:           &http.Client{Transport: frontInj.Transport(nil)},
+		Seed:             cfg.Plan.Seed*31 + 997,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storm: front observer: %w", err)
+	}
 	f, err := front.New(front.Config{
 		Shards:         urls,
 		Client:         &http.Client{Transport: frontInj.Transport(nil)},
@@ -314,9 +422,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storm: front: %w", err)
 	}
+	unwatchFront := f.WatchMembership(obs)
+	obs.Start()
 	fs := httptest.NewServer(f.Handler())
 	defer func() {
 		f.Drain()
+		obs.Stop()
+		unwatchFront()
 		fs.Close()
 	}()
 	client := fs.Client()
@@ -410,12 +522,24 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	// --- Phase B: the storm --------------------------------------------
 	rep.StormClasses = map[string]int{}
-	if cfg.Kill {
+	killAt, joinAt := cfg.Requests/3, 2*cfg.Requests/3
+	switch {
+	case cfg.Kill:
 		logf("phase B: killing shard 0 (%s), %d requests through survivors", nodes[0].url, cfg.Requests)
-		nodes[0].dead = true
-		nodes[0].hs.CloseClientConnections()
-		nodes[0].hs.Close()
-	} else {
+		rep.KilledShard = nodes[0].url
+		nodes[0].kill()
+	case cfg.Churn:
+		if cfg.Plan.Active() {
+			logf("phase B: churn under %s — kill %s at request %d, join a fresh shard at %d, %d requests",
+				cfg.Plan.Name(), nodes[0].url, killAt, joinAt, cfg.Requests)
+			for _, in := range injectors {
+				in.Arm()
+			}
+		} else {
+			logf("phase B: churn — kill %s at request %d, join a fresh shard at %d, %d requests",
+				nodes[0].url, killAt, joinAt, cfg.Requests)
+		}
+	default:
 		if cfg.Profile != "" {
 			logf("phase B: arming %s, %d requests shaped by %s profile over %s",
 				cfg.Plan.Name(), cfg.Requests, cfg.Profile, cfg.ProfileSpan)
@@ -459,6 +583,36 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	} else {
 		for i := 0; i < cfg.Requests; i++ {
+			if cfg.Churn && i == killAt {
+				logf("churn: killing %s mid-burst", nodes[0].url)
+				rep.KilledShard = nodes[0].url
+				nodes[0].kill()
+			}
+			if cfg.Churn && i == joinAt {
+				sw := &hswap{}
+				sw.store(http.NotFoundHandler())
+				hs := httptest.NewUnstartedServer(sw)
+				nn := &node{
+					local: store.NewMem(),
+					hs:    hs,
+					url:   "http://" + hs.Listener.Addr().String(),
+				}
+				// The newcomer joins through a surviving seed, starts
+				// in the joining state, and self-promotes to alive
+				// after its warmup — the window in which the existing
+				// sweepers push replicas at it without it counting
+				// toward anyone's replication factor.
+				if err := boot(len(nodes), append([]string{}, urls[1:]...), stormJoinWarmup, nn); err != nil {
+					return nil, fmt.Errorf("storm: churn join: %w", err)
+				}
+				if cfg.Plan.Active() {
+					nn.injector.Arm()
+				}
+				injectors = append(injectors, nn.injector)
+				nodes = append(nodes, nn)
+				rep.JoinedShard = nn.url
+				logf("churn: joined fresh shard %s via %s", nn.url, urls[1])
+			}
 			work <- i % cfg.Keys
 		}
 	}
@@ -481,12 +635,60 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			checkPayload("storm", out.k, resp)
 		} else if cfg.Kill {
 			rep.violate("kill-zero-loss", "key %d after shard kill: class %s (%s)", out.k, resp.Class, resp.Error)
+		} else if cfg.Churn {
+			rep.violate("churn-zero-loss", "key %d during churn: class %s (%s)", out.k, resp.Class, resp.Error)
 		}
 	}
 	if !cfg.Kill {
 		for _, in := range injectors {
 			in.Disarm()
 		}
+	}
+
+	// --- Membership convergence ----------------------------------------
+	// Before the heal phase's replication asserts can mean anything,
+	// every live view (each shard's and the front observer's) must
+	// agree on the final membership: under kill and churn the victim
+	// confirmed dead and the newcomer alive everywhere; after a fault
+	// storm every falsely suspected or dead member refuted back to
+	// alive. Bounded wait — non-convergence is itself a violation.
+	if cfg.Kill || cfg.Churn || cfg.Plan.Active() {
+		want := func(v cluster.View) bool {
+			for _, n := range nodes {
+				m, ok := v.Member(n.url)
+				if !ok {
+					return false
+				}
+				if n.dead && m.State != cluster.StateDead {
+					return false
+				}
+				if !n.dead && m.State != cluster.StateAlive {
+					return false
+				}
+			}
+			return true
+		}
+		convDeadline := time.Now().Add(stormConverge)
+		rep.MembershipConverged = true
+		checkView := func(name string, cl *cluster.Node) {
+			remain := time.Until(convDeadline)
+			if remain < time.Second {
+				remain = time.Second
+			}
+			if v, ok := cl.WaitConverged(remain, want); !ok {
+				rep.MembershipConverged = false
+				rep.violate("membership-convergence", "%s view stuck at %+v", name, v.Members)
+			}
+		}
+		for i, n := range nodes {
+			if !n.dead {
+				checkView(fmt.Sprintf("shard %d", i), n.cl)
+			}
+		}
+		checkView("front", obs)
+		logf("membership converged=%v", rep.MembershipConverged)
+	} else {
+		rep.MembershipConverged = true
 	}
 
 	// --- Phase C: heal and reconverge ----------------------------------

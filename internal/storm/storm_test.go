@@ -54,6 +54,54 @@ func TestKillRun(t *testing.T) {
 	}
 }
 
+// churnPlan is the mild latency-only schedule churn runs under: it
+// makes seeds meaningful (different request/fault interleavings per
+// seed) without being able to fail a request outright, so the
+// zero-loss requirement stays falsifiable against churn itself.
+func churnPlan(seed int64) netchaos.Plan {
+	return netchaos.Plan{Seed: seed, LatencyRate: 160, MaxLatencyMS: 20}
+}
+
+// TestChurnRun (acceptance): mid-burst kill -9 of a shard plus a
+// fresh join must lose nothing — exactly one terminal ok-class
+// response per request — and the ring must reconverge: victim
+// confirmed dead and newcomer alive in every live view, every key
+// back at replication factor R, final pass all cache hits.
+func TestChurnRun(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		rep, err := Run(context.Background(), Config{
+			Shards:         3,
+			Keys:           4,
+			Requests:       24,
+			Workers:        6,
+			Churn:          true,
+			Plan:           churnPlan(seed),
+			RequestTimeout: 20 * time.Second,
+			Logf:           t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Passed() {
+			t.Fatalf("seed %d violated invariants: %+v", seed, rep.Violations)
+		}
+		if rep.Lost != 0 || rep.OKStorm != 24 {
+			t.Fatalf("seed %d: lost=%d ok_storm=%d, want 0/24", seed, rep.Lost, rep.OKStorm)
+		}
+		if rep.KilledShard == "" || rep.JoinedShard == "" {
+			t.Fatalf("seed %d: report missing churn cast: killed=%q joined=%q",
+				seed, rep.KilledShard, rep.JoinedShard)
+		}
+		if !rep.MembershipConverged {
+			t.Fatalf("seed %d: membership did not converge", seed)
+		}
+	}
+}
+
 // TestFaultRun: one seeded schedule end to end. Faults are injected
 // (the report must show them), classes stay valid, and the cluster
 // reconverges.
